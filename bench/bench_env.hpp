@@ -1,0 +1,32 @@
+#pragma once
+
+/// @file bench_env.hpp
+/// Environment-variable knobs shared by the table-regeneration benches,
+/// so CI can run reduced configurations:
+///   RIP_BENCH_NETS     population size (default: the paper's 20)
+///   RIP_BENCH_TARGETS  timing targets per net (default: the paper's 20)
+
+#include <cstdlib>
+#include <string>
+
+namespace rip::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  try {
+    return std::stoi(value);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+inline int net_count(int fallback = 20) {
+  return env_int("RIP_BENCH_NETS", fallback);
+}
+
+inline int targets_per_net(int fallback = 20) {
+  return env_int("RIP_BENCH_TARGETS", fallback);
+}
+
+}  // namespace rip::bench

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels:
+// how the power-aware DP scales with library size and candidate count
+// (the pseudo-polynomial growth the paper attacks), REFINE's width
+// solve, Pareto pruning, and the Elmore evaluators.
+
+#include <benchmark/benchmark.h>
+
+#include "analytical/refine.hpp"
+#include "analytical/width_solver.hpp"
+#include "core/rip.hpp"
+#include "dp/chain_dp.hpp"
+#include "dp/library.hpp"
+#include "dp/min_delay.hpp"
+#include "dp/pareto.hpp"
+#include "eval/workload.hpp"
+#include "net/candidates.hpp"
+#include "rc/buffered_chain.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rip;
+
+const tech::Technology& technology() {
+  static const tech::Technology tech = tech::make_tech180();
+  return tech;
+}
+
+struct BenchNet {
+  net::Net net;
+  double tau_t_fs;
+};
+
+const BenchNet& bench_net() {
+  static const BenchNet bn = [] {
+    const auto wl = eval::make_paper_workload(technology(), 1, 77);
+    return BenchNet{wl[0].net, 1.4 * wl[0].tau_min_fs};
+  }();
+  return bn;
+}
+
+/// DP runtime vs library granularity over the fixed (10u, 400u) range —
+/// the exact axis of the paper's Table 2.
+void BM_ChainDpLibraryGranularity(benchmark::State& state) {
+  const auto& bn = bench_net();
+  const double g = static_cast<double>(state.range(0));
+  const auto lib = dp::RepeaterLibrary::range(10.0, 400.0, g);
+  const auto cands = net::uniform_candidates(bn.net, 200.0);
+  dp::ChainDpOptions opts;
+  opts.mode = dp::Mode::kMinPower;
+  opts.timing_target_fs = bn.tau_t_fs;
+  for (auto _ : state) {
+    auto r = dp::run_chain_dp(bn.net, technology().device(), lib, cands,
+                              opts);
+    benchmark::DoNotOptimize(r.total_width_u);
+  }
+  state.counters["lib_size"] = static_cast<double>(lib.size());
+}
+BENCHMARK(BM_ChainDpLibraryGranularity)->Arg(80)->Arg(40)->Arg(20)->Arg(10);
+
+/// DP runtime vs candidate pitch (location granularity).
+void BM_ChainDpCandidatePitch(benchmark::State& state) {
+  const auto& bn = bench_net();
+  const double pitch = static_cast<double>(state.range(0));
+  const auto lib = dp::RepeaterLibrary::uniform(10.0, 20.0, 10);
+  const auto cands = net::uniform_candidates(bn.net, pitch);
+  dp::ChainDpOptions opts;
+  opts.mode = dp::Mode::kMinPower;
+  opts.timing_target_fs = bn.tau_t_fs;
+  for (auto _ : state) {
+    auto r = dp::run_chain_dp(bn.net, technology().device(), lib, cands,
+                              opts);
+    benchmark::DoNotOptimize(r.total_width_u);
+  }
+  state.counters["candidates"] = static_cast<double>(cands.size());
+}
+BENCHMARK(BM_ChainDpCandidatePitch)->Arg(400)->Arg(200)->Arg(100)->Arg(50);
+
+/// Full Algorithm RIP end to end.
+void BM_RipInsert(benchmark::State& state) {
+  const auto& bn = bench_net();
+  for (auto _ : state) {
+    auto r = core::rip_insert(bn.net, technology().device(), bn.tau_t_fs);
+    benchmark::DoNotOptimize(r.total_width_u);
+  }
+}
+BENCHMARK(BM_RipInsert);
+
+/// REFINE's analytical width solve for n repeaters.
+void BM_WidthSolve(benchmark::State& state) {
+  const auto& bn = bench_net();
+  const int n = static_cast<int>(state.range(0));
+  const double total = bn.net.total_length_um();
+  std::vector<double> pos;
+  for (int i = 1; i <= n; ++i) {
+    double x = total * i / (n + 1);
+    while (bn.net.in_forbidden_zone(x)) x += 20.0;
+    pos.push_back(x);
+  }
+  for (auto _ : state) {
+    auto ws = analytical::solve_widths(bn.net, technology().device(), pos,
+                                       bn.tau_t_fs);
+    benchmark::DoNotOptimize(ws.total_width_u);
+  }
+}
+BENCHMARK(BM_WidthSolve)->Arg(2)->Arg(4)->Arg(8);
+
+/// Pareto pruning throughput.
+void BM_ParetoPrune(benchmark::State& state) {
+  Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<dp::Label> labels(static_cast<std::size_t>(n));
+  for (auto& l : labels) {
+    l.cap_ff = rng.uniform(1.0, 100.0);
+    l.q_fs = rng.uniform(1.0, 100.0);
+    l.width_u = rng.uniform(1.0, 100.0);
+  }
+  for (auto _ : state) {
+    auto copy = labels;
+    dp::prune_dominated(copy, true);
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_ParetoPrune)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Elmore evaluation of a buffered chain.
+void BM_ElmoreEvaluation(benchmark::State& state) {
+  const auto& bn = bench_net();
+  const auto md = dp::min_delay(bn.net, technology().device(),
+                                {10.0, 400.0, 10.0, 200.0});
+  for (auto _ : state) {
+    const double d =
+        rc::elmore_delay_fs(bn.net, md.solution, technology().device());
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_ElmoreEvaluation);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Quickstart: build a routed two-pin net, compute its minimum achievable
+// delay, and run Algorithm RIP against the conventional power-aware DP
+// baseline for a mid-range timing target.
+//
+//   $ ./examples/quickstart
+
+#include <iostream>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "dp/min_delay.hpp"
+#include "net/net.hpp"
+#include "rc/buffered_chain.hpp"
+#include "tech/technology.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace rip;
+
+  // The built-in calibrated 0.18 um kit (metal4/metal5 global routing).
+  const tech::Technology tech = tech::make_tech180();
+  const tech::RepeaterDevice& device = tech.device();
+
+  // A 12.3 mm net of six routed segments with one forbidden zone (a
+  // macro-block between 4.2 mm and 7.0 mm).
+  const auto& m4 = tech.layer("metal4");
+  const auto& m5 = tech.layer("metal5");
+  net::NetBuilder builder("quickstart_net");
+  builder.driver(120.0).receiver(60.0);
+  builder.segment(2100.0, m4.r_ohm_per_um, m4.c_ff_per_um, m4.name);
+  builder.segment(1800.0, m5.r_ohm_per_um, m5.c_ff_per_um, m5.name);
+  builder.segment(2500.0, m4.r_ohm_per_um, m4.c_ff_per_um, m4.name);
+  builder.segment(2000.0, m5.r_ohm_per_um, m5.c_ff_per_um, m5.name);
+  builder.segment(1400.0, m4.r_ohm_per_um, m4.c_ff_per_um, m4.name);
+  builder.segment(2500.0, m5.r_ohm_per_um, m5.c_ff_per_um, m5.name);
+  builder.zone(4200.0, 7000.0);
+  const net::Net net = builder.build();
+
+  std::cout << "net: " << net.name() << ", length "
+            << net.total_length_um() / 1000.0 << " mm, "
+            << net.segments().size() << " segments, "
+            << net.zones().size() << " forbidden zone(s)\n";
+
+  // Unbuffered delay and the minimum achievable (buffered) delay.
+  const double unbuffered =
+      rc::elmore_delay_fs(net, net::RepeaterSolution{}, device);
+  const auto md = dp::min_delay(net, device);
+  std::cout << "unbuffered delay: " << fmt_unit(units::fs_to_ns(unbuffered), 3, "ns")
+            << "\n";
+  std::cout << "tau_min:          " << fmt_unit(units::fs_to_ns(md.tau_min_fs), 3, "ns")
+            << "  (" << md.solution.size() << " repeaters)\n";
+
+  // Design for a 1.3 * tau_min timing budget.
+  const double tau_t = 1.3 * md.tau_min_fs;
+  std::cout << "timing target:    " << fmt_unit(units::fs_to_ns(tau_t), 3, "ns")
+            << "\n\n";
+
+  // Algorithm RIP (Fig. 6 of the paper).
+  const core::RipResult rip = core::rip_insert(net, device, tau_t);
+  std::cout << "RIP:      " << rip.solution.size() << " repeaters, total width "
+            << fmt_f(rip.total_width_u, 1) << " u, delay "
+            << fmt_unit(units::fs_to_ns(rip.delay_fs), 3, "ns") << " ("
+            << fmt_f(rip.runtime_s * 1e3, 2) << " ms)\n";
+  for (const auto& r : rip.solution.repeaters()) {
+    std::cout << "          x = " << fmt_f(r.position_um, 0) << " um, w = "
+              << fmt_f(r.width_u, 0) << " u\n";
+  }
+
+  // Conventional power-aware DP baseline (library size 10, g = 20u).
+  const auto baseline_opts =
+      core::BaselineOptions::uniform_library(10.0, 20.0, 10);
+  const dp::ChainDpResult dp =
+      core::run_baseline(net, device, tau_t, baseline_opts);
+  std::cout << "Baseline: " << dp.solution.size() << " repeaters, total width "
+            << fmt_f(dp.total_width_u, 1) << " u, delay "
+            << fmt_unit(units::fs_to_ns(dp.delay_fs), 3, "ns") << "\n";
+
+  if (dp.total_width_u > 0) {
+    const double saving =
+        (dp.total_width_u - rip.total_width_u) / dp.total_width_u * 100.0;
+    std::cout << "\npower saving of RIP over the DP baseline: "
+              << fmt_f(saving, 1) << " %\n";
+  }
+  return 0;
+}

@@ -1,0 +1,280 @@
+// rip_cli — the command-line face of the library. Drives the full flow
+// from files, so RIP can sit inside a shell-scripted physical-design
+// flow without writing any C++:
+//
+//   rip_cli gen      --seed 7 --out my.net            # draw a §6 net
+//   rip_cli info     --net my.net                      # geometry + tau_min
+//   rip_cli solve    --net my.net --target-x 1.3       # run Algorithm RIP
+//                    [--target-ns 2.5] [--sol out.sol] [--spice out.sp]
+//                    [--zone-hop] [--refine-repeats 2]
+//   rip_cli baseline --net my.net --target-x 1.3 --granularity 20
+//   rip_cli sweep    --net my.net --points 11 --csv sweep.csv
+//   rip_cli check    --net my.net --sol out.sol [--target-ns 2.5]
+//
+// A custom technology file (riptech format) can replace the built-in
+// 0.18 um kit everywhere with --tech kit.tech.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "dp/min_delay.hpp"
+#include "net/generator.hpp"
+#include "net/net_io.hpp"
+#include "net/solution_io.hpp"
+#include "rc/buffered_chain.hpp"
+#include "sim/spice.hpp"
+#include "sim/transient.hpp"
+#include "tech/tech_io.hpp"
+#include "tech/technology.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rip;
+
+int usage() {
+  std::cout <<
+      "usage: rip_cli <command> [options]\n"
+      "  gen      --seed N [--out file.net] [--nets K]\n"
+      "  info     --net file.net\n"
+      "  solve    --net file.net (--target-ns T | --target-x F)\n"
+      "           [--sol out.sol] [--spice out.sp] [--zone-hop]\n"
+      "           [--refine-repeats N]\n"
+      "  baseline --net file.net (--target-ns T | --target-x F)\n"
+      "           [--granularity G] [--lib-size N] [--min-width W]\n"
+      "  sweep    --net file.net [--points N] [--csv out.csv]\n"
+      "  check    --net file.net --sol file.sol [--target-ns T]\n"
+      "common:    [--tech kit.tech]\n";
+  return 2;
+}
+
+tech::Technology load_tech(const CliArgs& args) {
+  if (const auto path = args.get("tech")) {
+    return tech::read_technology_file(*path);
+  }
+  return tech::make_tech180();
+}
+
+net::Net load_net(const CliArgs& args) {
+  return net::read_net_file(args.require("net"));
+}
+
+/// Resolve --target-ns / --target-x (x tau_min) into femtoseconds.
+double resolve_target_fs(const CliArgs& args, const net::Net& n,
+                         const tech::Technology& tech) {
+  if (const auto ns = args.get("target-ns")) {
+    return units::ns_to_fs(parse_double(*ns, "--target-ns"));
+  }
+  const double factor = args.get_double_or("target-x", 0.0);
+  RIP_REQUIRE(factor > 0, "need --target-ns or --target-x");
+  const auto md = dp::min_delay(n, tech.device(), {10.0, 400.0, 10.0, 200.0});
+  return factor * md.tau_min_fs;
+}
+
+int cmd_gen(const CliArgs& args) {
+  const tech::Technology tech = load_tech(args);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const int count = args.get_int_or("nets", 1);
+  Rng rng(seed);
+  net::RandomNetConfig config;
+  for (int i = 0; i < count; ++i) {
+    const std::string name = "net_" + std::to_string(i + 1);
+    const net::Net n = net::random_net(tech, config, rng, name);
+    if (const auto out = args.get("out"); out && count == 1) {
+      std::ofstream file(*out);
+      RIP_REQUIRE(file.good(), "cannot write " + *out);
+      net::write_net(file, n);
+      std::cout << "wrote " << *out << " (" << n.total_length_um() / 1000.0
+                << " mm, " << n.segments().size() << " segments)\n";
+    } else if (const auto out2 = args.get("out"); out2) {
+      const std::string path = *out2 + "." + std::to_string(i + 1);
+      std::ofstream file(path);
+      RIP_REQUIRE(file.good(), "cannot write " + path);
+      net::write_net(file, n);
+      std::cout << "wrote " << path << "\n";
+    } else {
+      net::write_net(std::cout, n);
+    }
+  }
+  return 0;
+}
+
+int cmd_info(const CliArgs& args) {
+  const tech::Technology tech = load_tech(args);
+  const net::Net n = load_net(args);
+  const double unbuffered =
+      rc::elmore_delay_fs(n, net::RepeaterSolution{}, tech.device());
+  const auto md = dp::min_delay(n, tech.device(), {10.0, 400.0, 10.0, 200.0});
+  std::cout << "net " << n.name() << "\n";
+  std::cout << "  length:      " << fmt_f(n.total_length_um() / 1000.0, 3)
+            << " mm in " << n.segments().size() << " segments\n";
+  std::cout << "  wire:        " << fmt_f(n.total_resistance_ohm(), 1)
+            << " Ohm, " << fmt_f(n.total_capacitance_ff() / 1000.0, 2)
+            << " pF\n";
+  std::cout << "  driver:      " << n.driver_width_u() << " u, receiver: "
+            << n.receiver_width_u() << " u\n";
+  for (const auto& z : n.zones()) {
+    std::cout << "  zone:        " << fmt_f(z.start_um / 1000.0, 2) << ".."
+              << fmt_f(z.end_um / 1000.0, 2) << " mm\n";
+  }
+  std::cout << "  unbuffered:  "
+            << fmt_unit(units::fs_to_ns(unbuffered), 3, "ns") << "\n";
+  std::cout << "  tau_min:     "
+            << fmt_unit(units::fs_to_ns(md.tau_min_fs), 3, "ns") << " ("
+            << md.solution.size() << " repeaters)\n";
+  return 0;
+}
+
+int cmd_solve(const CliArgs& args) {
+  const tech::Technology tech = load_tech(args);
+  const net::Net n = load_net(args);
+  const double tau_t = resolve_target_fs(args, n, tech);
+
+  core::RipOptions options;
+  options.refine.move.allow_zone_hop = args.has("zone-hop");
+  options.refine_repeats = args.get_int_or("refine-repeats", 1);
+
+  const auto r = core::rip_insert(n, tech.device(), tau_t, options);
+  std::cout << "target: " << fmt_unit(units::fs_to_ns(tau_t), 3, "ns")
+            << "\n";
+  if (r.status != dp::Status::kOptimal) {
+    std::cout << "INFEASIBLE: best achievable delay "
+              << fmt_unit(units::fs_to_ns(r.delay_fs), 3, "ns") << "\n";
+    return 1;
+  }
+  std::cout << "solution: " << r.solution.size() << " repeaters, width "
+            << fmt_f(r.total_width_u, 1) << " u, delay "
+            << fmt_unit(units::fs_to_ns(r.delay_fs), 3, "ns") << " ("
+            << fmt_f(r.runtime_s * 1e3, 1) << " ms)\n";
+  for (const auto& rep : r.solution.repeaters()) {
+    std::cout << "  x = " << fmt_f(rep.position_um, 0) << " um, w = "
+              << fmt_f(rep.width_u, 0) << " u\n";
+  }
+  if (const auto sol = args.get("sol")) {
+    std::ofstream out(*sol);
+    RIP_REQUIRE(out.good(), "cannot write " + *sol);
+    net::write_solution(out, r.solution, n.name());
+    std::cout << "solution written to " << *sol << "\n";
+  }
+  if (const auto spice = args.get("spice")) {
+    std::ofstream out(*spice);
+    RIP_REQUIRE(out.good(), "cannot write " + *spice);
+    sim::SpiceOptions spice_opts;
+    spice_opts.vdd_v = tech.power().vdd_v;
+    sim::write_spice_deck(out, n, r.solution, tech.device(), spice_opts);
+    std::cout << "SPICE deck written to " << *spice << "\n";
+  }
+  return 0;
+}
+
+int cmd_baseline(const CliArgs& args) {
+  const tech::Technology tech = load_tech(args);
+  const net::Net n = load_net(args);
+  const double tau_t = resolve_target_fs(args, n, tech);
+  const auto options = core::BaselineOptions::uniform_library(
+      args.get_double_or("min-width", 10.0),
+      args.get_double_or("granularity", 10.0),
+      args.get_int_or("lib-size", 10));
+  const auto r = core::run_baseline(n, tech.device(), tau_t, options);
+  std::cout << "target: " << fmt_unit(units::fs_to_ns(tau_t), 3, "ns")
+            << "\n";
+  if (r.status != dp::Status::kOptimal) {
+    std::cout << "INFEASIBLE: best achievable delay "
+              << fmt_unit(units::fs_to_ns(r.min_delay_fs), 3, "ns") << "\n";
+    return 1;
+  }
+  std::cout << "baseline DP: " << r.solution.size() << " repeaters, width "
+            << fmt_f(r.total_width_u, 1) << " u, delay "
+            << fmt_unit(units::fs_to_ns(r.delay_fs), 3, "ns") << "\n";
+  return 0;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  const tech::Technology tech = load_tech(args);
+  const net::Net n = load_net(args);
+  const int points = args.get_int_or("points", 11);
+  const auto md = dp::min_delay(n, tech.device(), {10.0, 400.0, 10.0, 200.0});
+
+  Table table({"tau_t_ns", "tau_over_min", "width_u", "repeaters",
+               "delay_ns"});
+  for (int k = 0; k < points; ++k) {
+    const double factor =
+        1.05 + (points > 1 ? k * 1.0 / (points - 1) : 0.0);
+    const double tau_t = factor * md.tau_min_fs;
+    const auto r = core::rip_insert(n, tech.device(), tau_t);
+    table.add_row({fmt_f(units::fs_to_ns(tau_t), 3), fmt_f(factor, 3),
+                   r.status == dp::Status::kOptimal
+                       ? fmt_f(r.total_width_u, 0)
+                       : "VIOL",
+                   std::to_string(r.solution.size()),
+                   fmt_f(units::fs_to_ns(r.delay_fs), 3)});
+  }
+  if (const auto csv = args.get("csv")) {
+    std::ofstream out(*csv);
+    RIP_REQUIRE(out.good(), "cannot write " + *csv);
+    table.print_csv(out);
+    std::cout << "sweep written to " << *csv << "\n";
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_check(const CliArgs& args) {
+  const tech::Technology tech = load_tech(args);
+  const net::Net n = load_net(args);
+  const auto parsed = net::read_solution_file(args.require("sol"));
+  if (!parsed.net_name.empty() && parsed.net_name != n.name()) {
+    std::cout << "warning: solution was produced for net '"
+              << parsed.net_name << "', checking against '" << n.name()
+              << "'\n";
+  }
+  const bool legal = parsed.solution.legal_for(n);
+  const double delay =
+      rc::elmore_delay_fs(n, parsed.solution, tech.device());
+  std::cout << "repeaters: " << parsed.solution.size() << ", width "
+            << fmt_f(parsed.solution.total_width_u(), 1) << " u\n";
+  std::cout << "placement: " << (legal ? "legal" : "ILLEGAL") << "\n";
+  std::cout << "elmore delay: "
+            << fmt_unit(units::fs_to_ns(delay), 3, "ns") << "\n";
+  bool timing_ok = true;
+  if (const auto ns = args.get("target-ns")) {
+    const double tau_t = units::ns_to_fs(parse_double(*ns, "--target-ns"));
+    timing_ok = delay <= tau_t;
+    std::cout << "timing: " << (timing_ok ? "MET" : "VIOLATED") << " (target "
+              << fmt_unit(units::fs_to_ns(tau_t), 3, "ns") << ")\n";
+  }
+  return (legal && timing_ok) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args =
+        CliArgs::parse(argc, argv, {"zone-hop"});
+    int rc;
+    if (args.command() == "gen") rc = cmd_gen(args);
+    else if (args.command() == "info") rc = cmd_info(args);
+    else if (args.command() == "solve") rc = cmd_solve(args);
+    else if (args.command() == "baseline") rc = cmd_baseline(args);
+    else if (args.command() == "sweep") rc = cmd_sweep(args);
+    else if (args.command() == "check") rc = cmd_check(args);
+    else return usage();
+    for (const auto& name : args.unused()) {
+      std::cerr << "warning: unused option --" << name << "\n";
+    }
+    return rc;
+  } catch (const rip::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

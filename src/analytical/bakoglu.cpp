@@ -1,0 +1,38 @@
+#include "analytical/bakoglu.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rip::analytical {
+
+UniformInsertion optimal_uniform_insertion(const tech::RepeaterDevice& device,
+                                           double length_um,
+                                           double r_ohm_per_um,
+                                           double c_ff_per_um) {
+  RIP_REQUIRE(length_um > 0, "line length must be positive");
+  RIP_REQUIRE(r_ohm_per_um > 0 && c_ff_per_um > 0,
+              "line RC must be positive");
+  const double rs = device.rs_ohm;
+  const double co = device.co_ff;
+  const double cp = device.cp_ff;
+  const double wire_r = r_ohm_per_um * length_um;
+  const double wire_c = c_ff_per_um * length_um;
+
+  // tau(k, w) = k R_s (C_p + C_o)            (intrinsic + gate loading)
+  //           + R_s C_wire / w               (driving the wire)
+  //           + R_wire C_wire / (2 k)        (distributed wire)
+  //           + R_wire C_o w                 (wire driving gates)
+  // d tau / dk = R_s (C_p + C_o) - R_wire C_wire / (2 k^2) = 0
+  // d tau / dw = -R_s C_wire / w^2 + R_wire C_o = 0
+  UniformInsertion out;
+  out.stage_count = std::sqrt(wire_r * wire_c / (2.0 * rs * (co + cp)));
+  out.width_u = std::sqrt(rs * wire_c / (wire_r * co));
+  out.delay_fs = out.stage_count * rs * (cp + co) +
+                 rs * wire_c / out.width_u +
+                 wire_r * wire_c / (2.0 * out.stage_count) +
+                 wire_r * co * out.width_u;
+  return out;
+}
+
+}  // namespace rip::analytical

@@ -1,0 +1,37 @@
+#pragma once
+
+/// @file bakoglu.hpp
+/// Closed-form repeater insertion on a *uniform* line (Bakoglu-style,
+/// [4] in the paper). For a line of total resistance R and capacitance C
+/// driven through unit-repeater parameters (R_s, C_o, C_p), the
+/// delay-optimal stage count and width minimize
+///
+///   tau(k, w) = k R_s C_p + R_s C / w + k R_s C_o + R C^2.../(2k) ...
+///
+/// evaluated exactly in optimal_uniform_insertion(). Used as an
+/// independent sanity check of the DP's tau_min on uniform nets and as
+/// the seed-quality reference in tests; not used by RIP itself (RIP's
+/// stage 1 plays this role on non-uniform nets).
+
+#include "tech/technology.hpp"
+
+namespace rip::analytical {
+
+/// Closed-form solution for a uniform line.
+struct UniformInsertion {
+  double stage_count = 0;   ///< optimal (continuous) number of stages k*
+  double width_u = 0;       ///< optimal (continuous) repeater width w*
+  double delay_fs = 0;      ///< resulting minimum delay
+};
+
+/// Compute k* = L sqrt(r c / (2 R_s (C_o + C_p))), w* = sqrt(R_s c /
+/// (r C_o)) and the delay tau(k*, w*) for a uniform line of length
+/// `length_um` with per-unit r, c. The driver/receiver are assumed to be
+/// repeaters of the same optimal width (the classic repeated-line
+/// abstraction).
+UniformInsertion optimal_uniform_insertion(const tech::RepeaterDevice& device,
+                                           double length_um,
+                                           double r_ohm_per_um,
+                                           double c_ff_per_um);
+
+}  // namespace rip::analytical

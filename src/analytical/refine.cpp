@@ -1,0 +1,87 @@
+#include "analytical/refine.hpp"
+
+#include <cmath>
+
+#include "rc/buffered_chain.hpp"
+#include "util/error.hpp"
+
+namespace rip::analytical {
+
+net::RepeaterSolution RefineResult::solution() const {
+  std::vector<net::Repeater> reps;
+  reps.reserve(positions_um.size());
+  for (std::size_t i = 0; i < positions_um.size(); ++i)
+    reps.push_back(net::Repeater{positions_um[i], widths_u[i]});
+  return net::RepeaterSolution(std::move(reps));
+}
+
+RefineResult refine(const net::Net& net, const tech::RepeaterDevice& device,
+                    const net::RepeaterSolution& initial, double tau_t_fs,
+                    const RefineOptions& options) {
+  RIP_REQUIRE(tau_t_fs > 0, "timing target must be positive");
+  RefineResult result;
+  for (const auto& r : initial.repeaters()) {
+    result.positions_um.push_back(r.position_um);
+    result.widths_u.push_back(r.width_u);
+  }
+  if (initial.empty()) {
+    // Nothing to refine; report the unbuffered delay.
+    result.width_solve_ok = true;
+    result.delay_fs =
+        rc::elmore_delay_fs(net, net::RepeaterSolution{}, device);
+    return result;
+  }
+
+  // Line 1: optimal continuous widths and lambda for the DP placement.
+  WidthSolveResult ws = solve_widths(net, device, result.positions_um,
+                                     tau_t_fs, options.width_solve);
+  if (!ws.converged) {
+    result.width_solve_ok = false;
+    return result;  // caller falls back to the DP solution
+  }
+  result.width_solve_ok = true;
+  result.widths_u = ws.widths_u;
+  result.lambda = ws.lambda;
+  result.delay_fs = ws.delay_fs;
+  result.total_width_u = ws.total_width_u;
+  result.width_history_u.push_back(ws.total_width_u);
+
+  // Lines 3-9: move repeaters, re-solve widths, until the improvement
+  // stalls. Movement runs coarse-to-fine over step_scales; state reverts
+  // if a step fails to improve, which keeps the width history monotone.
+  double w_total = ws.total_width_u;
+  int iterations = 0;
+  for (const double scale : options.step_scales) {
+    MoveOptions move = options.move;
+    move.step_um *= scale;
+    while (iterations < options.max_iterations) {
+      std::vector<double> trial_positions = result.positions_um;
+      const int moved = move_repeaters(net, device, trial_positions,
+                                       result.widths_u, move);
+      if (moved == 0) break;
+
+      WidthSolveOptions ws_options = options.width_solve;
+      ws_options.lambda_hint = result.lambda;
+      WidthSolveResult trial = solve_widths(net, device, trial_positions,
+                                            tau_t_fs, ws_options);
+      if (!trial.converged || trial.total_width_u > w_total) {
+        break;  // movement overshot at this scale: try a finer step
+      }
+      ++iterations;
+      result.positions_um = std::move(trial_positions);
+      result.widths_u = trial.widths_u;
+      result.lambda = trial.lambda;
+      result.delay_fs = trial.delay_fs;
+      result.total_width_u = trial.total_width_u;
+      result.width_history_u.push_back(trial.total_width_u);
+      result.iterations = iterations;
+
+      const double eps = (w_total - trial.total_width_u) / w_total;
+      w_total = trial.total_width_u;
+      if (eps < options.epsilon0) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rip::analytical

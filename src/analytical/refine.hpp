@@ -1,0 +1,61 @@
+#pragma once
+
+/// @file refine.hpp
+/// Algorithm REFINE (Fig. 5 of the paper): iteratively re-solve the
+/// optimal continuous widths (width_solver.hpp) and move repeaters along
+/// the net (movement.hpp) until the total-width improvement per
+/// iteration drops below epsilon_0.
+///
+/// REFINE assumes the repeater count and ordering of the initial solution
+/// (from the coarse DP) and treats widths as continuous; RIP then rounds
+/// the result back into a discrete library (core/rip.hpp).
+
+#include <vector>
+
+#include "analytical/movement.hpp"
+#include "analytical/width_solver.hpp"
+#include "net/net.hpp"
+#include "net/solution.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::analytical {
+
+/// REFINE knobs (paper defaults where specified).
+struct RefineOptions {
+  double epsilon0 = 1e-3;  ///< relative total-width improvement threshold
+  int max_iterations = 120;  ///< movement iterations across all scales
+  /// Movement runs coarse-to-fine: the base step is multiplied by each
+  /// scale in turn and iterated to convergence before dropping to the
+  /// next. Large early steps escape shallow basins; the final scale is
+  /// the paper's preselected distance.
+  std::vector<double> step_scales = {8.0, 4.0, 2.0, 1.0};
+  MoveOptions move;
+  WidthSolveOptions width_solve;
+};
+
+/// Result of a REFINE run.
+struct RefineResult {
+  /// Final placement with *continuous* widths.
+  std::vector<double> positions_um;
+  std::vector<double> widths_u;
+  double lambda = 0;
+  double delay_fs = 0;          ///< Elmore delay at the final solution
+  double total_width_u = 0;
+  int iterations = 0;           ///< movement iterations executed
+  bool width_solve_ok = false;  ///< initial width solve converged
+  /// Total width after each width solve (monotone non-increasing).
+  std::vector<double> width_history_u;
+
+  /// Convenience: the result as a RepeaterSolution.
+  net::RepeaterSolution solution() const;
+};
+
+/// Run REFINE from an initial discrete solution. If the initial width
+/// solve fails (tau_t below the continuous optimum for this repeater
+/// count/placement), returns with width_solve_ok == false and the initial
+/// solution untouched — RIP falls back to the DP result in that case.
+RefineResult refine(const net::Net& net, const tech::RepeaterDevice& device,
+                    const net::RepeaterSolution& initial, double tau_t_fs,
+                    const RefineOptions& options = {});
+
+}  // namespace rip::analytical

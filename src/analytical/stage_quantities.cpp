@@ -1,0 +1,30 @@
+#include "analytical/stage_quantities.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rip::analytical {
+
+StageQuantities stage_quantities(const net::Net& net,
+                                 const std::vector<double>& positions_um) {
+  RIP_REQUIRE(std::is_sorted(positions_um.begin(), positions_um.end()),
+              "repeater positions must be sorted");
+  const double total = net.total_length_um();
+  for (const double x : positions_um) {
+    RIP_REQUIRE(x > 0 && x < total, "repeater position outside the net");
+  }
+  StageQuantities q;
+  q.stage_r_ohm.reserve(positions_um.size() + 1);
+  q.stage_c_ff.reserve(positions_um.size() + 1);
+  double from = 0.0;
+  for (std::size_t i = 0; i <= positions_um.size(); ++i) {
+    const double to = (i == positions_um.size()) ? total : positions_um[i];
+    q.stage_r_ohm.push_back(net.resistance_between_ohm(from, to));
+    q.stage_c_ff.push_back(net.capacitance_between_ff(from, to));
+    from = to;
+  }
+  return q;
+}
+
+}  // namespace rip::analytical

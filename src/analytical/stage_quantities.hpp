@@ -1,0 +1,29 @@
+#pragma once
+
+/// @file stage_quantities.hpp
+/// The lumped per-stage wire totals that appear in the paper's analysis:
+/// R_{i-1} (total wire resistance between repeaters i-1 and i) and C_i
+/// (total wire capacitance between repeaters i and i+1), Fig. 3. Both the
+/// width solver (Eq. 8) and the location derivatives (Eqs. 17/18) consume
+/// these.
+
+#include <vector>
+
+#include "net/net.hpp"
+
+namespace rip::analytical {
+
+/// Wire totals for the n+1 stages induced by n repeater positions.
+/// stage_r[i] / stage_c[i] cover the span from position i to position
+/// i+1, where position 0 is the driver and position n+1 the receiver.
+struct StageQuantities {
+  std::vector<double> stage_r_ohm;  ///< size n+1
+  std::vector<double> stage_c_ff;   ///< size n+1
+};
+
+/// Compute stage totals for sorted repeater positions strictly inside
+/// (0, L).
+StageQuantities stage_quantities(const net::Net& net,
+                                 const std::vector<double>& positions_um);
+
+}  // namespace rip::analytical

@@ -1,0 +1,181 @@
+#include "analytical/width_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytical/stage_quantities.hpp"
+#include "rc/buffered_chain.hpp"
+#include "util/error.hpp"
+
+namespace rip::analytical {
+
+namespace {
+
+/// Elmore delay of the chain at given positions/widths.
+double chain_delay_fs(const net::Net& net, const tech::RepeaterDevice& device,
+                      const std::vector<double>& positions_um,
+                      const std::vector<double>& widths_u) {
+  std::vector<net::Repeater> reps;
+  reps.reserve(positions_um.size());
+  for (std::size_t i = 0; i < positions_um.size(); ++i)
+    reps.push_back(net::Repeater{positions_um[i], widths_u[i]});
+  return rc::elmore_delay_fs(net, net::RepeaterSolution(std::move(reps)),
+                             device);
+}
+
+/// One lambda evaluation: Gauss–Seidel to the width fixed point (warm
+/// started from `widths`), returning the resulting delay.
+double widths_for_lambda(const net::Net& net,
+                         const tech::RepeaterDevice& device,
+                         const StageQuantities& stage,
+                         const std::vector<double>& positions_um,
+                         double lambda, const WidthSolveOptions& options,
+                         std::vector<double>& widths) {
+  const std::size_t n = widths.size();
+  const double rs = device.rs_ohm;
+  const double co = device.co_ff;
+  const double wd = net.driver_width_u();
+  const double wr = net.receiver_width_u();
+  for (int sweep = 0; sweep < options.gs_max_sweeps; ++sweep) {
+    double max_rel_change = 0.0;
+    for (std::size_t i = n; i-- > 0;) {
+      // Paper indices: repeater i+1 in 1-based terms. Stage i covers the
+      // wire upstream of this repeater, stage i+1 the wire downstream.
+      const double w_prev = (i == 0) ? wd : widths[i - 1];
+      const double w_next = (i + 1 == n) ? wr : widths[i + 1];
+      const double r_up = stage.stage_r_ohm[i];        // R_{i-1}
+      const double c_down = stage.stage_c_ff[i + 1];   // C_i
+      const double num = lambda * rs * (c_down + co * w_next);
+      const double den = 1.0 + lambda * co * (r_up + rs / w_prev);
+      const double w_new = std::max(options.min_width_u,
+                                    std::sqrt(num / den));
+      max_rel_change = std::max(
+          max_rel_change, std::abs(w_new - widths[i]) /
+                              std::max(widths[i], options.min_width_u));
+      widths[i] = w_new;
+    }
+    if (max_rel_change < options.gs_tol) break;
+  }
+  return chain_delay_fs(net, device, positions_um, widths);
+}
+
+}  // namespace
+
+WidthSolveResult solve_widths(const net::Net& net,
+                              const tech::RepeaterDevice& device,
+                              const std::vector<double>& positions_um,
+                              double tau_t_fs,
+                              const WidthSolveOptions& options) {
+  RIP_REQUIRE(tau_t_fs > 0, "timing target must be positive");
+  WidthSolveResult result;
+  const std::size_t n = positions_um.size();
+  if (n == 0) {
+    result.delay_fs = chain_delay_fs(net, device, {}, {});
+    result.converged = result.delay_fs <= tau_t_fs;
+    return result;
+  }
+
+  const StageQuantities stage = stage_quantities(net, positions_um);
+  std::vector<double> widths(n, 1.0);
+
+  auto delay_at = [&](double lambda) {
+    return widths_for_lambda(net, device, stage, positions_um, lambda,
+                             options, widths);
+  };
+
+  // Bracket lambda: tau(lambda) is monotone decreasing. Small lambda ->
+  // tiny widths -> huge delay; grow lambda until the target is met. A
+  // lambda_hint narrows the initial bracket (the movement loop re-solves
+  // with a nearly unchanged multiplier).
+  double lo = options.lambda_min;
+  if (options.lambda_hint > 0) {
+    lo = std::clamp(options.lambda_hint / 100.0, options.lambda_min,
+                    options.lambda_max);
+  }
+  double lo_delay = delay_at(lo);
+  while (lo_delay <= tau_t_fs && lo > options.lambda_min) {
+    lo = std::max(options.lambda_min, lo / 100.0);
+    lo_delay = delay_at(lo);
+  }
+  if (lo_delay <= tau_t_fs) {
+    // Even near-zero widths meet the target: the relaxation's optimum is
+    // the width floor everywhere.
+    result.widths_u = widths;
+    result.lambda = lo;
+    result.delay_fs = lo_delay;
+    for (const double w : widths) result.total_width_u += w;
+    result.converged = true;
+    return result;
+  }
+  double hi = lo;
+  double hi_delay = lo_delay;
+  while (hi_delay > tau_t_fs && hi < options.lambda_max) {
+    hi *= 10.0;
+    hi_delay = delay_at(hi);
+  }
+  if (hi_delay > tau_t_fs) {
+    // tau_t below the continuous minimum for this placement: infeasible.
+    result.widths_u = widths;
+    result.lambda = hi;
+    result.delay_fs = hi_delay;
+    for (const double w : widths) result.total_width_u += w;
+    result.converged = false;
+    return result;
+  }
+
+  // Log-space bisection on lambda.
+  double mid = hi;
+  double mid_delay = hi_delay;
+  for (int it = 0; it < options.lambda_max_iters; ++it) {
+    mid = std::sqrt(lo * hi);
+    mid_delay = delay_at(mid);
+    if (std::abs(mid_delay - tau_t_fs) <=
+        options.delay_rel_tol * tau_t_fs) {
+      break;
+    }
+    if (mid_delay > tau_t_fs) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Land on the feasible side of the bracket.
+  if (mid_delay > tau_t_fs) {
+    mid = hi;
+    mid_delay = delay_at(mid);
+  }
+
+  result.widths_u = widths;
+  result.lambda = mid;
+  result.delay_fs = mid_delay;
+  for (const double w : widths) result.total_width_u += w;
+  result.converged = true;
+  return result;
+}
+
+std::vector<double> kkt_residuals(const net::Net& net,
+                                  const tech::RepeaterDevice& device,
+                                  const std::vector<double>& positions_um,
+                                  const std::vector<double>& widths_u,
+                                  double lambda) {
+  RIP_REQUIRE(positions_um.size() == widths_u.size(),
+              "positions/widths size mismatch");
+  const StageQuantities stage = stage_quantities(net, positions_um);
+  const std::size_t n = widths_u.size();
+  const double rs = device.rs_ohm;
+  const double co = device.co_ff;
+  std::vector<double> residuals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w_prev = (i == 0) ? net.driver_width_u() : widths_u[i - 1];
+    const double w_next =
+        (i + 1 == n) ? net.receiver_width_u() : widths_u[i + 1];
+    const double w = widths_u[i];
+    residuals[i] =
+        1.0 + lambda * (co * (stage.stage_r_ohm[i] + rs / w_prev) -
+                        rs * (stage.stage_c_ff[i + 1] + co * w_next) /
+                            (w * w));
+  }
+  return residuals;
+}
+
+}  // namespace rip::analytical

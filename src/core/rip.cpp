@@ -1,0 +1,155 @@
+#include "core/rip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/library.hpp"
+#include "net/candidates.hpp"
+#include "rc/buffered_chain.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace rip::core {
+
+RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
+                     double tau_t_fs, const RipOptions& options) {
+  RIP_REQUIRE(tau_t_fs > 0, "timing target must be positive");
+  RIP_REQUIRE(options.refine_repeats >= 1, "need at least one REFINE pass");
+  WallTimer total_timer;
+  RipResult result;
+
+  // ---- Stage 1: coarse DP (Fig. 6, line 1). ----
+  WallTimer stage_timer;
+  const dp::RepeaterLibrary coarse_library = dp::RepeaterLibrary::uniform(
+      options.coarse_min_width_u, options.coarse_granularity_u,
+      options.coarse_library_size);
+  const auto coarse_candidates =
+      net::uniform_candidates(net, options.coarse_pitch_um);
+  dp::ChainDpOptions dp_options;
+  dp_options.mode = dp::Mode::kMinPower;
+  dp_options.timing_target_fs = tau_t_fs;
+  result.coarse = dp::run_chain_dp(net, device, coarse_library,
+                                   coarse_candidates, dp_options);
+  result.coarse_s = stage_timer.seconds();
+
+  if (result.coarse.status != dp::Status::kOptimal) {
+    // Even the coarse library cannot meet the target: report infeasible
+    // with the best-effort (min-delay) solution for diagnostics.
+    result.status = dp::Status::kInfeasible;
+    result.solution = result.coarse.min_delay_solution;
+    result.delay_fs = result.coarse.min_delay_fs;
+    result.total_width_u = result.solution.total_width_u();
+    result.runtime_s = total_timer.seconds();
+    return result;
+  }
+
+  // A coarse solution with no repeaters cannot be refined (REFINE keeps
+  // the repeater count); it is already the trivial minimum-power answer.
+  if (result.coarse.solution.empty()) {
+    result.status = dp::Status::kOptimal;
+    result.solution = result.coarse.solution;
+    result.delay_fs = result.coarse.delay_fs;
+    result.total_width_u = 0;
+    result.used_fallback = true;
+    result.runtime_s = total_timer.seconds();
+    return result;
+  }
+
+  // ---- Stage 2: REFINE (Fig. 6, line 2; Section 7 allows repeats). ----
+  stage_timer.reset();
+  net::RepeaterSolution refine_input = result.coarse.solution;
+  for (int pass = 0; pass < options.refine_repeats; ++pass) {
+    result.refined =
+        analytical::refine(net, device, refine_input, tau_t_fs,
+                           options.refine);
+    if (!result.refined.width_solve_ok) break;
+    refine_input = result.refined.solution();
+  }
+  result.refine_s = stage_timer.seconds();
+
+  if (!result.refined.width_solve_ok) {
+    // Analytical relaxation infeasible at this placement: fall back to
+    // the coarse DP answer (still feasible by construction).
+    result.status = dp::Status::kOptimal;
+    result.solution = result.coarse.solution;
+    result.delay_fs = result.coarse.delay_fs;
+    result.total_width_u = result.coarse.total_width_u;
+    result.used_fallback = true;
+    result.runtime_s = total_timer.seconds();
+    return result;
+  }
+
+  // ---- Stage 3: fine DP over the refined library and locations
+  //      (Fig. 6, lines 3-4). ----
+  stage_timer.reset();
+  const dp::RepeaterLibrary fine_library = dp::RepeaterLibrary::from_rounding(
+      result.refined.widths_u, options.fine_granularity_u,
+      options.fine_min_width_u, options.fine_max_width_u);
+  const auto fine_candidates = net::window_candidates(
+      net, result.refined.positions_um, options.window_half,
+      options.window_pitch_um);
+
+  // Each candidate only offers the bracketed widths of the REFINE
+  // repeater(s) whose window covers it. This keeps the final DP's width
+  // lattice as concise as the analytical solution itself (see
+  // ChainDpOptions::allowed_buffers).
+  const double window_span =
+      options.window_half * options.window_pitch_um + 1e-6;
+  std::vector<std::vector<std::int16_t>> allowed(fine_candidates.size());
+  const auto& lib_widths = fine_library.widths_u();
+  auto library_index = [&](double w) {
+    const auto it =
+        std::lower_bound(lib_widths.begin(), lib_widths.end(), w - 1e-9);
+    RIP_ASSERT(it != lib_widths.end() && std::abs(*it - w) < 1e-6,
+               "bracketed width missing from the stage-3 library");
+    return static_cast<std::int16_t>(it - lib_widths.begin());
+  };
+  for (std::size_t ri = 0; ri < result.refined.positions_um.size(); ++ri) {
+    const double w = result.refined.widths_u[ri];
+    const double lo = std::clamp(
+        std::floor(w / options.fine_granularity_u) * options.fine_granularity_u,
+        options.fine_min_width_u, options.fine_max_width_u);
+    const double hi = std::clamp(
+        std::ceil(w / options.fine_granularity_u) * options.fine_granularity_u,
+        options.fine_min_width_u, options.fine_max_width_u);
+    const std::int16_t lo_idx = library_index(lo);
+    const std::int16_t hi_idx = library_index(hi);
+    const double center = result.refined.positions_um[ri];
+    for (std::size_t ci = 0; ci < fine_candidates.size(); ++ci) {
+      if (std::abs(fine_candidates[ci] - center) <= window_span) {
+        allowed[ci].push_back(lo_idx);
+        if (hi_idx != lo_idx) allowed[ci].push_back(hi_idx);
+      }
+    }
+  }
+  for (auto& a : allowed) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  dp::ChainDpOptions final_options = dp_options;
+  final_options.allowed_buffers = &allowed;
+  result.final_dp = dp::run_chain_dp(net, device, fine_library,
+                                     fine_candidates, final_options);
+  result.final_s = stage_timer.seconds();
+
+  // Best feasible of {stage 3, stage 1}: RIP never loses to its own
+  // coarse stage and stays feasible whenever stage 1 was.
+  const bool final_ok = result.final_dp.status == dp::Status::kOptimal;
+  if (final_ok &&
+      result.final_dp.total_width_u <= result.coarse.total_width_u) {
+    result.solution = result.final_dp.solution;
+    result.delay_fs = result.final_dp.delay_fs;
+    result.total_width_u = result.final_dp.total_width_u;
+  } else {
+    result.solution = result.coarse.solution;
+    result.delay_fs = result.coarse.delay_fs;
+    result.total_width_u = result.coarse.total_width_u;
+    result.used_fallback = true;
+  }
+  result.status = dp::Status::kOptimal;
+  result.runtime_s = total_timer.seconds();
+  return result;
+}
+
+}  // namespace rip::core

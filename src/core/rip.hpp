@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file rip.hpp
+/// Algorithm RIP (Fig. 6 of the paper) — the repository's primary
+/// contribution. A hybrid of the DP engine and the analytical solver:
+///
+///   1. DP with a *coarse* repeater library (Section 6: five widths at
+///      80u pitch) and coarse uniform locations (200 um) -> initial
+///      solution.
+///   2. REFINE: continuous width solve + repeater movement.
+///   3. Build a concise library B (REFINE widths rounded to 10u) and a
+///      small location set S (each REFINE location ±10 positions at
+///      50 um) and re-run the DP restricted to B and S.
+///
+/// Guarantee: the returned solution is the best feasible of stage 3 and
+/// stage 1, so RIP is feasible whenever the coarse DP is, and never worse
+/// than it.
+
+#include "analytical/refine.hpp"
+#include "dp/chain_dp.hpp"
+#include "net/net.hpp"
+#include "net/solution.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::core {
+
+/// All RIP knobs; defaults reproduce Section 6 of the paper.
+struct RipOptions {
+  // Stage 1: coarse DP.
+  double coarse_min_width_u = 80.0;
+  double coarse_granularity_u = 80.0;
+  int coarse_library_size = 5;
+  double coarse_pitch_um = 200.0;
+
+  // Stage 2: REFINE.
+  analytical::RefineOptions refine;
+  /// Section 7: "REFINE may be performed several times for further power
+  /// reduction" — number of REFINE passes (>= 1).
+  int refine_repeats = 1;
+
+  // Stage 3: fine local DP.
+  double fine_granularity_u = 10.0;
+  double fine_min_width_u = 10.0;
+  double fine_max_width_u = 400.0;
+  int window_half = 10;        ///< locations before/after each REFINE spot
+  double window_pitch_um = 50.0;
+};
+
+/// Diagnostics-rich result of a RIP run.
+struct RipResult {
+  dp::Status status = dp::Status::kInfeasible;
+  net::RepeaterSolution solution;
+  double delay_fs = 0;
+  double total_width_u = 0;
+
+  // Per-stage diagnostics.
+  dp::ChainDpResult coarse;            ///< stage 1
+  analytical::RefineResult refined;    ///< stage 2 (last repeat)
+  dp::ChainDpResult final_dp;          ///< stage 3
+  bool used_fallback = false;          ///< final answer came from stage 1
+
+  double runtime_s = 0;        ///< total wall clock
+  double coarse_s = 0;         ///< stage 1 wall clock
+  double refine_s = 0;         ///< stage 2 wall clock
+  double final_s = 0;          ///< stage 3 wall clock
+};
+
+/// Run Algorithm RIP on a net with timing target `tau_t_fs`.
+RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
+                     double tau_t_fs, const RipOptions& options = {});
+
+}  // namespace rip::core

@@ -1,0 +1,223 @@
+#include "dp/chain_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dp/pareto.hpp"
+#include "util/error.hpp"
+
+namespace rip::dp {
+
+namespace {
+
+/// Propagate a label upstream across a run of wire pieces (ordered
+/// upstream->downstream): the signal still has to traverse the wire, so
+/// q decreases by the wire's Elmore delay into the current C, and C grows
+/// by the wire capacitance.
+void propagate_wire(Label& label, const std::vector<net::WirePiece>& pieces) {
+  for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+    const double r = it->r_ohm_per_um * it->length_um;
+    const double c = it->c_ff_per_um * it->length_um;
+    label.q_fs -= r * (label.cap_ff + 0.5 * c);
+    label.cap_ff += c;
+  }
+}
+
+/// Delay through a repeater (or the driver) of width `w` into downstream
+/// capacitance `cap`: R_s C_p + (R_s / w) * cap.
+double gate_delay_fs(const tech::RepeaterDevice& device, double w,
+                     double cap_ff) {
+  return device.rs_ohm * device.cp_ff + device.rs_ohm / w * cap_ff;
+}
+
+/// Reconstruct the repeater list from a winning label's parent chain.
+net::RepeaterSolution reconstruct(const std::vector<Label>& arena,
+                                  std::int32_t winner,
+                                  const RepeaterLibrary& library,
+                                  const std::vector<double>& candidates_um) {
+  std::vector<net::Repeater> repeaters;
+  for (std::int32_t idx = winner; idx >= 0; idx = arena[idx].parent) {
+    const Label& l = arena[idx];
+    if (l.buffer >= 0) {
+      repeaters.push_back(net::Repeater{
+          candidates_um[static_cast<std::size_t>(l.pos)],
+          library.widths_u()[static_cast<std::size_t>(l.buffer)]});
+    }
+  }
+  return net::RepeaterSolution(std::move(repeaters));
+}
+
+}  // namespace
+
+ChainDpResult run_chain_dp(const net::Net& net,
+                           const tech::RepeaterDevice& device,
+                           const RepeaterLibrary& library,
+                           const std::vector<double>& candidates_um,
+                           const ChainDpOptions& options) {
+  const double total_um = net.total_length_um();
+  RIP_REQUIRE(std::is_sorted(candidates_um.begin(), candidates_um.end()),
+              "candidate positions must be sorted");
+  for (const double pos : candidates_um) {
+    RIP_REQUIRE(net.placement_legal(pos),
+                "candidate position is not a legal repeater location");
+  }
+  if (options.mode == Mode::kMinPower) {
+    RIP_REQUIRE(options.timing_target_fs > 0,
+                "kMinPower needs a positive timing target");
+  }
+  if (options.allowed_buffers != nullptr) {
+    RIP_REQUIRE(options.allowed_buffers->size() == candidates_um.size(),
+                "allowed_buffers must parallel the candidate list");
+    for (const auto& allowed : *options.allowed_buffers) {
+      for (const auto b : allowed) {
+        RIP_REQUIRE(b >= 0 && static_cast<std::size_t>(b) < library.size(),
+                    "allowed buffer index out of library range");
+      }
+    }
+  }
+
+  const bool power_mode = (options.mode == Mode::kMinPower);
+  ChainDpResult result;
+  result.stats.positions = candidates_um.size();
+
+  // The arena owns every label ever created; the working set holds arena
+  // indices of the currently-alive frontier. Wire propagation mutates
+  // arena entries in place (parent links are only used for reconstruction,
+  // which reads buffer/pos, so mutation is safe).
+  std::vector<Label> arena;
+  arena.reserve(1024);
+  std::vector<std::int32_t> alive;
+
+  // Seed at the receiver: C = C_o * w_r; q = timing target (0 in delay
+  // mode, where q is the negated accumulated delay); p = 0.
+  Label seed;
+  seed.cap_ff = device.co_ff * net.receiver_width_u();
+  seed.q_fs = power_mode ? options.timing_target_fs : 0.0;
+  arena.push_back(seed);
+  alive.push_back(0);
+  ++result.stats.labels_created;
+
+  // Sweep candidates from the last (closest to receiver) to the first.
+  std::vector<std::int16_t> all_indices(library.size());
+  for (std::size_t b = 0; b < library.size(); ++b)
+    all_indices[b] = static_cast<std::int16_t>(b);
+  double downstream_pos = total_um;
+  std::vector<Label> scratch;
+  for (std::size_t ci = candidates_um.size(); ci-- > 0;) {
+    const double pos = candidates_um[ci];
+    const auto pieces = net.pieces_between(pos, downstream_pos);
+    for (const std::int32_t idx : alive) propagate_wire(arena[idx], pieces);
+    downstream_pos = pos;
+
+    // Option A: pass through (labels keep their identity). Option B: for
+    // each library width, insert a repeater here.
+    scratch.clear();
+    for (const std::int32_t idx : alive) {
+      scratch.push_back(arena[idx]);
+      // Remember where this copy came from so we can map back.
+      scratch.back().parent = idx;
+      scratch.back().buffer = -1;
+      scratch.back().pos = -1;
+    }
+    // Library indices that may be inserted at this candidate.
+    const std::vector<std::int16_t>* allowed =
+        options.allowed_buffers != nullptr ? &(*options.allowed_buffers)[ci]
+                                           : &all_indices;
+    for (const std::int32_t idx : alive) {
+      const Label& down = arena[idx];
+      for (const std::int16_t b : *allowed) {
+        const double w = library.widths_u()[static_cast<std::size_t>(b)];
+        Label up;
+        up.cap_ff = device.co_ff * w;
+        up.q_fs = down.q_fs - gate_delay_fs(device, w, down.cap_ff);
+        up.width_u = down.width_u + w;
+        up.parent = idx;
+        up.pos = static_cast<std::int32_t>(ci);
+        up.buffer = b;
+        up.count = static_cast<std::int16_t>(down.count + 1);
+        scratch.push_back(up);
+      }
+    }
+    result.stats.labels_created += allowed->size() * alive.size();
+    prune_dominated(scratch, power_mode);
+    result.stats.labels_peak = std::max(result.stats.labels_peak,
+                                        scratch.size());
+
+    // Materialize the pruned set back into the arena. Pass-through labels
+    // (buffer == -1) reuse their existing arena slot; new repeater labels
+    // are appended.
+    alive.clear();
+    for (Label& l : scratch) {
+      if (l.buffer < 0) {
+        alive.push_back(l.parent);  // parent field held the original index
+      } else {
+        arena.push_back(l);
+        alive.push_back(static_cast<std::int32_t>(arena.size() - 1));
+      }
+    }
+  }
+
+  // Final wire run up to the driver, then the driver itself.
+  {
+    const auto pieces = net.pieces_between(0.0, downstream_pos);
+    for (const std::int32_t idx : alive) propagate_wire(arena[idx], pieces);
+  }
+
+  std::int32_t best = -1;          // min width among feasible (power mode)
+  std::int32_t best_delay = -1;    // max q_final overall
+  double best_width = std::numeric_limits<double>::infinity();
+  int best_count = 0;
+  double best_q = -std::numeric_limits<double>::infinity();
+  double best_delay_q = -std::numeric_limits<double>::infinity();
+  for (const std::int32_t idx : alive) {
+    Label& l = arena[idx];
+    const double q_final =
+        l.q_fs - gate_delay_fs(device, net.driver_width_u(), l.cap_ff);
+    if (q_final > best_delay_q) {
+      best_delay_q = q_final;
+      best_delay = idx;
+    }
+    if (power_mode && q_final >= -options.slack_tolerance_fs) {
+      // Selection order: total width, then repeater count, then slack.
+      const bool better =
+          l.width_u < best_width ||
+          (l.width_u == best_width &&
+           (l.count < best_count ||
+            (l.count == best_count && q_final > best_q)));
+      if (better) {
+        best_width = l.width_u;
+        best_count = l.count;
+        best_q = q_final;
+        best = idx;
+      }
+    }
+  }
+  RIP_ASSERT(best_delay >= 0, "DP lost all labels");
+
+  const double target = power_mode ? options.timing_target_fs : 0.0;
+  result.min_delay_solution =
+      reconstruct(arena, best_delay, library, candidates_um);
+  result.min_delay_fs = target - best_delay_q;
+
+  if (power_mode) {
+    if (best >= 0) {
+      result.status = Status::kOptimal;
+      result.solution = reconstruct(arena, best, library, candidates_um);
+      result.total_width_u = arena[best].width_u;
+      result.delay_fs = target - best_q;
+    } else {
+      result.status = Status::kInfeasible;
+      result.total_width_u = 0;
+      result.delay_fs = result.min_delay_fs;
+    }
+  } else {
+    result.status = Status::kOptimal;
+    result.solution = result.min_delay_solution;
+    result.total_width_u = result.solution.total_width_u();
+    result.delay_fs = result.min_delay_fs;
+  }
+  return result;
+}
+
+}  // namespace rip::dp

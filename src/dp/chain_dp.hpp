@@ -1,0 +1,93 @@
+#pragma once
+
+/// @file chain_dp.hpp
+/// Dynamic-programming repeater insertion on a two-pin chain.
+///
+/// This is the engine behind both the Lillis-style low-power baseline
+/// ([14] in the paper) and stages 1 and 3 of Algorithm RIP. It sweeps the
+/// candidate locations from the receiver toward the driver, carrying a
+/// pruned set of labels (downstream capacitance C, required arrival time
+/// q, downstream repeater width p); at each candidate it may insert any
+/// repeater of the library.
+///
+/// Two modes:
+///  - kMinPower: minimize total repeater width subject to the timing
+///    target (the LPRI problem). Pseudo-polynomial: label count grows
+///    with library granularity, which is exactly the cost the paper's
+///    hybrid scheme attacks.
+///  - kMinDelay: classic van Ginneken maximum-slack recursion, used to
+///    compute tau_min for setting timing targets.
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/library.hpp"
+#include "net/net.hpp"
+#include "net/solution.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::dp {
+
+/// Optimization objective.
+enum class Mode {
+  kMinPower,  ///< min total width subject to delay <= timing target
+  kMinDelay,  ///< min delay (timing target ignored)
+};
+
+/// Outcome of a DP run.
+enum class Status {
+  kOptimal,     ///< a feasible solution was found (always, in kMinDelay)
+  kInfeasible,  ///< no feasible labeling meets the target (kMinPower)
+};
+
+/// Engine options.
+struct ChainDpOptions {
+  Mode mode = Mode::kMinPower;
+  double timing_target_fs = 0;  ///< required in kMinPower mode
+  /// Feasibility slack tolerance [fs]; labels with q_final >= -tolerance
+  /// are accepted (guards against float round-off at the boundary).
+  double slack_tolerance_fs = 1e-6;
+  /// Optional per-candidate restriction: allowed_buffers[i] lists the
+  /// library indices that may be inserted at candidate i. Empty list =
+  /// no repeater allowed there; nullptr = the whole library everywhere.
+  /// RIP's stage 3 uses this to tie each REFINE repeater's bracketed
+  /// widths to its own location window, which collapses the
+  /// pseudo-polynomial width lattice the final DP would otherwise
+  /// explore.
+  const std::vector<std::vector<std::int16_t>>* allowed_buffers = nullptr;
+};
+
+/// Label-count statistics (for the scaling benchmarks).
+struct DpStats {
+  std::size_t labels_created = 0;   ///< labels materialized over the sweep
+  std::size_t labels_peak = 0;      ///< largest pruned set at any position
+  std::size_t positions = 0;        ///< candidate count
+};
+
+/// Result of a DP run.
+struct ChainDpResult {
+  Status status = Status::kInfeasible;
+  /// Min-power (or min-delay) solution; empty when infeasible.
+  net::RepeaterSolution solution;
+  /// Delay of `solution` per the DP's Elmore bookkeeping [fs].
+  double delay_fs = 0;
+  /// Total repeater width of `solution` [u].
+  double total_width_u = 0;
+  /// The minimum-delay labeling found during the same sweep; populated in
+  /// kMinPower mode even when infeasible (best-effort diagnostics).
+  net::RepeaterSolution min_delay_solution;
+  double min_delay_fs = 0;
+  DpStats stats;
+};
+
+/// Run the chain DP. Candidate positions must be sorted ascending and lie
+/// strictly inside (0, L); illegal positions (inside forbidden zones) are
+/// rejected with rip::Error — generate candidates with
+/// net::uniform_candidates / net::window_candidates.
+ChainDpResult run_chain_dp(const net::Net& net,
+                           const tech::RepeaterDevice& device,
+                           const RepeaterLibrary& library,
+                           const std::vector<double>& candidates_um,
+                           const ChainDpOptions& options);
+
+}  // namespace rip::dp

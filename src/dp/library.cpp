@@ -1,0 +1,76 @@
+#include "dp/library.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rip::dp {
+
+RepeaterLibrary::RepeaterLibrary(std::vector<double> widths_u)
+    : widths_u_(std::move(widths_u)) {
+  RIP_REQUIRE(!widths_u_.empty(), "repeater library must not be empty");
+  for (const double w : widths_u_)
+    RIP_REQUIRE(w > 0, "library widths must be positive");
+  std::sort(widths_u_.begin(), widths_u_.end());
+  constexpr double kDedupTolU = 1e-9;
+  widths_u_.erase(std::unique(widths_u_.begin(), widths_u_.end(),
+                              [](double a, double b) {
+                                return std::abs(a - b) < kDedupTolU;
+                              }),
+                  widths_u_.end());
+}
+
+double RepeaterLibrary::round_to_library(double w) const {
+  auto it = std::lower_bound(widths_u_.begin(), widths_u_.end(), w);
+  if (it == widths_u_.end()) return widths_u_.back();
+  if (it == widths_u_.begin()) return widths_u_.front();
+  const double hi = *it;
+  const double lo = *(it - 1);
+  return (w - lo < hi - w) ? lo : hi;
+}
+
+RepeaterLibrary RepeaterLibrary::uniform(double min_width_u,
+                                         double granularity_u, int count) {
+  RIP_REQUIRE(min_width_u > 0, "library min width must be positive");
+  RIP_REQUIRE(granularity_u > 0, "library granularity must be positive");
+  RIP_REQUIRE(count >= 1, "library must have at least one width");
+  std::vector<double> widths;
+  widths.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) widths.push_back(min_width_u + i * granularity_u);
+  return RepeaterLibrary(std::move(widths));
+}
+
+RepeaterLibrary RepeaterLibrary::range(double min_width_u, double max_width_u,
+                                       double granularity_u) {
+  RIP_REQUIRE(granularity_u > 0, "library granularity must be positive");
+  RIP_REQUIRE(min_width_u > 0 && min_width_u <= max_width_u,
+              "library width range out of order");
+  std::vector<double> widths;
+  double w = std::ceil(min_width_u / granularity_u - 1e-12) * granularity_u;
+  if (w < min_width_u) w = min_width_u;
+  for (; w <= max_width_u + 1e-12; w += granularity_u) widths.push_back(w);
+  RIP_REQUIRE(!widths.empty(),
+              "width range contains no multiple of the granularity");
+  return RepeaterLibrary(std::move(widths));
+}
+
+RepeaterLibrary RepeaterLibrary::from_rounding(
+    const std::vector<double>& continuous, double granularity_u,
+    double min_width_u, double max_width_u) {
+  RIP_REQUIRE(!continuous.empty(), "no continuous widths to round");
+  RIP_REQUIRE(granularity_u > 0, "granularity must be positive");
+  RIP_REQUIRE(min_width_u > 0 && min_width_u <= max_width_u,
+              "width bounds out of order");
+  std::vector<double> widths;
+  widths.reserve(2 * continuous.size());
+  for (const double w : continuous) {
+    const double lo = std::floor(w / granularity_u) * granularity_u;
+    const double hi = std::ceil(w / granularity_u) * granularity_u;
+    widths.push_back(std::clamp(lo, min_width_u, max_width_u));
+    widths.push_back(std::clamp(hi, min_width_u, max_width_u));
+  }
+  return RepeaterLibrary(std::move(widths));
+}
+
+}  // namespace rip::dp

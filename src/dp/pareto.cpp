@@ -1,0 +1,70 @@
+#include "dp/pareto.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rip::dp {
+
+bool dominates(const Label& a, const Label& b, bool use_width) {
+  if (a.cap_ff > b.cap_ff) return false;
+  if (a.q_fs < b.q_fs) return false;
+  if (use_width && a.width_u > b.width_u) return false;
+  return true;
+}
+
+void prune_dominated(std::vector<Label>& labels, bool use_width) {
+  if (labels.size() <= 1) return;
+  // Sort by C ascending; ties by q descending, then width ascending.
+  // After this, a label can only be dominated by one that precedes it.
+  std::sort(labels.begin(), labels.end(), [&](const Label& a, const Label& b) {
+    if (a.cap_ff != b.cap_ff) return a.cap_ff < b.cap_ff;
+    if (a.q_fs != b.q_fs) return a.q_fs > b.q_fs;
+    return a.width_u < b.width_u;
+  });
+
+  std::vector<Label> kept;
+  kept.reserve(labels.size());
+
+  if (!use_width) {
+    // 2-D: keep a label iff its q strictly exceeds the best q seen.
+    double best_q = -1e300;
+    for (const Label& l : labels) {
+      if (l.q_fs > best_q) {
+        kept.push_back(l);
+        best_q = l.q_fs;
+      }
+    }
+  } else {
+    // 3-D: maintain the staircase frontier of (q, width) over all labels
+    // seen so far (all of which have C <= current C). A new label is
+    // dominated iff some seen label has q' >= q and width' <= width.
+    // The frontier keeps only points not dominated by another seen point,
+    // so ordered by q ascending the widths are strictly ascending.
+    std::map<double, double> frontier;  // q -> width
+    for (const Label& l : labels) {
+      auto it = frontier.lower_bound(l.q_fs);  // first q' >= q
+      if (it != frontier.end() && it->second <= l.width_u) {
+        continue;  // dominated
+      }
+      kept.push_back(l);
+      // Insert (q, width); drop frontier points with q' <= q and
+      // width' >= width, which the new point dominates. That includes an
+      // exact-q entry (its width must be larger, or we'd have pruned).
+      if (it != frontier.end() && it->first == l.q_fs) {
+        it = frontier.erase(it);
+      }
+      while (it != frontier.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= l.width_u) {
+          it = frontier.erase(prev);
+        } else {
+          break;
+        }
+      }
+      frontier.emplace(l.q_fs, l.width_u);
+    }
+  }
+  labels = std::move(kept);
+}
+
+}  // namespace rip::dp

@@ -1,0 +1,41 @@
+#pragma once
+
+/// @file pareto.hpp
+/// Label dominance pruning for the buffering DP.
+///
+/// Power mode keeps the 3-D Pareto frontier over (C, q, p): a label is
+/// dominated if another has no-larger downstream capacitance, no-smaller
+/// required arrival time, and no-larger total repeater width (Lillis'
+/// power-aware generalization of van Ginneken pruning). Delay mode prunes
+/// in 2-D (C, q), ignoring p.
+
+#include <cstdint>
+#include <vector>
+
+namespace rip::dp {
+
+/// One DP label: the downstream state at a point of the net.
+struct Label {
+  double cap_ff = 0;    ///< downstream lumped capacitance C
+  double q_fs = 0;      ///< required arrival time (larger is better)
+  double width_u = 0;   ///< downstream total repeater width p
+  std::int32_t parent = -1;  ///< arena index of the downstream label
+  std::int32_t pos = -1;     ///< candidate index where a repeater was added
+  std::int16_t buffer = -1;  ///< library index of that repeater (-1: none)
+  /// Downstream repeater count. Not part of the dominance relation; used
+  /// only to break total-width ties at the final selection (fewer
+  /// repeaters preferred — REFINE keeps the repeater count fixed, so
+  /// handing it the leaner structure matters).
+  std::int16_t count = 0;
+};
+
+/// Remove dominated labels from `labels`, in place. If `use_width` is
+/// false the width field is ignored (pure delay mode). Exactly one of any
+/// set of mutually identical labels is kept. O(n log n).
+void prune_dominated(std::vector<Label>& labels, bool use_width);
+
+/// True if `a` dominates `b` (a at least as good in every tracked
+/// dimension). Identical labels dominate each other.
+bool dominates(const Label& a, const Label& b, bool use_width);
+
+}  // namespace rip::dp

@@ -1,0 +1,388 @@
+#include "dp/tree_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dp/pareto.hpp"
+#include "util/error.hpp"
+
+namespace rip::dp {
+
+BufferTree::BufferTree() {
+  BufferTreeNode root;
+  root.parent = -1;
+  root.name = "root";
+  nodes_.push_back(root);
+  children_.emplace_back();
+}
+
+std::int32_t BufferTree::add_node(BufferTreeNode node) {
+  RIP_REQUIRE(node.parent >= 0 &&
+                  node.parent < static_cast<std::int32_t>(nodes_.size()),
+              "tree node parent must exist");
+  RIP_REQUIRE(node.edge_r_ohm >= 0 && node.edge_c_ff >= 0,
+              "edge RC must be non-negative");
+  if (node.is_sink) {
+    RIP_REQUIRE(node.sink_cap_ff >= 0, "sink cap must be non-negative");
+    ++sink_count_;
+  }
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  children_.emplace_back();
+  children_[static_cast<std::size_t>(nodes_.back().parent)].push_back(id);
+  return id;
+}
+
+double TreeSolution::total_width_u() const {
+  double p = 0;
+  for (const double w : width_u) p += w;
+  return p;
+}
+
+std::size_t TreeSolution::repeater_count() const {
+  std::size_t n = 0;
+  for (const double w : width_u)
+    if (w > 0) ++n;
+  return n;
+}
+
+namespace {
+
+/// Tree labels form a DAG: merged labels have two parents.
+struct TreeLabel {
+  double cap_ff = 0;
+  double q_fs = 0;
+  double width_u = 0;
+  std::int32_t left = -1;    ///< arena index (child branch / downstream)
+  std::int32_t right = -1;   ///< arena index (second branch on a merge)
+  std::int32_t node = -1;    ///< node where a repeater was inserted
+  std::int16_t buffer = -1;  ///< library index of that repeater
+  std::int16_t count = 0;    ///< downstream repeater count (tie-breaks)
+};
+
+Label to_flat(const TreeLabel& t) {
+  Label l;
+  l.cap_ff = t.cap_ff;
+  l.q_fs = t.q_fs;
+  l.width_u = t.width_u;
+  return l;
+}
+
+double gate_delay_fs(const tech::RepeaterDevice& device, double w,
+                     double cap_ff) {
+  return device.rs_ohm * device.cp_ff + device.rs_ohm / w * cap_ff;
+}
+
+/// Prune a set of tree labels via the flat-label pruner, preserving the
+/// surviving tree labels.
+void prune_tree_labels(std::vector<TreeLabel>& labels, bool use_width,
+                       std::vector<Label>& flat_scratch) {
+  if (labels.size() <= 1) return;
+  flat_scratch.clear();
+  flat_scratch.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    Label f = to_flat(labels[i]);
+    f.parent = static_cast<std::int32_t>(i);  // remember origin
+    flat_scratch.push_back(f);
+  }
+  prune_dominated(flat_scratch, use_width);
+  std::vector<TreeLabel> kept;
+  kept.reserve(flat_scratch.size());
+  for (const Label& f : flat_scratch)
+    kept.push_back(labels[static_cast<std::size_t>(f.parent)]);
+  labels = std::move(kept);
+}
+
+void collect_buffers(const std::vector<TreeLabel>& arena, std::int32_t idx,
+                     TreeSolution& solution,
+                     const RepeaterLibrary& library) {
+  // Iterative DFS over the label DAG.
+  std::vector<std::int32_t> stack{idx};
+  while (!stack.empty()) {
+    const std::int32_t cur = stack.back();
+    stack.pop_back();
+    if (cur < 0) continue;
+    const TreeLabel& l = arena[static_cast<std::size_t>(cur)];
+    if (l.buffer >= 0) {
+      solution.width_u[static_cast<std::size_t>(l.node)] =
+          library.widths_u()[static_cast<std::size_t>(l.buffer)];
+    }
+    stack.push_back(l.left);
+    stack.push_back(l.right);
+  }
+}
+
+}  // namespace
+
+TreeDpResult run_tree_dp(const BufferTree& tree,
+                         const tech::RepeaterDevice& device,
+                         double driver_width_u,
+                         const RepeaterLibrary& library,
+                         const ChainDpOptions& options) {
+  const auto& nodes = tree.nodes();
+  RIP_REQUIRE(driver_width_u > 0, "driver width must be positive");
+  RIP_REQUIRE(tree.sink_count() > 0, "tree has no sinks");
+  const bool power_mode = (options.mode == Mode::kMinPower);
+  if (power_mode) {
+    RIP_REQUIRE(options.timing_target_fs > 0,
+                "kMinPower needs a positive timing target");
+  }
+
+  if (options.allowed_buffers != nullptr) {
+    RIP_REQUIRE(options.allowed_buffers->size() == nodes.size(),
+                "allowed_buffers must parallel the tree nodes");
+    for (const auto& allowed : *options.allowed_buffers) {
+      for (const auto b : allowed) {
+        RIP_REQUIRE(b >= 0 && static_cast<std::size_t>(b) < library.size(),
+                    "allowed buffer index out of library range");
+      }
+    }
+  }
+  std::vector<std::int16_t> all_indices(library.size());
+  for (std::size_t b = 0; b < library.size(); ++b)
+    all_indices[b] = static_cast<std::int16_t>(b);
+
+  TreeDpResult result;
+  result.stats.positions = nodes.size();
+
+  std::vector<TreeLabel> arena;
+  std::vector<std::vector<TreeLabel>> node_labels(nodes.size());
+  std::vector<Label> flat_scratch;
+
+  // Children have larger indices than parents (enforced by add_node), so
+  // a reverse index sweep is a bottom-up traversal.
+  for (std::size_t ni = nodes.size(); ni-- > 0;) {
+    const auto& node = nodes[ni];
+    const auto& kids = tree.children()[ni];
+    std::vector<TreeLabel> labels;
+
+    if (kids.empty()) {
+      RIP_REQUIRE(node.is_sink, "leaf node is not a sink");
+      TreeLabel seed;
+      seed.cap_ff = node.sink_cap_ff;
+      seed.q_fs = power_mode ? options.timing_target_fs : 0.0;
+      labels.push_back(seed);
+    } else {
+      // Merge children branch sets: C adds, q takes the min, p adds.
+      labels = std::move(node_labels[static_cast<std::size_t>(kids[0])]);
+      for (std::size_t k = 1; k < kids.size(); ++k) {
+        auto& other = node_labels[static_cast<std::size_t>(kids[k])];
+        // Materialize the operands in the arena once, so merged labels
+        // can reference them for reconstruction.
+        std::vector<std::int32_t> a_idx;
+        std::vector<std::int32_t> b_idx;
+        a_idx.reserve(labels.size());
+        b_idx.reserve(other.size());
+        for (const TreeLabel& a : labels) {
+          arena.push_back(a);
+          a_idx.push_back(static_cast<std::int32_t>(arena.size() - 1));
+        }
+        for (const TreeLabel& b : other) {
+          arena.push_back(b);
+          b_idx.push_back(static_cast<std::int32_t>(arena.size() - 1));
+        }
+        std::vector<TreeLabel> merged;
+        merged.reserve(labels.size() * other.size());
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          for (std::size_t j = 0; j < other.size(); ++j) {
+            const TreeLabel& a = labels[i];
+            const TreeLabel& b = other[j];
+            TreeLabel m;
+            m.cap_ff = a.cap_ff + b.cap_ff;
+            m.q_fs = std::min(a.q_fs, b.q_fs);
+            m.width_u = a.width_u + b.width_u;
+            m.count = static_cast<std::int16_t>(a.count + b.count);
+            m.left = a_idx[i];
+            m.right = b_idx[j];
+            merged.push_back(m);
+          }
+        }
+        result.stats.labels_created += merged.size();
+        prune_tree_labels(merged, power_mode, flat_scratch);
+        labels = std::move(merged);
+        other.clear();
+        other.shrink_to_fit();
+      }
+      // A sink can also be an internal tap: add its pin cap.
+      if (node.is_sink) {
+        for (TreeLabel& l : labels) l.cap_ff += node.sink_cap_ff;
+      }
+    }
+
+    // Optional repeater at this node.
+    const std::vector<std::int16_t>* allowed =
+        options.allowed_buffers != nullptr ? &(*options.allowed_buffers)[ni]
+                                           : &all_indices;
+    if (node.candidate && !allowed->empty()) {
+      const std::size_t base = labels.size();
+      for (std::size_t i = 0; i < base; ++i) {
+        const TreeLabel down = labels[i];
+        arena.push_back(down);
+        const auto down_idx = static_cast<std::int32_t>(arena.size() - 1);
+        for (const std::int16_t b : *allowed) {
+          const double w = library.widths_u()[static_cast<std::size_t>(b)];
+          TreeLabel up;
+          up.cap_ff = device.co_ff * w;
+          up.q_fs = down.q_fs - gate_delay_fs(device, w, down.cap_ff);
+          up.width_u = down.width_u + w;
+          up.left = down_idx;
+          up.node = static_cast<std::int32_t>(ni);
+          up.buffer = b;
+          up.count = static_cast<std::int16_t>(down.count + 1);
+          labels.push_back(up);
+        }
+      }
+      result.stats.labels_created += allowed->size() * base;
+      prune_tree_labels(labels, power_mode, flat_scratch);
+    }
+
+    // Traverse the edge to the parent (lumped pi: half the edge cap on
+    // each side contributes r * (C + c/2) to the Elmore delay).
+    if (node.parent >= 0 && (node.edge_r_ohm > 0 || node.edge_c_ff > 0)) {
+      for (TreeLabel& l : labels) {
+        l.q_fs -= node.edge_r_ohm * (l.cap_ff + 0.5 * node.edge_c_ff);
+        l.cap_ff += node.edge_c_ff;
+      }
+    }
+    result.stats.labels_peak =
+        std::max(result.stats.labels_peak, labels.size());
+    node_labels[ni] = std::move(labels);
+  }
+
+  // Driver at the root.
+  auto& root_labels = node_labels[0];
+  RIP_ASSERT(!root_labels.empty(), "tree DP lost all labels");
+  const double target = power_mode ? options.timing_target_fs : 0.0;
+  const TreeLabel* best = nullptr;
+  const TreeLabel* best_delay = nullptr;
+  double best_width = std::numeric_limits<double>::infinity();
+  int best_count = 0;
+  double best_q = -std::numeric_limits<double>::infinity();
+  double best_delay_q = -std::numeric_limits<double>::infinity();
+  for (const TreeLabel& l : root_labels) {
+    const double q_final =
+        l.q_fs - gate_delay_fs(device, driver_width_u, l.cap_ff);
+    if (q_final > best_delay_q) {
+      best_delay_q = q_final;
+      best_delay = &l;
+    }
+    if (power_mode && q_final >= -options.slack_tolerance_fs) {
+      const bool better =
+          l.width_u < best_width ||
+          (l.width_u == best_width &&
+           (l.count < best_count ||
+            (l.count == best_count && q_final > best_q)));
+      if (better) {
+        best_width = l.width_u;
+        best_count = l.count;
+        best_q = q_final;
+        best = &l;
+      }
+    }
+  }
+
+  auto reconstruct = [&](const TreeLabel& l) {
+    TreeSolution s;
+    s.width_u.assign(nodes.size(), 0.0);
+    if (l.buffer >= 0) {
+      s.width_u[static_cast<std::size_t>(l.node)] =
+          library.widths_u()[static_cast<std::size_t>(l.buffer)];
+    }
+    collect_buffers(arena, l.left, s, library);
+    collect_buffers(arena, l.right, s, library);
+    return s;
+  };
+
+  result.min_delay_fs = target - best_delay_q;
+  result.min_delay_solution = reconstruct(*best_delay);
+  if (power_mode) {
+    if (best != nullptr) {
+      result.status = Status::kOptimal;
+      result.solution = reconstruct(*best);
+      result.total_width_u = best->width_u;
+      result.delay_fs = target - best_q;
+    } else {
+      result.status = Status::kInfeasible;
+      result.delay_fs = result.min_delay_fs;
+    }
+  } else {
+    result.status = Status::kOptimal;
+    result.solution = result.min_delay_solution;
+    result.total_width_u = result.solution.total_width_u();
+    result.delay_fs = result.min_delay_fs;
+  }
+  return result;
+}
+
+double tree_delay_fs(const BufferTree& tree,
+                     const tech::RepeaterDevice& device,
+                     double driver_width_u, const TreeSolution& solution) {
+  const auto& nodes = tree.nodes();
+  RIP_REQUIRE(solution.width_u.size() == nodes.size(),
+              "solution size does not match tree");
+  // Bottom-up evaluation mirroring the DP but over a fixed assignment:
+  // carry (C, d_worst) per node where d_worst is the worst delay from
+  // this node down to any sink below it.
+  std::vector<double> cap(nodes.size(), 0.0);
+  std::vector<double> delay(nodes.size(), 0.0);
+  for (std::size_t ni = nodes.size(); ni-- > 0;) {
+    const auto& node = nodes[ni];
+    double c = node.is_sink ? node.sink_cap_ff : 0.0;
+    double d = 0.0;
+    for (const auto kid : tree.children()[ni]) {
+      c += cap[static_cast<std::size_t>(kid)];
+      d = std::max(d, delay[static_cast<std::size_t>(kid)]);
+    }
+    const double w = solution.width_u[ni];
+    if (w > 0) {
+      RIP_REQUIRE(node.candidate, "repeater placed at a non-candidate node");
+      d += device.rs_ohm * device.cp_ff + device.rs_ohm / w * c;
+      c = device.co_ff * w;
+    }
+    if (node.parent >= 0) {
+      d += node.edge_r_ohm * (c + 0.5 * node.edge_c_ff);
+      c += node.edge_c_ff;
+    }
+    cap[ni] = c;
+    delay[ni] = d;
+  }
+  return delay[0] + device.rs_ohm * device.cp_ff +
+         device.rs_ohm / driver_width_u * cap[0];
+}
+
+BufferTree random_buffer_tree(const RandomTreeConfig& config, Rng& rng) {
+  RIP_REQUIRE(config.sink_count >= 1, "tree needs at least one sink");
+  RIP_REQUIRE(config.candidates_per_edge >= 1,
+              "need at least one candidate per edge");
+  BufferTree tree;
+  // Attachment points: nodes new branches may sprout from.
+  std::vector<std::int32_t> attach{0};
+  for (int s = 0; s < config.sink_count; ++s) {
+    const std::int32_t from = attach[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(attach.size()) - 1))];
+    const double length =
+        rng.uniform(config.edge_length_min_um, config.edge_length_max_um);
+    const double piece = length / config.candidates_per_edge;
+    std::int32_t parent = from;
+    for (int k = 0; k < config.candidates_per_edge; ++k) {
+      BufferTreeNode node;
+      node.parent = parent;
+      node.edge_r_ohm = config.r_ohm_per_um * piece;
+      node.edge_c_ff = config.c_ff_per_um * piece;
+      node.candidate = true;
+      const bool last = (k + 1 == config.candidates_per_edge);
+      if (last) {
+        node.is_sink = true;
+        node.sink_cap_ff =
+            rng.uniform(config.sink_cap_min_ff, config.sink_cap_max_ff);
+        node.name = "sink" + std::to_string(s);
+      }
+      parent = tree.add_node(std::move(node));
+      attach.push_back(parent);
+    }
+  }
+  return tree;
+}
+
+}  // namespace rip::dp

@@ -1,0 +1,288 @@
+#include "eval/experiments.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+#include "util/units.hpp"
+
+namespace rip::eval {
+
+CaseResult run_case(const net::Net& net, const tech::Technology& tech,
+                    double tau_t_fs, const core::RipOptions& rip_options,
+                    const core::BaselineOptions& baseline_options) {
+  CaseResult out;
+  out.tau_t_fs = tau_t_fs;
+
+  WallTimer timer;
+  const core::RipResult rip =
+      core::rip_insert(net, tech.device(), tau_t_fs, rip_options);
+  out.rip_runtime_s = timer.seconds();
+  out.rip_feasible = rip.status == dp::Status::kOptimal;
+  out.rip_width_u = rip.total_width_u;
+
+  timer.reset();
+  const dp::ChainDpResult dp =
+      core::run_baseline(net, tech.device(), tau_t_fs, baseline_options);
+  out.dp_runtime_s = timer.seconds();
+  out.dp_feasible = dp.status == dp::Status::kOptimal;
+  out.dp_width_u = dp.total_width_u;
+
+  if (out.rip_feasible && out.dp_feasible && out.dp_width_u > 0) {
+    out.improvement_pct =
+        (out.dp_width_u - out.rip_width_u) / out.dp_width_u * 100.0;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ Table 1
+
+Table1Result run_table1(const tech::Technology& tech,
+                        const Table1Config& config) {
+  RIP_REQUIRE(!config.granularities_u.empty(),
+              "table 1 needs at least one granularity");
+  const auto workload =
+      make_paper_workload(tech, config.net_count, config.seed);
+
+  Table1Result result;
+  result.granularities_u = config.granularities_u;
+  std::vector<RunningStats> avg_max(config.granularities_u.size());
+  std::vector<RunningStats> avg_mean(config.granularities_u.size());
+  RunningStats avg_violations;
+
+  for (const auto& wn : workload) {
+    Table1Row row;
+    row.net_name = wn.net.name();
+    const auto targets =
+        timing_targets_fs(wn.tau_min_fs, config.targets_per_net);
+
+    // RIP runs once per target; each baseline granularity reuses it.
+    std::vector<core::RipResult> rip_runs;
+    rip_runs.reserve(targets.size());
+    for (const double tau_t : targets) {
+      rip_runs.push_back(
+          core::rip_insert(wn.net, tech.device(), tau_t, config.rip));
+      if (rip_runs.back().status != dp::Status::kOptimal)
+        ++row.rip_violations;
+    }
+
+    for (std::size_t gi = 0; gi < config.granularities_u.size(); ++gi) {
+      const auto baseline = core::BaselineOptions::uniform_library(
+          config.baseline_min_width_u, config.granularities_u[gi],
+          config.baseline_library_size, config.pitch_um);
+      Table1Cell cell;
+      RunningStats improvements;
+      for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+        const auto dp = core::run_baseline(wn.net, tech.device(),
+                                           targets[ti], baseline);
+        if (dp.status != dp::Status::kOptimal) {
+          ++cell.dp_violations;
+          continue;
+        }
+        const auto& rip = rip_runs[ti];
+        if (rip.status == dp::Status::kOptimal && dp.total_width_u > 0) {
+          improvements.add((dp.total_width_u - rip.total_width_u) /
+                           dp.total_width_u * 100.0);
+          ++cell.compared;
+        }
+      }
+      if (improvements.count() > 0) {
+        cell.delta_max_pct = improvements.max();
+        cell.delta_mean_pct = improvements.mean();
+      }
+      avg_max[gi].add(cell.delta_max_pct);
+      avg_mean[gi].add(cell.delta_mean_pct);
+      if (gi == 0) avg_violations.add(cell.dp_violations);
+      row.cells.push_back(cell);
+    }
+    result.rows.push_back(std::move(row));
+  }
+
+  result.average.net_name = "Ave";
+  for (std::size_t gi = 0; gi < config.granularities_u.size(); ++gi) {
+    Table1Cell cell;
+    cell.delta_max_pct = avg_max[gi].mean();
+    cell.delta_mean_pct = avg_mean[gi].mean();
+    cell.dp_violations =
+        gi == 0 ? static_cast<int>(std::lround(avg_violations.mean())) : 0;
+    result.average.cells.push_back(cell);
+  }
+  return result;
+}
+
+Table to_table(const Table1Result& result) {
+  std::vector<std::string> headers{"Net"};
+  for (std::size_t gi = 0; gi < result.granularities_u.size(); ++gi) {
+    const std::string g = fmt_f(result.granularities_u[gi], 0);
+    headers.push_back("dMax%(g=" + g + "u)");
+    if (gi == 0) headers.push_back("V_DP(g=" + g + "u)");
+    else headers.push_back("dMean%(g=" + g + "u)");
+  }
+  Table table(headers);
+  auto emit = [&](const Table1Row& row) {
+    std::vector<std::string> cells{row.net_name};
+    for (std::size_t gi = 0; gi < row.cells.size(); ++gi) {
+      cells.push_back(fmt_f(row.cells[gi].delta_max_pct, 2));
+      if (gi == 0) {
+        cells.push_back(std::to_string(row.cells[gi].dp_violations));
+      } else {
+        cells.push_back(fmt_f(row.cells[gi].delta_mean_pct, 2));
+      }
+    }
+    table.add_row(std::move(cells));
+  };
+  for (const auto& row : result.rows) emit(row);
+  emit(result.average);
+  return table;
+}
+
+// ------------------------------------------------------------------ Table 2
+
+Table2Result run_table2(const tech::Technology& tech,
+                        const Table2Config& config) {
+  const auto workload =
+      make_paper_workload(tech, config.net_count, config.seed);
+
+  // RIP runs once per (net, target); every granularity row reuses it.
+  struct RipOutcome {
+    bool feasible = false;
+    double width_u = 0;
+    double runtime_s = 0;
+  };
+  std::vector<std::vector<RipOutcome>> rip_runs;
+  std::vector<std::vector<double>> all_targets;
+  RunningStats rip_time;
+  for (const auto& wn : workload) {
+    all_targets.push_back(
+        timing_targets_fs(wn.tau_min_fs, config.targets_per_net));
+    std::vector<RipOutcome> outcomes;
+    for (const double tau_t : all_targets.back()) {
+      WallTimer timer;
+      const auto rip =
+          core::rip_insert(wn.net, tech.device(), tau_t, config.rip);
+      RipOutcome oc;
+      oc.runtime_s = timer.seconds();
+      oc.feasible = rip.status == dp::Status::kOptimal;
+      oc.width_u = rip.total_width_u;
+      rip_time.add(oc.runtime_s);
+      outcomes.push_back(oc);
+    }
+    rip_runs.push_back(std::move(outcomes));
+  }
+
+  Table2Result result;
+  for (const double g : config.granularities_u) {
+    const auto baseline = core::BaselineOptions::range_library(
+        config.range_min_width_u, config.range_max_width_u, g,
+        config.pitch_um);
+    Table2Row row;
+    row.granularity_u = g;
+    RunningStats improvements;
+    RunningStats dp_time;
+    for (std::size_t ni = 0; ni < workload.size(); ++ni) {
+      for (std::size_t ti = 0; ti < all_targets[ni].size(); ++ti) {
+        WallTimer timer;
+        const auto dp = core::run_baseline(workload[ni].net, tech.device(),
+                                           all_targets[ni][ti], baseline);
+        dp_time.add(timer.seconds());
+        const auto& rip = rip_runs[ni][ti];
+        if (dp.status == dp::Status::kOptimal && rip.feasible &&
+            dp.total_width_u > 0) {
+          improvements.add((dp.total_width_u - rip.width_u) /
+                           dp.total_width_u * 100.0);
+        }
+      }
+    }
+    row.compared = static_cast<int>(improvements.count());
+    if (row.compared > 0) row.delta_mean_pct = improvements.mean();
+    row.dp_runtime_s = dp_time.mean();
+    row.rip_runtime_s = rip_time.mean();
+    row.speedup =
+        row.rip_runtime_s > 0 ? row.dp_runtime_s / row.rip_runtime_s : 0;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+Table to_table(const Table2Result& result) {
+  Table table({"g_DP(u)", "delta%", "T_DP(s)", "T_RIP(s)", "Speedup"});
+  for (const auto& row : result.rows) {
+    table.add_row({fmt_f(row.granularity_u, 0), fmt_f(row.delta_mean_pct, 1),
+                   fmt_f(row.dp_runtime_s, 4), fmt_f(row.rip_runtime_s, 4),
+                   fmt_f(row.speedup, 1)});
+  }
+  return table;
+}
+
+// ------------------------------------------------------------------ Fig. 7
+
+Fig7Result run_fig7(const tech::Technology& tech, const Fig7Config& config) {
+  const auto workload = make_paper_workload(
+      tech, config.net_index + 1, config.seed);
+  const auto& wn = workload.back();
+
+  Fig7Result result;
+  result.net_name = wn.net.name();
+  result.tau_min_fs = wn.tau_min_fs;
+  const auto targets = timing_targets_fs(wn.tau_min_fs, config.points);
+
+  // RIP once per target; both series reuse it.
+  std::vector<core::RipResult> rip_runs;
+  rip_runs.reserve(targets.size());
+  for (const double tau_t : targets) {
+    rip_runs.push_back(
+        core::rip_insert(wn.net, tech.device(), tau_t, config.rip));
+  }
+
+  for (const double g : config.granularities_u) {
+    const auto baseline = core::BaselineOptions::uniform_library(
+        config.baseline_min_width_u, g, config.baseline_library_size,
+        config.pitch_um);
+    Fig7Series series;
+    series.granularity_u = g;
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      const auto dp = core::run_baseline(wn.net, tech.device(), targets[ti],
+                                         baseline);
+      const auto& rip = rip_runs[ti];
+      Fig7Point point;
+      point.tau_t_fs = targets[ti];
+      point.tau_t_over_tau_min = targets[ti] / wn.tau_min_fs;
+      point.dp_feasible = dp.status == dp::Status::kOptimal;
+      if (point.dp_feasible && rip.status == dp::Status::kOptimal &&
+          dp.total_width_u > 0) {
+        point.improvement_pct = (dp.total_width_u - rip.total_width_u) /
+                                dp.total_width_u * 100.0;
+      }
+      series.points.push_back(point);
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+Table to_table(const Fig7Result& result) {
+  std::vector<std::string> headers{"tau_t(ns)", "tau_t/tau_min"};
+  for (const auto& s : result.series) {
+    headers.push_back("impr%(g=" + fmt_f(s.granularity_u, 0) + "u)");
+  }
+  Table table(headers);
+  if (result.series.empty()) return table;
+  const std::size_t n = result.series.front().points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p0 = result.series.front().points[i];
+    std::vector<std::string> cells{
+        fmt_f(units::fs_to_ns(p0.tau_t_fs), 3),
+        fmt_f(p0.tau_t_over_tau_min, 3)};
+    for (const auto& s : result.series) {
+      const auto& p = s.points[i];
+      cells.push_back(p.dp_feasible ? fmt_f(p.improvement_pct, 2)
+                                    : std::string("VIOL"));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+}  // namespace rip::eval

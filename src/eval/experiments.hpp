@@ -1,0 +1,155 @@
+#pragma once
+
+/// @file experiments.hpp
+/// Runners that regenerate every table and figure of the paper's
+/// evaluation (Section 6). Each returns a structured result that the
+/// bench binaries print via util::Table; EXPERIMENTS.md records the
+/// paper-vs-measured comparison.
+
+#include <string>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "eval/workload.hpp"
+#include "tech/technology.hpp"
+#include "util/table.hpp"
+
+namespace rip::eval {
+
+/// One (net, target) comparison of RIP against a DP baseline.
+struct CaseResult {
+  double tau_t_fs = 0;
+  bool rip_feasible = false;
+  bool dp_feasible = false;
+  double rip_width_u = 0;
+  double dp_width_u = 0;
+  double rip_runtime_s = 0;
+  double dp_runtime_s = 0;
+  /// (p_DP - p_RIP) / p_DP * 100; meaningful only when both feasible.
+  double improvement_pct = 0;
+};
+
+/// Run RIP and one baseline on a single (net, target) case.
+CaseResult run_case(const net::Net& net, const tech::Technology& tech,
+                    double tau_t_fs, const core::RipOptions& rip_options,
+                    const core::BaselineOptions& baseline_options);
+
+// ---------------------------------------------------------------- Table 1
+
+/// Configuration for Table 1 (power reduction for two-pin nets).
+struct Table1Config {
+  int net_count = 20;
+  int targets_per_net = 20;
+  std::uint64_t seed = 2005;
+  /// Baseline library: size 10, min width 10u (paper Section 6), at each
+  /// of these granularities. The first one also reports the violation
+  /// count V_DP.
+  std::vector<double> granularities_u = {10.0, 20.0, 40.0};
+  int baseline_library_size = 10;
+  double baseline_min_width_u = 10.0;
+  double pitch_um = 200.0;
+  core::RipOptions rip;
+};
+
+/// Per-granularity aggregate for one net.
+struct Table1Cell {
+  double delta_max_pct = 0;   ///< max improvement over feasible targets
+  double delta_mean_pct = 0;  ///< mean improvement over feasible targets
+  int dp_violations = 0;      ///< targets the DP could not meet
+  int compared = 0;           ///< targets where both schemes were feasible
+};
+
+/// One row (one net) of Table 1.
+struct Table1Row {
+  std::string net_name;
+  std::vector<Table1Cell> cells;  ///< one per granularity
+  int rip_violations = 0;         ///< should stay 0 (paper's claim)
+};
+
+/// The full table plus the Ave row.
+struct Table1Result {
+  std::vector<Table1Row> rows;
+  Table1Row average;
+  std::vector<double> granularities_u;
+};
+
+Table1Result run_table1(const tech::Technology& tech,
+                        const Table1Config& config);
+
+/// Render in the paper's column layout.
+Table to_table(const Table1Result& result);
+
+// ---------------------------------------------------------------- Table 2
+
+/// Configuration for Table 2 (power savings vs. speedup tradeoff).
+struct Table2Config {
+  int net_count = 20;
+  int targets_per_net = 20;
+  std::uint64_t seed = 2005;
+  std::vector<double> granularities_u = {40.0, 30.0, 20.0, 10.0};
+  double range_min_width_u = 10.0;
+  double range_max_width_u = 400.0;
+  double pitch_um = 200.0;
+  core::RipOptions rip;
+};
+
+/// One row (one baseline granularity) of Table 2.
+struct Table2Row {
+  double granularity_u = 0;
+  double delta_mean_pct = 0;  ///< mean RIP improvement over the DP
+  double dp_runtime_s = 0;    ///< mean DP runtime per design
+  double rip_runtime_s = 0;   ///< mean RIP runtime per design
+  double speedup = 0;         ///< dp_runtime / rip_runtime
+  int compared = 0;
+};
+
+struct Table2Result {
+  std::vector<Table2Row> rows;
+};
+
+Table2Result run_table2(const tech::Technology& tech,
+                        const Table2Config& config);
+
+Table to_table(const Table2Result& result);
+
+// ---------------------------------------------------------------- Fig. 7
+
+/// Configuration for Fig. 7 (improvement vs. timing constraint).
+struct Fig7Config {
+  std::uint64_t seed = 2005;
+  int net_index = 0;        ///< which workload net to sweep
+  int points = 21;          ///< samples across [1.05, 2.05] * tau_min
+  /// The two library granularities of Fig. 7(a) and (b).
+  std::vector<double> granularities_u = {10.0, 40.0};
+  int baseline_library_size = 10;
+  double baseline_min_width_u = 10.0;
+  double pitch_um = 200.0;
+  core::RipOptions rip;
+};
+
+/// One sample of one series.
+struct Fig7Point {
+  double tau_t_fs = 0;
+  double tau_t_over_tau_min = 0;
+  bool dp_feasible = false;
+  double improvement_pct = 0;  ///< meaningful only when dp_feasible
+};
+
+/// One series (one granularity).
+struct Fig7Series {
+  double granularity_u = 0;
+  std::vector<Fig7Point> points;
+};
+
+struct Fig7Result {
+  std::string net_name;
+  double tau_min_fs = 0;
+  std::vector<Fig7Series> series;
+};
+
+Fig7Result run_fig7(const tech::Technology& tech, const Fig7Config& config);
+
+Table to_table(const Fig7Result& result);
+
+}  // namespace rip::eval

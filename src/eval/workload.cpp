@@ -1,0 +1,47 @@
+#include "eval/workload.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rip::eval {
+
+std::vector<WorkloadNet> make_paper_workload(
+    const tech::Technology& tech, int net_count, std::uint64_t seed,
+    const net::RandomNetConfig& config,
+    const dp::MinDelayOptions& min_delay) {
+  RIP_REQUIRE(net_count >= 1, "workload needs at least one net");
+  std::vector<WorkloadNet> workload;
+  workload.reserve(static_cast<std::size_t>(net_count));
+  Rng master(seed);
+  for (int i = 0; i < net_count; ++i) {
+    Rng net_rng = master.split();
+    net::Net n = net::random_net(tech, config, net_rng,
+                                 "net_" + std::to_string(i + 1));
+    const auto md = dp::min_delay(n, tech.device(), min_delay);
+    workload.push_back(WorkloadNet{std::move(n), md.tau_min_fs});
+  }
+  return workload;
+}
+
+std::vector<double> timing_targets_fs(double tau_min_fs, int count,
+                                      double lo_factor, double hi_factor) {
+  RIP_REQUIRE(tau_min_fs > 0, "tau_min must be positive");
+  RIP_REQUIRE(count >= 1, "need at least one target");
+  RIP_REQUIRE(lo_factor > 0 && lo_factor <= hi_factor,
+              "target factor range out of order");
+  std::vector<double> targets;
+  targets.reserve(static_cast<std::size_t>(count));
+  if (count == 1) {
+    targets.push_back(lo_factor * tau_min_fs);
+    return targets;
+  }
+  const double step = (hi_factor - lo_factor) / (count - 1);
+  for (int k = 0; k < count; ++k) {
+    targets.push_back((lo_factor + step * k) * tau_min_fs);
+  }
+  return targets;
+}
+
+}  // namespace rip::eval

@@ -1,0 +1,42 @@
+#pragma once
+
+/// @file workload.hpp
+/// The experimental workload of Section 6: a population of random
+/// two-pin nets (4-10 segments of 1000-2500 um on metal4/metal5, one
+/// forbidden zone of 20-40% of the length), each designed 20 times with
+/// timing targets from 1.05*tau_min to 2.05*tau_min.
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/min_delay.hpp"
+#include "net/generator.hpp"
+#include "net/net.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::eval {
+
+/// A generated net plus its minimum achievable delay.
+struct WorkloadNet {
+  net::Net net;
+  double tau_min_fs = 0;
+};
+
+/// Deterministic workload: `net_count` nets drawn from `config` with
+/// per-net seeds derived from `seed`, each with tau_min computed via the
+/// delay-mode DP (dp::min_delay). The default tau_min grid matches the
+/// DP schemes' 200 um location pitch so that every scheme's target is
+/// achievable on its own placement grid.
+std::vector<WorkloadNet> make_paper_workload(
+    const tech::Technology& tech, int net_count = 20,
+    std::uint64_t seed = 2005,
+    const net::RandomNetConfig& config = {},
+    const dp::MinDelayOptions& min_delay = {10.0, 400.0, 10.0, 200.0});
+
+/// The paper's target sweep: `count` evenly spaced multipliers from
+/// `lo_factor` to `hi_factor` (inclusive) applied to tau_min.
+std::vector<double> timing_targets_fs(double tau_min_fs, int count = 20,
+                                      double lo_factor = 1.05,
+                                      double hi_factor = 2.05);
+
+}  // namespace rip::eval

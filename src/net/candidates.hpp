@@ -1,0 +1,30 @@
+#pragma once
+
+/// @file candidates.hpp
+/// Candidate repeater locations for the DP stages.
+///
+/// The baseline DP (Section 6 of the paper) uses locations uniformly
+/// distributed along the net with a given pitch, excluding forbidden
+/// zones. The final RIP stage instead uses a *small* set: each REFINE
+/// location plus a window of neighbours at a finer pitch.
+
+#include <vector>
+
+#include "net/net.hpp"
+
+namespace rip::net {
+
+/// Positions k * pitch for k = 1, 2, ... strictly inside (0, L),
+/// excluding positions strictly inside forbidden zones. Sorted ascending.
+std::vector<double> uniform_candidates(const Net& net, double pitch_um);
+
+/// For each center c, the positions c + j * pitch for j in
+/// [-half_window, +half_window], clipped to (0, L), excluding forbidden
+/// zones, merged over all centers, deduplicated (within 1e-6 um) and
+/// sorted ascending. This is the "locations derived by REFINE plus N
+/// locations before and after" set of RIP's final stage.
+std::vector<double> window_candidates(const Net& net,
+                                      const std::vector<double>& centers_um,
+                                      int half_window, double pitch_um);
+
+}  // namespace rip::net

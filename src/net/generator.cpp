@@ -1,0 +1,69 @@
+#include "net/generator.hpp"
+
+#include "util/error.hpp"
+
+namespace rip::net {
+
+Net random_net(const tech::Technology& tech, const RandomNetConfig& config,
+               Rng& rng, const std::string& name) {
+  RIP_REQUIRE(config.min_segments >= 1 &&
+                  config.min_segments <= config.max_segments,
+              "segment count range out of order");
+  RIP_REQUIRE(config.min_segment_length_um > 0 &&
+                  config.min_segment_length_um <= config.max_segment_length_um,
+              "segment length range out of order");
+  RIP_REQUIRE(!config.layers.empty(), "generator needs at least one layer");
+  RIP_REQUIRE(config.zone_fraction_min >= 0 &&
+                  config.zone_fraction_max < 1.0 &&
+                  config.zone_fraction_min <= config.zone_fraction_max,
+              "zone fraction range invalid");
+
+  const int n_segments =
+      rng.uniform_int(config.min_segments, config.max_segments);
+  std::vector<Segment> segments;
+  segments.reserve(static_cast<std::size_t>(n_segments));
+  double total = 0.0;
+  for (int i = 0; i < n_segments; ++i) {
+    const auto& layer_name = config.layers[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(config.layers.size()) - 1))];
+    const auto& layer = tech.layer(layer_name);
+    Segment s;
+    s.length_um = rng.uniform(config.min_segment_length_um,
+                              config.max_segment_length_um);
+    s.r_ohm_per_um = layer.r_ohm_per_um;
+    s.c_ff_per_um = layer.c_ff_per_um;
+    s.layer = layer.name;
+    total += s.length_um;
+    segments.push_back(std::move(s));
+  }
+
+  std::vector<ForbiddenZone> zones;
+  // Rejection-sample non-overlapping zones; with the paper's single zone
+  // this accepts on the first draw.
+  int attempts = 0;
+  while (static_cast<int>(zones.size()) < config.zone_count) {
+    RIP_REQUIRE(++attempts < 1000,
+                "could not place non-overlapping forbidden zones");
+    const double frac =
+        rng.uniform(config.zone_fraction_min, config.zone_fraction_max);
+    const double zlen = frac * total;
+    const double start = rng.uniform(0.0, total - zlen);
+    const ForbiddenZone z{start, start + zlen};
+    bool overlaps = false;
+    for (const auto& other : zones) {
+      if (z.start_um < other.end_um && other.start_um < z.end_um) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) zones.push_back(z);
+  }
+
+  const double wd =
+      rng.uniform(config.driver_width_min_u, config.driver_width_max_u);
+  const double wr =
+      rng.uniform(config.receiver_width_min_u, config.receiver_width_max_u);
+  return Net(name, wd, wr, std::move(segments), std::move(zones));
+}
+
+}  // namespace rip::net

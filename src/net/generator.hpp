@@ -1,0 +1,41 @@
+#pragma once
+
+/// @file generator.hpp
+/// Random net population exactly matching Section 6 of the paper:
+///   - 4..10 segments per net,
+///   - each segment 1000..2500 um long,
+///   - routed on metal4 / metal5 only,
+///   - one forbidden zone of 20%..40% of the total length,
+///   - zone location uniformly distributed along the net.
+/// Driver/receiver widths are not specified by the paper; defaults are
+/// plausible global-net endpoints and can be randomized within a range.
+
+#include "net/net.hpp"
+#include "tech/technology.hpp"
+#include "util/rng.hpp"
+
+namespace rip::net {
+
+/// Distribution parameters for the random net generator (paper defaults).
+struct RandomNetConfig {
+  int min_segments = 4;
+  int max_segments = 10;
+  double min_segment_length_um = 1000.0;
+  double max_segment_length_um = 2500.0;
+  /// Layers to draw from (uniformly per segment).
+  std::vector<std::string> layers = {"metal4", "metal5"};
+  int zone_count = 1;
+  double zone_fraction_min = 0.20;  ///< zone length as fraction of net length
+  double zone_fraction_max = 0.40;
+  double driver_width_min_u = 80.0;
+  double driver_width_max_u = 160.0;
+  double receiver_width_min_u = 30.0;
+  double receiver_width_max_u = 80.0;
+};
+
+/// Draw one net from the population. Deterministic given `rng` state.
+/// @param name  net name used in reports.
+Net random_net(const tech::Technology& tech, const RandomNetConfig& config,
+               Rng& rng, const std::string& name);
+
+}  // namespace rip::net

@@ -1,0 +1,185 @@
+#include "net/net.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rip::net {
+
+Net::Net(std::string name, double driver_width_u, double receiver_width_u,
+         std::vector<Segment> segments, std::vector<ForbiddenZone> zones)
+    : name_(std::move(name)),
+      driver_width_u_(driver_width_u),
+      receiver_width_u_(receiver_width_u),
+      segments_(std::move(segments)),
+      zones_(std::move(zones)) {
+  RIP_REQUIRE(!name_.empty(), "net name must not be empty");
+  RIP_REQUIRE(driver_width_u_ > 0, "driver width must be positive");
+  RIP_REQUIRE(receiver_width_u_ > 0, "receiver width must be positive");
+  RIP_REQUIRE(!segments_.empty(), "net needs at least one segment");
+
+  prefix_len_.reserve(segments_.size() + 1);
+  prefix_r_.reserve(segments_.size() + 1);
+  prefix_c_.reserve(segments_.size() + 1);
+  prefix_len_.push_back(0.0);
+  prefix_r_.push_back(0.0);
+  prefix_c_.push_back(0.0);
+  for (const auto& s : segments_) {
+    RIP_REQUIRE(s.length_um > 0,
+                "segment length must be positive in net " + name_);
+    RIP_REQUIRE(s.r_ohm_per_um > 0 && s.c_ff_per_um > 0,
+                "segment RC must be positive in net " + name_);
+    prefix_len_.push_back(prefix_len_.back() + s.length_um);
+    prefix_r_.push_back(prefix_r_.back() + s.length_um * s.r_ohm_per_um);
+    prefix_c_.push_back(prefix_c_.back() + s.length_um * s.c_ff_per_um);
+  }
+
+  std::sort(zones_.begin(), zones_.end(),
+            [](const ForbiddenZone& a, const ForbiddenZone& b) {
+              return a.start_um < b.start_um;
+            });
+  const double total = total_length_um();
+  double prev_end = -1.0;
+  double covered = 0.0;
+  for (const auto& z : zones_) {
+    RIP_REQUIRE(z.start_um >= 0 && z.end_um <= total,
+                "forbidden zone outside net " + name_);
+    RIP_REQUIRE(z.start_um < z.end_um,
+                "forbidden zone must have positive length in net " + name_);
+    RIP_REQUIRE(z.start_um >= prev_end,
+                "forbidden zones overlap in net " + name_);
+    prev_end = z.end_um;
+    covered += z.length_um();
+  }
+  RIP_REQUIRE(covered < total,
+              "forbidden zones cover the entire net " + name_);
+}
+
+std::size_t Net::segment_index_at(double pos_um, Side side) const {
+  const double total = total_length_um();
+  RIP_REQUIRE(pos_um >= 0 && pos_um <= total,
+              "position outside net " + name_);
+  // upper_bound: first prefix strictly greater than pos.
+  auto it = std::upper_bound(prefix_len_.begin(), prefix_len_.end(), pos_um);
+  std::size_t idx = static_cast<std::size_t>(it - prefix_len_.begin());
+  // idx in [1, m+1]; segment index is idx-1 for the downstream side.
+  std::size_t seg = (idx == 0) ? 0 : idx - 1;
+  if (seg >= segments_.size()) seg = segments_.size() - 1;  // pos == L
+  if (side == Side::kUpstream && pos_um == prefix_len_[seg] && seg > 0) {
+    --seg;  // exactly on an internal boundary: take the upstream segment
+  }
+  return seg;
+}
+
+WirePiece Net::wire_at(double pos_um, Side side) const {
+  const auto& s = segments_[segment_index_at(pos_um, side)];
+  return WirePiece{0.0, s.r_ohm_per_um, s.c_ff_per_um};
+}
+
+namespace {
+double integrate(const std::vector<double>& prefix_len,
+                 const std::vector<double>& prefix_q,
+                 const std::vector<Segment>& segments,
+                 double a, double b,
+                 double Segment::* per_um) {
+  // prefix_q over whole segments, plus fractional ends.
+  auto lo = std::upper_bound(prefix_len.begin(), prefix_len.end(), a);
+  auto hi = std::upper_bound(prefix_len.begin(), prefix_len.end(), b);
+  std::size_t sa = static_cast<std::size_t>(lo - prefix_len.begin()) - 1;
+  std::size_t sb = static_cast<std::size_t>(hi - prefix_len.begin()) - 1;
+  if (sa >= segments.size()) sa = segments.size() - 1;
+  if (sb >= segments.size()) sb = segments.size() - 1;
+  if (sa == sb) {
+    return (b - a) * (segments[sa].*per_um);
+  }
+  double q = 0.0;
+  // Tail of segment sa.
+  q += (prefix_len[sa + 1] - a) * (segments[sa].*per_um);
+  // Whole segments between.
+  q += prefix_q[sb] - prefix_q[sa + 1];
+  // Head of segment sb.
+  q += (b - prefix_len[sb]) * (segments[sb].*per_um);
+  return q;
+}
+}  // namespace
+
+double Net::resistance_between_ohm(double a_um, double b_um) const {
+  RIP_REQUIRE(a_um >= 0 && b_um <= total_length_um() && a_um <= b_um,
+              "span out of range in net " + name_);
+  return integrate(prefix_len_, prefix_r_, segments_, a_um, b_um,
+                   &Segment::r_ohm_per_um);
+}
+
+double Net::capacitance_between_ff(double a_um, double b_um) const {
+  RIP_REQUIRE(a_um >= 0 && b_um <= total_length_um() && a_um <= b_um,
+              "span out of range in net " + name_);
+  return integrate(prefix_len_, prefix_c_, segments_, a_um, b_um,
+                   &Segment::c_ff_per_um);
+}
+
+std::vector<WirePiece> Net::pieces_between(double a_um, double b_um) const {
+  RIP_REQUIRE(a_um >= 0 && b_um <= total_length_um() && a_um <= b_um,
+              "span out of range in net " + name_);
+  std::vector<WirePiece> pieces;
+  if (a_um == b_um) return pieces;
+  std::size_t seg = segment_index_at(a_um, Side::kDownstream);
+  double pos = a_um;
+  while (pos < b_um && seg < segments_.size()) {
+    const double seg_end = prefix_len_[seg + 1];
+    const double piece_end = std::min(seg_end, b_um);
+    if (piece_end > pos) {
+      pieces.push_back(WirePiece{piece_end - pos,
+                                 segments_[seg].r_ohm_per_um,
+                                 segments_[seg].c_ff_per_um});
+    }
+    pos = piece_end;
+    ++seg;
+  }
+  return pieces;
+}
+
+bool Net::in_forbidden_zone(double pos_um) const {
+  return zone_index_at(pos_um) >= 0;
+}
+
+int Net::zone_index_at(double pos_um) const {
+  for (std::size_t i = 0; i < zones_.size(); ++i) {
+    if (pos_um > zones_[i].start_um && pos_um < zones_[i].end_um)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Net::placement_legal(double pos_um) const {
+  return pos_um > 0.0 && pos_um < total_length_um() &&
+         !in_forbidden_zone(pos_um);
+}
+
+NetBuilder& NetBuilder::driver(double width_u) {
+  driver_width_u_ = width_u;
+  return *this;
+}
+
+NetBuilder& NetBuilder::receiver(double width_u) {
+  receiver_width_u_ = width_u;
+  return *this;
+}
+
+NetBuilder& NetBuilder::segment(double length_um, double r_ohm_per_um,
+                                double c_ff_per_um, std::string layer) {
+  segments_.push_back(
+      Segment{length_um, r_ohm_per_um, c_ff_per_um, std::move(layer)});
+  return *this;
+}
+
+NetBuilder& NetBuilder::zone(double start_um, double end_um) {
+  zones_.push_back(ForbiddenZone{start_um, end_um});
+  return *this;
+}
+
+Net NetBuilder::build() const {
+  return Net(name_, driver_width_u_, receiver_width_u_, segments_, zones_);
+}
+
+}  // namespace rip::net

@@ -1,0 +1,153 @@
+#pragma once
+
+/// @file net.hpp
+/// The multi-layer two-pin interconnect of Problem LPRI (Section 3 of the
+/// paper): a linear chain of wire segments with distinct RC characteristics
+/// (as produced by a router), a driver of width w_d at position 0, a
+/// receiver of width w_r at the far end, and forbidden zones — intervals
+/// (from macro-blocks) where no repeater may be placed.
+///
+/// Positions along the net are 1-D coordinates in microns, measured from
+/// the driver output (0) to the receiver input (total_length_um()).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rip::net {
+
+/// One routed wire segment with uniform per-unit-length RC.
+struct Segment {
+  double length_um = 0;     ///< segment length [um]
+  double r_ohm_per_um = 0;  ///< resistance per micron [Ohm/um]
+  double c_ff_per_um = 0;   ///< capacitance per micron [fF/um]
+  std::string layer;        ///< routing layer name (informational)
+};
+
+/// A forbidden zone [start, end]: repeaters may sit exactly on the
+/// boundary but not strictly inside.
+struct ForbiddenZone {
+  double start_um = 0;
+  double end_um = 0;
+
+  double length_um() const { return end_um - start_um; }
+};
+
+/// A piece of uniform wire; spans between two positions decompose into
+/// these for Elmore evaluation and DP wire propagation.
+struct WirePiece {
+  double length_um = 0;
+  double r_ohm_per_um = 0;
+  double c_ff_per_um = 0;
+};
+
+/// Which side of a position to sample when the position falls exactly on
+/// a segment boundary. REFINE's one-sided location derivatives (Eqs. 17
+/// and 18) need the wire parameters just downstream vs. just upstream of
+/// a repeater.
+enum class Side {
+  kDownstream,  ///< parameters of the wire at position+epsilon
+  kUpstream,    ///< parameters of the wire at position-epsilon
+};
+
+/// Immutable two-pin net. Construct via the constructor or NetBuilder;
+/// construction validates all invariants and precomputes prefix sums so
+/// that resistance/capacitance integrals are O(log m).
+class Net {
+ public:
+  /// @param name           identifier used in reports
+  /// @param driver_width_u driver strength w_d in units of u (> 0)
+  /// @param receiver_width_u receiver (sink gate) width w_r in u (> 0)
+  /// @param segments       at least one segment, all lengths > 0
+  /// @param zones          forbidden zones; will be sorted; must lie within
+  ///                       the net, must not overlap each other, and must
+  ///                       not cover the entire net
+  Net(std::string name, double driver_width_u, double receiver_width_u,
+      std::vector<Segment> segments, std::vector<ForbiddenZone> zones = {});
+
+  const std::string& name() const { return name_; }
+  double driver_width_u() const { return driver_width_u_; }
+  double receiver_width_u() const { return receiver_width_u_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::vector<ForbiddenZone>& zones() const { return zones_; }
+
+  /// Total routed length [um].
+  double total_length_um() const { return prefix_len_.back(); }
+
+  /// Total wire resistance of the whole net [Ohm].
+  double total_resistance_ohm() const { return prefix_r_.back(); }
+
+  /// Total wire capacitance of the whole net [fF].
+  double total_capacitance_ff() const { return prefix_c_.back(); }
+
+  /// Start coordinate of segment `i` [um].
+  double segment_start_um(std::size_t i) const { return prefix_len_[i]; }
+
+  /// Index of the segment containing `pos`; at internal boundaries the
+  /// `side` argument disambiguates. Requires 0 <= pos <= total length.
+  std::size_t segment_index_at(double pos_um,
+                               Side side = Side::kDownstream) const;
+
+  /// Per-unit-length wire parameters at a position (side-resolved).
+  WirePiece wire_at(double pos_um, Side side) const;
+
+  /// Wire resistance integrated over [a, b] [Ohm]. Requires 0<=a<=b<=L.
+  double resistance_between_ohm(double a_um, double b_um) const;
+
+  /// Wire capacitance integrated over [a, b] [fF]. Requires 0<=a<=b<=L.
+  double capacitance_between_ff(double a_um, double b_um) const;
+
+  /// Decompose the span [a, b] into uniform pieces ordered from a to b.
+  /// Zero-length output pieces are suppressed.
+  std::vector<WirePiece> pieces_between(double a_um, double b_um) const;
+
+  /// True if `pos` lies strictly inside any forbidden zone.
+  bool in_forbidden_zone(double pos_um) const;
+
+  /// If `pos` is strictly inside a zone, return its index; -1 otherwise.
+  int zone_index_at(double pos_um) const;
+
+  /// True if a repeater may be placed at `pos`: inside (0, L) and not in
+  /// a forbidden zone.
+  bool placement_legal(double pos_um) const;
+
+ private:
+  std::string name_;
+  double driver_width_u_;
+  double receiver_width_u_;
+  std::vector<Segment> segments_;
+  std::vector<ForbiddenZone> zones_;
+  // prefix_len_[i] = start of segment i; prefix_len_[m] = total length.
+  std::vector<double> prefix_len_;
+  std::vector<double> prefix_r_;
+  std::vector<double> prefix_c_;
+};
+
+/// Fluent construction helper.
+///
+///     Net net = NetBuilder("n1").driver(120).receiver(60)
+///                   .segment(1500, 0.108, 0.21, "metal4")
+///                   .zone(500, 900)
+///                   .build();
+class NetBuilder {
+ public:
+  explicit NetBuilder(std::string name) : name_(std::move(name)) {}
+
+  NetBuilder& driver(double width_u);
+  NetBuilder& receiver(double width_u);
+  NetBuilder& segment(double length_um, double r_ohm_per_um,
+                      double c_ff_per_um, std::string layer = "");
+  NetBuilder& zone(double start_um, double end_um);
+
+  /// Validate and build the immutable Net.
+  Net build() const;
+
+ private:
+  std::string name_;
+  double driver_width_u_ = 1.0;
+  double receiver_width_u_ = 1.0;
+  std::vector<Segment> segments_;
+  std::vector<ForbiddenZone> zones_;
+};
+
+}  // namespace rip::net

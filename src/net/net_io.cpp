@@ -1,0 +1,109 @@
+#include "net/net_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rip::net {
+
+namespace {
+std::map<std::string, std::string> kv_pairs(
+    const std::vector<std::string>& tokens, std::size_t from, int line_no) {
+  RIP_REQUIRE((tokens.size() - from) % 2 == 0,
+              "odd key/value list at line " + std::to_string(line_no));
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = from; i + 1 < tokens.size(); i += 2)
+    kv[tokens[i]] = tokens[i + 1];
+  return kv;
+}
+}  // namespace
+
+Net read_net(std::istream& is) {
+  std::string line;
+  int line_no = 0;
+  bool got_magic = false;
+  std::string name = "net";
+  double driver = 0.0;
+  double receiver = 0.0;
+  std::vector<Segment> segments;
+  std::vector<ForbiddenZone> zones;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const auto tokens = split_ws(t);
+    const std::string& kind = tokens[0];
+    if (kind == "ripnet") {
+      RIP_REQUIRE(
+          tokens.size() == 2 && tokens[1] == "1",
+          "unsupported ripnet version at line " + std::to_string(line_no));
+      got_magic = true;
+    } else if (kind == "name") {
+      RIP_REQUIRE(tokens.size() == 2,
+                  "name takes one token at line " + std::to_string(line_no));
+      name = tokens[1];
+    } else if (kind == "driver") {
+      RIP_REQUIRE(tokens.size() == 2,
+                  "driver takes one value at line " + std::to_string(line_no));
+      driver = parse_double(tokens[1], "driver width");
+    } else if (kind == "receiver") {
+      RIP_REQUIRE(tokens.size() == 2, "receiver takes one value at line " +
+                                          std::to_string(line_no));
+      receiver = parse_double(tokens[1], "receiver width");
+    } else if (kind == "segment") {
+      const auto kv = kv_pairs(tokens, 1, line_no);
+      Segment s;
+      auto need = [&](const char* key) {
+        const auto it = kv.find(key);
+        RIP_REQUIRE(it != kv.end(), std::string("missing segment key '") +
+                                        key + "' at line " +
+                                        std::to_string(line_no));
+        return parse_double(it->second, key);
+      };
+      s.length_um = need("len_um");
+      s.r_ohm_per_um = need("r_ohm_per_um");
+      s.c_ff_per_um = need("c_ff_per_um");
+      if (const auto it = kv.find("layer"); it != kv.end()) s.layer = it->second;
+      segments.push_back(std::move(s));
+    } else if (kind == "zone") {
+      RIP_REQUIRE(tokens.size() == 3,
+                  "zone takes start and end at line " + std::to_string(line_no));
+      zones.push_back(ForbiddenZone{parse_double(tokens[1], "zone start"),
+                                    parse_double(tokens[2], "zone end")});
+    } else {
+      throw Error("unknown directive '" + kind + "' at line " +
+                  std::to_string(line_no));
+    }
+  }
+  RIP_REQUIRE(got_magic, "missing 'ripnet 1' header");
+  return Net(name, driver, receiver, std::move(segments), std::move(zones));
+}
+
+Net read_net_file(const std::string& path) {
+  std::ifstream in(path);
+  RIP_REQUIRE(in.good(), "cannot open net file: " + path);
+  return read_net(in);
+}
+
+void write_net(std::ostream& os, const Net& net) {
+  os << "ripnet 1\n";
+  os << "name " << net.name() << "\n";
+  os << "driver " << net.driver_width_u() << "\n";
+  os << "receiver " << net.receiver_width_u() << "\n";
+  for (const auto& s : net.segments()) {
+    os << "segment len_um " << s.length_um << " r_ohm_per_um "
+       << s.r_ohm_per_um << " c_ff_per_um " << s.c_ff_per_um;
+    if (!s.layer.empty()) os << " layer " << s.layer;
+    os << "\n";
+  }
+  for (const auto& z : net.zones()) {
+    os << "zone " << z.start_um << " " << z.end_um << "\n";
+  }
+}
+
+}  // namespace rip::net

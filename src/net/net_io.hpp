@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file net_io.hpp
+/// Text serialization of nets ("RIPNET v1"): a line-oriented format so
+/// that routed nets can be exchanged with external tools.
+///
+///     ripnet 1
+///     name net_7
+///     driver 120
+///     receiver 60
+///     segment len_um 1500 r_ohm_per_um 0.108 c_ff_per_um 0.21 layer metal4
+///     segment len_um 2100 r_ohm_per_um 0.088 c_ff_per_um 0.24 layer metal5
+///     zone 900 2400
+///
+/// Lines beginning with '#' are comments. Segments appear in routed order
+/// from the driver.
+
+#include <iosfwd>
+#include <string>
+
+#include "net/net.hpp"
+
+namespace rip::net {
+
+/// Parse a net; throws rip::Error with a line number on malformed input.
+Net read_net(std::istream& is);
+
+/// Parse from a file path.
+Net read_net_file(const std::string& path);
+
+/// Serialize; `read_net` round-trips the output.
+void write_net(std::ostream& os, const Net& net);
+
+}  // namespace rip::net

@@ -1,0 +1,38 @@
+#include "net/solution.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rip::net {
+
+RepeaterSolution::RepeaterSolution(std::vector<Repeater> repeaters)
+    : repeaters_(std::move(repeaters)) {
+  std::sort(repeaters_.begin(), repeaters_.end(),
+            [](const Repeater& a, const Repeater& b) {
+              return a.position_um < b.position_um;
+            });
+  for (std::size_t i = 0; i < repeaters_.size(); ++i) {
+    RIP_REQUIRE(repeaters_[i].width_u > 0,
+                "repeater width must be positive");
+    if (i > 0) {
+      RIP_REQUIRE(repeaters_[i].position_um > repeaters_[i - 1].position_um,
+                  "two repeaters at the same position");
+    }
+  }
+}
+
+double RepeaterSolution::total_width_u() const {
+  double p = 0.0;
+  for (const auto& r : repeaters_) p += r.width_u;
+  return p;
+}
+
+bool RepeaterSolution::legal_for(const Net& net) const {
+  return std::all_of(repeaters_.begin(), repeaters_.end(),
+                     [&](const Repeater& r) {
+                       return net.placement_legal(r.position_um);
+                     });
+}
+
+}  // namespace rip::net

@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file solution.hpp
+/// A repeater-insertion solution for a two-pin net: the output of every
+/// algorithm in this repository (DP baseline, REFINE, RIP). Widths are in
+/// units of the minimal repeater width u; the paper's power objective is
+/// the total width p = sum(w_i) (Eq. 4).
+
+#include <vector>
+
+#include "net/net.hpp"
+
+namespace rip::net {
+
+/// One inserted repeater.
+struct Repeater {
+  double position_um = 0;  ///< location along the net, in (0, L)
+  double width_u = 0;      ///< repeater width in units of u
+};
+
+/// Ordered set of repeaters on a net (positions ascending).
+class RepeaterSolution {
+ public:
+  RepeaterSolution() = default;
+
+  /// Construct from repeaters in any order; they will be sorted by
+  /// position. Throws if two repeaters share a position or a width is
+  /// not positive.
+  explicit RepeaterSolution(std::vector<Repeater> repeaters);
+
+  const std::vector<Repeater>& repeaters() const { return repeaters_; }
+  std::size_t size() const { return repeaters_.size(); }
+  bool empty() const { return repeaters_.empty(); }
+
+  /// Total repeater width p = sum(w_i) [u] — the power proxy of Eq. (4).
+  double total_width_u() const;
+
+  /// Check placement legality against a net: every repeater strictly
+  /// inside (0, L) and outside all forbidden zones. Returns false (does
+  /// not throw) so that callers can use it as a predicate in tests.
+  bool legal_for(const Net& net) const;
+
+ private:
+  std::vector<Repeater> repeaters_;
+};
+
+}  // namespace rip::net

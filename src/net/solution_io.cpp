@@ -1,0 +1,69 @@
+#include "net/solution_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rip::net {
+
+ParsedSolution read_solution(std::istream& is) {
+  std::string line;
+  int line_no = 0;
+  bool got_magic = false;
+  std::string net_name;
+  std::vector<Repeater> repeaters;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const auto tokens = split_ws(t);
+    const std::string& kind = tokens[0];
+    if (kind == "ripsol") {
+      RIP_REQUIRE(tokens.size() == 2 && tokens[1] == "1",
+                  "unsupported ripsol version at line " +
+                      std::to_string(line_no));
+      got_magic = true;
+    } else if (kind == "net") {
+      RIP_REQUIRE(tokens.size() == 2,
+                  "net takes one token at line " + std::to_string(line_no));
+      net_name = tokens[1];
+    } else if (kind == "repeater") {
+      RIP_REQUIRE(tokens.size() == 5 && tokens[1] == "x_um" &&
+                      tokens[3] == "w_u",
+                  "repeater line must be 'repeater x_um <pos> w_u <width>' "
+                  "at line " + std::to_string(line_no));
+      repeaters.push_back(Repeater{parse_double(tokens[2], "x_um"),
+                                   parse_double(tokens[4], "w_u")});
+    } else {
+      throw Error("unknown directive '" + kind + "' at line " +
+                  std::to_string(line_no));
+    }
+  }
+  RIP_REQUIRE(got_magic, "missing 'ripsol 1' header");
+  ParsedSolution out;
+  out.solution = RepeaterSolution(std::move(repeaters));
+  out.net_name = std::move(net_name);
+  return out;
+}
+
+ParsedSolution read_solution_file(const std::string& path) {
+  std::ifstream in(path);
+  RIP_REQUIRE(in.good(), "cannot open solution file: " + path);
+  return read_solution(in);
+}
+
+void write_solution(std::ostream& os, const RepeaterSolution& solution,
+                    const std::string& net_name) {
+  os << "ripsol 1\n";
+  if (!net_name.empty()) os << "net " << net_name << "\n";
+  for (const auto& r : solution.repeaters()) {
+    os << "repeater x_um " << r.position_um << " w_u " << r.width_u << "\n";
+  }
+}
+
+}  // namespace rip::net

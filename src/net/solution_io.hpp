@@ -1,0 +1,37 @@
+#pragma once
+
+/// @file solution_io.hpp
+/// Text serialization of repeater solutions ("RIPSOL v1"), the hand-off
+/// artifact between the optimizer and downstream flows (placement
+/// legalization, SPICE validation):
+///
+///     ripsol 1
+///     net my_net
+///     repeater x_um 2250 w_u 80
+///     repeater x_um 7000 w_u 90
+///
+/// Lines beginning with '#' are comments.
+
+#include <iosfwd>
+#include <string>
+
+#include "net/solution.hpp"
+
+namespace rip::net {
+
+/// Parse a solution; throws rip::Error on malformed input. Returns the
+/// solution and the net name it claims to buffer (empty if absent).
+struct ParsedSolution {
+  RepeaterSolution solution;
+  std::string net_name;
+};
+ParsedSolution read_solution(std::istream& is);
+
+/// Parse from a file path.
+ParsedSolution read_solution_file(const std::string& path);
+
+/// Serialize; `read_solution` round-trips the output.
+void write_solution(std::ostream& os, const RepeaterSolution& solution,
+                    const std::string& net_name);
+
+}  // namespace rip::net

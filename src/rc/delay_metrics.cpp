@@ -1,0 +1,55 @@
+#include "rc/delay_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rc/buffered_chain.hpp"
+#include "rc/moments.hpp"
+#include "rc/tree.hpp"
+#include "util/error.hpp"
+
+namespace rip::rc {
+
+double stage_d2m_fs(const tech::RepeaterDevice& device, double driver_width_u,
+                    const std::vector<net::WirePiece>& pieces, double load_ff,
+                    int subdivisions) {
+  RIP_REQUIRE(driver_width_u > 0, "stage driver width must be positive");
+  RIP_REQUIRE(subdivisions >= 1, "subdivisions must be >= 1");
+
+  // Build the stage as a path RcTree: root carries the driver parasitic,
+  // then the discretized wire, then the lumped load.
+  RcTree tree;
+  tree.add_cap(RcTree::kRoot, device.cp_ff * driver_width_u);
+  std::size_t cur = RcTree::kRoot;
+  for (const auto& piece : pieces) {
+    const int sections = subdivisions;
+    const double dl = piece.length_um / sections;
+    for (int k = 0; k < sections; ++k) {
+      const std::size_t next =
+          tree.add_node(cur, piece.r_ohm_per_um * dl, 0.0);
+      tree.add_cap(cur, piece.c_ff_per_um * dl / 2.0);
+      tree.add_cap(next, piece.c_ff_per_um * dl / 2.0);
+      cur = next;
+    }
+  }
+  tree.add_cap(cur, load_ff);
+
+  const double rs_eff = device.rs_ohm / driver_width_u;
+  const auto m1 = tree.elmore_delay_fs(rs_eff);
+  const auto m2 = tree.second_moment_fs2(rs_eff);
+  if (m2[cur] <= 0) return m1[cur];  // degenerate (no RC product)
+  return std::min(m1[cur], d2m_delay_fs(m1[cur], m2[cur]));
+}
+
+double chain_d2m_fs(const net::Net& net, const net::RepeaterSolution& solution,
+                    const tech::RepeaterDevice& device, int subdivisions) {
+  const BufferedChain chain(net, solution, device);
+  double total = 0.0;
+  for (const auto& stage : chain.stages()) {
+    total += stage_d2m_fs(device, stage.driver_width_u, stage.pieces,
+                          device.co_ff * stage.load_width_u, subdivisions);
+  }
+  return total;
+}
+
+}  // namespace rip::rc

@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file delay_metrics.hpp
+/// Higher-order delay metrics for buffered chains.
+///
+/// Section 4.1 of the paper notes that "more accurate analytical delay
+/// models can be used by replacing the Elmore delay with the
+/// corresponding delay functions". This module provides the classic D2M
+/// metric (ln2 * m1^2 / sqrt(m2), built from the first two transfer
+/// moments) for whole buffered chains, so designs optimized under Elmore
+/// can be re-scored under a tighter metric. D2M <= Elmore always, and is
+/// typically much closer to the simulated 50% delay for far-end sinks.
+
+#include "net/net.hpp"
+#include "net/solution.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::rc {
+
+/// D2M delay of one repeater stage: the stage's wire is discretized into
+/// `subdivisions` sections per piece, the transfer moments m1/m2 at the
+/// load are computed on the resulting ladder (including the driver
+/// resistance R_s/w and parasitic C_p*w), and D2M is evaluated at the
+/// load node.
+double stage_d2m_fs(const tech::RepeaterDevice& device, double driver_width_u,
+                    const std::vector<net::WirePiece>& pieces, double load_ff,
+                    int subdivisions = 16);
+
+/// D2M delay of a buffered chain: the sum of per-stage D2M delays (the
+/// switch-level repeater model decouples stages exactly as in Eq. 2).
+double chain_d2m_fs(const net::Net& net, const net::RepeaterSolution& solution,
+                    const tech::RepeaterDevice& device, int subdivisions = 16);
+
+}  // namespace rip::rc

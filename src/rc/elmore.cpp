@@ -1,0 +1,35 @@
+#include "rc/elmore.hpp"
+
+#include "util/error.hpp"
+
+namespace rip::rc {
+
+WireElmore wire_elmore(const std::vector<net::WirePiece>& pieces,
+                       double load_ff) {
+  // Walk from the load back toward the driver, accumulating downstream
+  // capacitance; each piece adds r*l*(C_downstream + c*l/2).
+  WireElmore out;
+  double c_down = load_ff;
+  for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+    const double r = it->r_ohm_per_um * it->length_um;
+    const double c = it->c_ff_per_um * it->length_um;
+    out.delay_fs += r * (c_down + 0.5 * c);
+    c_down += c;
+    out.total_cap_ff += c;
+  }
+  return out;
+}
+
+double stage_elmore_fs(const tech::RepeaterDevice& device,
+                       double driver_width_u,
+                       const std::vector<net::WirePiece>& pieces,
+                       double load_ff) {
+  RIP_REQUIRE(driver_width_u > 0, "stage driver width must be positive");
+  RIP_REQUIRE(load_ff >= 0, "stage load must be non-negative");
+  const WireElmore wire = wire_elmore(pieces, load_ff);
+  const double rs_eff = device.rs_ohm / driver_width_u;
+  return device.rs_ohm * device.cp_ff +
+         rs_eff * (wire.total_cap_ff + load_ff) + wire.delay_fs;
+}
+
+}  // namespace rip::rc

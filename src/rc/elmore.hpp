@@ -1,0 +1,40 @@
+#pragma once
+
+/// @file elmore.hpp
+/// Elmore delay of a single repeater stage (Eq. 1 of the paper).
+///
+/// A stage is: a driving repeater of width w (switch-level model: output
+/// resistance R_s/w, parasitic output capacitance C_p*w), a run of
+/// piecewise-uniform wire, and a receiving gate modeled as a lumped
+/// capacitor. Each uniform wire piece uses the lumped-RC pi model, which
+/// for Elmore purposes contributes r*l*(C_downstream + c*l/2).
+
+#include <vector>
+
+#include "net/net.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::rc {
+
+/// Elmore delay contribution of the wire alone: sum over pieces (in
+/// driver-to-load order) of r_j l_j (c_j l_j / 2 + downstream C), with
+/// `load_ff` at the far end. Also returns the total wire capacitance.
+struct WireElmore {
+  double delay_fs = 0;    ///< distributed wire delay [fs]
+  double total_cap_ff = 0;///< total wire capacitance [fF]
+};
+
+/// Evaluate the wire part of Eq. (1) over an ordered piece list.
+WireElmore wire_elmore(const std::vector<net::WirePiece>& pieces,
+                       double load_ff);
+
+/// Full stage Elmore delay per Eq. (1):
+///   tau = R_s C_p + (R_s / w) (C_wire + load) + wire_delay(load)
+/// where `load_ff` is the input capacitance of the receiving gate
+/// (C_o * w_next for a repeater, C_o * w_r for the receiver).
+double stage_elmore_fs(const tech::RepeaterDevice& device,
+                       double driver_width_u,
+                       const std::vector<net::WirePiece>& pieces,
+                       double load_ff);
+
+}  // namespace rip::rc

@@ -1,0 +1,53 @@
+#include "rc/moments.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rip::rc {
+
+namespace {
+
+/// Shunt capacitor at the input node: y1 += C.
+void add_shunt_cap(YMoments& y, double cap_ff) { y.y1 += cap_ff; }
+
+/// Series resistor R between the input and a downstream admittance y:
+/// Y_in = Y / (1 + R*Y), expanded to third order.
+void add_series_res(YMoments& y, double r_ohm) {
+  const double y1 = y.y1;
+  const double y2 = y.y2;
+  const double y3 = y.y3;
+  y.y1 = y1;
+  y.y2 = y2 - r_ohm * y1 * y1;
+  y.y3 = y3 - 2.0 * r_ohm * y1 * y2 + r_ohm * r_ohm * y1 * y1 * y1;
+}
+
+}  // namespace
+
+YMoments wire_admittance_moments(const std::vector<net::WirePiece>& pieces,
+                                 double load_ff, int subdivisions) {
+  RIP_REQUIRE(subdivisions >= 1, "subdivisions must be >= 1");
+  RIP_REQUIRE(load_ff >= 0, "load must be non-negative");
+  YMoments y;
+  y.y1 = load_ff;
+  // Walk from the load toward the driver, adding pi sections.
+  for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
+    const double dl = it->length_um / subdivisions;
+    const double r = it->r_ohm_per_um * dl;
+    const double c = it->c_ff_per_um * dl;
+    for (int k = 0; k < subdivisions; ++k) {
+      add_shunt_cap(y, 0.5 * c);
+      add_series_res(y, r);
+      add_shunt_cap(y, 0.5 * c);
+    }
+  }
+  return y;
+}
+
+double d2m_delay_fs(double m1_fs, double m2_fs2) {
+  RIP_REQUIRE(m1_fs >= 0, "m1 must be non-negative");
+  RIP_REQUIRE(m2_fs2 > 0, "m2 must be positive");
+  return std::log(2.0) * m1_fs * m1_fs / std::sqrt(m2_fs2);
+}
+
+}  // namespace rip::rc

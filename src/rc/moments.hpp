@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file moments.hpp
+/// Admittance moments of RC ladders and moment-based reductions.
+///
+/// Used for the O'Brien/Savarino pi-model reduction (pi_model.hpp) and the
+/// D2M delay metric. The paper uses Elmore throughout (Section 4.1) but
+/// notes that "more accurate analytical delay models can be used by
+/// replacing the Elmore delay" — these moments are the hook for that.
+
+#include <vector>
+
+#include "net/net.hpp"
+
+namespace rip::rc {
+
+/// First three moments of a driving-point admittance:
+///   Y(s) = y1*s + y2*s^2 + y3*s^3 + O(s^4).
+/// Units: y1 [fF], y2 [fF*fs], y3 [fF*fs^2]. For passive RC circuits
+/// y1 > 0, y2 < 0, y3 > 0.
+struct YMoments {
+  double y1 = 0;
+  double y2 = 0;
+  double y3 = 0;
+};
+
+/// Input admittance moments of a piecewise-uniform wire terminated by a
+/// lumped load. Each piece is expanded into `subdivisions` pi-sections
+/// (>= 1); more subdivisions approach the distributed-line moments.
+YMoments wire_admittance_moments(const std::vector<net::WirePiece>& pieces,
+                                 double load_ff, int subdivisions = 8);
+
+/// Transfer-function moment based delay metric D2M = ln(2) * m1^2 /
+/// sqrt(m2), with m1 = Elmore delay and m2 the (positive-magnitude)
+/// second transfer moment. More accurate than Elmore for far-out sinks.
+double d2m_delay_fs(double m1_fs, double m2_fs2);
+
+}  // namespace rip::rc

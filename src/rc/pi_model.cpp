@@ -1,0 +1,30 @@
+#include "rc/pi_model.hpp"
+
+#include "util/error.hpp"
+
+namespace rip::rc {
+
+PiModel reduce_to_pi(const YMoments& y) {
+  RIP_REQUIRE(y.y1 > 0, "pi reduction requires y1 > 0");
+  PiModel pi;
+  if (y.y2 == 0.0 || y.y3 == 0.0) {
+    // Purely capacitive input (no resistance downstream): lump everything.
+    pi.c_near_ff = y.y1;
+    return pi;
+  }
+  RIP_REQUIRE(y.y2 < 0 && y.y3 > 0, "admittance moments not passive-RC");
+  pi.c_far_ff = y.y2 * y.y2 / y.y3;
+  pi.r_ohm = -(y.y3 * y.y3) / (y.y2 * y.y2 * y.y2);
+  pi.c_near_ff = y.y1 - pi.c_far_ff;
+  // Guard against pathological moment sets (cancellation): keep C_near
+  // non-negative by construction.
+  if (pi.c_near_ff < 0) pi.c_near_ff = 0;
+  return pi;
+}
+
+PiModel reduce_to_pi(const std::vector<net::WirePiece>& pieces,
+                     double load_ff, int subdivisions) {
+  return reduce_to_pi(wire_admittance_moments(pieces, load_ff, subdivisions));
+}
+
+}  // namespace rip::rc

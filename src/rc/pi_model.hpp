@@ -1,0 +1,37 @@
+#pragma once
+
+/// @file pi_model.hpp
+/// O'Brien/Savarino pi-model reduction: collapse an arbitrary RC ladder
+/// (plus load) into a 3-element pi circuit that matches the first three
+/// driving-point admittance moments. Used to present accurate lumped
+/// loads to gate delay models and in tests as an independent check of the
+/// moment machinery.
+
+#include <vector>
+
+#include "net/net.hpp"
+#include "rc/moments.hpp"
+
+namespace rip::rc {
+
+/// The reduced pi circuit: C_near at the driver side, series R, C_far.
+struct PiModel {
+  double c_near_ff = 0;
+  double r_ohm = 0;
+  double c_far_ff = 0;
+
+  /// Total capacitance of the reduction.
+  double total_cap_ff() const { return c_near_ff + c_far_ff; }
+};
+
+/// Reduce admittance moments to a pi model:
+///   C_far = y2^2 / y3, R = -y3^2 / y2^3, C_near = y1 - C_far.
+/// Throws if the moments are not realizable (y2 >= 0 or y3 <= 0), which
+/// cannot happen for passive RC inputs.
+PiModel reduce_to_pi(const YMoments& y);
+
+/// Convenience: reduce a piecewise-uniform wire plus load directly.
+PiModel reduce_to_pi(const std::vector<net::WirePiece>& pieces,
+                     double load_ff, int subdivisions = 8);
+
+}  // namespace rip::rc

@@ -1,0 +1,84 @@
+#include "rc/tree.hpp"
+
+#include "util/error.hpp"
+
+namespace rip::rc {
+
+RcTree::RcTree() {
+  parent_.push_back(kRoot);
+  r_ohm_.push_back(0.0);
+  cap_ff_.push_back(0.0);
+  name_.push_back("root");
+  children_.emplace_back();
+}
+
+std::size_t RcTree::add_node(std::size_t parent, double r_ohm, double cap_ff,
+                             std::string name) {
+  RIP_REQUIRE(parent < parent_.size(), "parent node does not exist");
+  RIP_REQUIRE(r_ohm >= 0, "edge resistance must be non-negative");
+  RIP_REQUIRE(cap_ff >= 0, "node capacitance must be non-negative");
+  const std::size_t id = parent_.size();
+  parent_.push_back(parent);
+  r_ohm_.push_back(r_ohm);
+  cap_ff_.push_back(cap_ff);
+  name_.push_back(std::move(name));
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  return id;
+}
+
+void RcTree::add_cap(std::size_t node, double cap_ff) {
+  RIP_REQUIRE(node < cap_ff_.size(), "node does not exist");
+  cap_ff_[node] += cap_ff;
+}
+
+std::size_t RcTree::parent(std::size_t node) const {
+  RIP_REQUIRE(node < parent_.size(), "node does not exist");
+  return parent_[node];
+}
+
+double RcTree::edge_resistance_ohm(std::size_t node) const {
+  RIP_REQUIRE(node < r_ohm_.size(), "node does not exist");
+  return r_ohm_[node];
+}
+
+std::vector<double> RcTree::downstream_cap_ff() const {
+  std::vector<double> cdown = cap_ff_;
+  // Children have larger indices than parents, so a reverse sweep
+  // accumulates subtrees bottom-up.
+  for (std::size_t i = parent_.size(); i-- > 1;) {
+    cdown[parent_[i]] += cdown[i];
+  }
+  return cdown;
+}
+
+std::vector<double> RcTree::elmore_delay_fs(
+    double driver_resistance_ohm) const {
+  const auto cdown = downstream_cap_ff();
+  std::vector<double> delay(parent_.size(), 0.0);
+  delay[kRoot] = driver_resistance_ohm * cdown[kRoot];
+  for (std::size_t i = 1; i < parent_.size(); ++i) {
+    delay[i] = delay[parent_[i]] + r_ohm_[i] * cdown[i];
+  }
+  return delay;
+}
+
+std::vector<double> RcTree::second_moment_fs2(
+    double driver_resistance_ohm) const {
+  const auto m1 = elmore_delay_fs(driver_resistance_ohm);
+  // Weighted downstream sums: w_i = C_i * m1_i accumulated over subtrees.
+  std::vector<double> wdown(parent_.size());
+  for (std::size_t i = 0; i < parent_.size(); ++i)
+    wdown[i] = cap_ff_[i] * m1[i];
+  for (std::size_t i = parent_.size(); i-- > 1;) {
+    wdown[parent_[i]] += wdown[i];
+  }
+  std::vector<double> m2(parent_.size(), 0.0);
+  m2[kRoot] = driver_resistance_ohm * wdown[kRoot];
+  for (std::size_t i = 1; i < parent_.size(); ++i) {
+    m2[i] = m2[parent_[i]] + r_ohm_[i] * wdown[i];
+  }
+  return m2;
+}
+
+}  // namespace rip::rc

@@ -1,0 +1,67 @@
+#pragma once
+
+/// @file tree.hpp
+/// General RC trees: the substrate for the paper's announced future-work
+/// extension to low-power interconnect *trees* (Section 7) and for the
+/// classic van Ginneken formulation the DP engine generalizes.
+///
+/// A tree has nodes with a lumped capacitance and edges with a lumped
+/// resistance toward the parent. Node 0 is the root (driver output).
+/// Parents must be created before children, so node indices are already
+/// a topological order.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rip::rc {
+
+/// Mutable RC tree builder + moment evaluator.
+class RcTree {
+ public:
+  static constexpr std::size_t kRoot = 0;
+
+  /// Create a tree with just the root (cap 0).
+  RcTree();
+
+  /// Add a node under `parent` connected through `r_ohm`, carrying
+  /// `cap_ff` to ground. Returns the new node id.
+  std::size_t add_node(std::size_t parent, double r_ohm, double cap_ff,
+                       std::string name = "");
+
+  /// Add capacitance to an existing node (e.g. a sink pin cap).
+  void add_cap(std::size_t node, double cap_ff);
+
+  std::size_t node_count() const { return parent_.size(); }
+  std::size_t parent(std::size_t node) const;
+  double edge_resistance_ohm(std::size_t node) const;
+  double node_cap_ff(std::size_t node) const { return cap_ff_.at(node); }
+  const std::string& node_name(std::size_t node) const {
+    return name_.at(node);
+  }
+  const std::vector<std::size_t>& children(std::size_t node) const {
+    return children_.at(node);
+  }
+
+  /// Total capacitance in the subtree rooted at each node.
+  std::vector<double> downstream_cap_ff() const;
+
+  /// Elmore delay (first transfer moment magnitude) from the root to each
+  /// node, optionally including a driver resistance at the root which
+  /// sees the entire tree capacitance.
+  std::vector<double> elmore_delay_fs(double driver_resistance_ohm = 0) const;
+
+  /// Second transfer moment magnitude m2 at each node (for D2M).
+  /// m2(i) = sum_k R(path_i ∩ path_k) * C_k * m1(k), computed with the
+  /// same downstream-accumulation trick as Elmore.
+  std::vector<double> second_moment_fs2(double driver_resistance_ohm = 0) const;
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<double> r_ohm_;
+  std::vector<double> cap_ff_;
+  std::vector<std::string> name_;
+  std::vector<std::vector<std::size_t>> children_;
+};
+
+}  // namespace rip::rc

@@ -1,0 +1,82 @@
+#include "sim/spice.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "rc/buffered_chain.hpp"
+#include "util/error.hpp"
+
+namespace rip::sim {
+
+namespace {
+std::string node(std::size_t stage, std::size_t idx) {
+  std::string name = "n";
+  name += std::to_string(stage);
+  name += '_';
+  name += std::to_string(idx);
+  return name;
+}
+}  // namespace
+
+void write_spice_deck(std::ostream& os, const net::Net& net,
+                      const net::RepeaterSolution& solution,
+                      const tech::RepeaterDevice& device,
+                      const SpiceOptions& opts) {
+  RIP_REQUIRE(opts.vdd_v > 0, "vdd must be positive");
+  const rc::BufferedChain chain(net, solution, device);
+  const auto& stages = chain.stages();
+
+  os << "* RIP buffered net '" << net.name() << "' — switch-level export\n";
+  os << "* " << solution.size() << " repeaters, total width "
+     << solution.total_width_u() << " u\n";
+  os << ".option post\n";
+  os << "Vsrc src 0 PULSE(0 " << opts.vdd_v << " 0 " << opts.rise_ps
+     << "p " << opts.rise_ps << "p " << opts.sim_window_ns / 2 << "n "
+     << opts.sim_window_ns << "n)\n";
+
+  std::size_t r_id = 0;
+  std::size_t c_id = 0;
+  std::size_t e_id = 0;
+  std::string stage_in = "src";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const auto& stage = stages[s];
+    os << "* stage " << s << ": driver width " << stage.driver_width_u
+       << " u, wire " << stage.from_um << ".." << stage.to_um << " um\n";
+    // Driver: unity-gain source + output resistance + parasitic cap.
+    const std::string drv_out = node(s, 0);
+    os << "E" << ++e_id << " " << "x" << s << " 0 " << stage_in << " 0 1\n";
+    os << "R" << ++r_id << " x" << s << " " << drv_out << " "
+       << device.rs_ohm / stage.driver_width_u << "\n";
+    os << "C" << ++c_id << " " << drv_out << " 0 "
+       << device.cp_ff * stage.driver_width_u << "f\n";
+    // Wire ladder.
+    std::size_t idx = 0;
+    std::string prev = drv_out;
+    for (const auto& piece : stage.pieces) {
+      const int n = std::max(
+          1, static_cast<int>(std::ceil(piece.length_um / opts.max_section_um)));
+      const double dl = piece.length_um / n;
+      for (int k = 0; k < n; ++k) {
+        const std::string cur = node(s, ++idx);
+        os << "R" << ++r_id << " " << prev << " " << cur << " "
+           << piece.r_ohm_per_um * dl << "\n";
+        os << "C" << ++c_id << " " << cur << " 0 " << piece.c_ff_per_um * dl
+           << "f\n";
+        prev = cur;
+      }
+    }
+    // Receiving gate input capacitance.
+    os << "C" << ++c_id << " " << prev << " 0 "
+       << device.co_ff * stage.load_width_u << "f\n";
+    stage_in = prev;
+  }
+
+  os << ".tran 1p " << opts.sim_window_ns << "n\n";
+  os << ".measure tran t50 trig v(src) val=" << opts.vdd_v / 2
+     << " rise=1 targ v(" << stage_in << ") val=" << opts.vdd_v / 2
+     << " rise=1\n";
+  os << ".end\n";
+}
+
+}  // namespace rip::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file spice.hpp
+/// SPICE deck export of a buffered net, so that RIP solutions can be
+/// validated with an external circuit simulator. Repeaters are emitted
+/// as the paper's switch-level model (Fig. 2): input capacitance C_o*w,
+/// an ideal unity-gain controlled source, output resistance R_s/w and
+/// output parasitic C_p*w. Signal inversion is abstracted away, exactly
+/// as in the paper's delay model.
+
+#include <iosfwd>
+
+#include "net/net.hpp"
+#include "net/solution.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::sim {
+
+/// Options controlling the emitted deck.
+struct SpiceOptions {
+  double vdd_v = 1.8;            ///< source swing
+  double rise_ps = 10.0;         ///< source edge rate
+  double sim_window_ns = 20.0;   ///< .tran window
+  double max_section_um = 50.0;  ///< wire discretization
+};
+
+/// Write a complete .sp deck (transient analysis, .measure of the 50%
+/// crossing at the receiver) for `net` buffered with `solution`.
+void write_spice_deck(std::ostream& os, const net::Net& net,
+                      const net::RepeaterSolution& solution,
+                      const tech::RepeaterDevice& device,
+                      const SpiceOptions& opts = {});
+
+}  // namespace rip::sim

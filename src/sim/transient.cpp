@@ -1,0 +1,127 @@
+#include "sim/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rc/buffered_chain.hpp"
+#include "rc/elmore.hpp"
+#include "util/error.hpp"
+#include "util/solver.hpp"
+
+namespace rip::sim {
+
+Ladder build_stage_ladder(const tech::RepeaterDevice& device,
+                          double driver_width_u,
+                          const std::vector<net::WirePiece>& pieces,
+                          double load_ff, double max_section_um) {
+  RIP_REQUIRE(driver_width_u > 0, "driver width must be positive");
+  RIP_REQUIRE(max_section_um > 0, "section length must be positive");
+  Ladder ladder;
+  // Node 0 sits directly at the driver output: it carries the driver's
+  // parasitic output capacitance C_p * w.
+  ladder.series_r_ohm.push_back(device.rs_ohm / driver_width_u);
+  ladder.shunt_c_ff.push_back(device.cp_ff * driver_width_u);
+  for (const auto& piece : pieces) {
+    const int n = std::max(1, static_cast<int>(
+                                  std::ceil(piece.length_um / max_section_um)));
+    const double dl = piece.length_um / n;
+    for (int k = 0; k < n; ++k) {
+      ladder.series_r_ohm.push_back(piece.r_ohm_per_um * dl);
+      ladder.shunt_c_ff.push_back(piece.c_ff_per_um * dl);
+    }
+  }
+  // Lumped receiver capacitance at the final node.
+  ladder.shunt_c_ff.back() += load_ff;
+  return ladder;
+}
+
+namespace {
+
+/// Elmore delay of the ladder itself (for auto time-step selection).
+double ladder_elmore_fs(const Ladder& ladder) {
+  double elmore = 0.0;
+  double upstream_r = 0.0;
+  // delay = sum_i C_i * R(path to i); ladder path resistance is a prefix.
+  std::vector<double> prefix_r(ladder.series_r_ohm.size());
+  for (std::size_t i = 0; i < ladder.series_r_ohm.size(); ++i) {
+    upstream_r += ladder.series_r_ohm[i];
+    prefix_r[i] = upstream_r;
+  }
+  for (std::size_t i = 0; i < ladder.shunt_c_ff.size(); ++i) {
+    elmore += ladder.shunt_c_ff[i] * prefix_r[i];
+  }
+  return elmore;
+}
+
+}  // namespace
+
+double ladder_t50_fs(const Ladder& ladder, const TransientOptions& opts) {
+  const std::size_t n = ladder.shunt_c_ff.size();
+  RIP_REQUIRE(n > 0, "empty ladder");
+  RIP_REQUIRE(ladder.series_r_ohm.size() == n, "ladder band size mismatch");
+  RIP_REQUIRE(opts.threshold > 0 && opts.threshold < 1,
+              "threshold must be in (0,1)");
+
+  const double elmore = ladder_elmore_fs(ladder);
+  RIP_REQUIRE(elmore > 0, "ladder has no RC product");
+  const double dt = opts.dt_fs > 0 ? opts.dt_fs : elmore / 400.0;
+  const double t_max = opts.max_time_factor * elmore;
+
+  // Backward Euler: (G + C/dt) v_{k+1} = (C/dt) v_k + b, unit step input.
+  // G is tridiagonal: node i couples to i-1 via 1/r_i and to i+1 via
+  // 1/r_{i+1}; node 0 couples to the source via 1/r_0.
+  std::vector<double> g(n);  // conductance of series_r
+  for (std::size_t i = 0; i < n; ++i) {
+    RIP_REQUIRE(ladder.series_r_ohm[i] > 0,
+                "ladder series resistance must be positive");
+    g[i] = 1.0 / ladder.series_r_ohm[i];
+  }
+  std::vector<double> diag(n), lower(n), upper(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = g[i] + (i + 1 < n ? g[i + 1] : 0.0) + ladder.shunt_c_ff[i] / dt;
+    lower[i] = (i > 0) ? -g[i] : 0.0;
+    upper[i] = (i + 1 < n) ? -g[i + 1] : 0.0;
+  }
+
+  std::vector<double> v(n, 0.0);
+  std::vector<double> rhs(n);
+  double v_prev_out = 0.0;
+  for (double t = dt; t <= t_max; t += dt) {
+    for (std::size_t i = 0; i < n; ++i)
+      rhs[i] = ladder.shunt_c_ff[i] / dt * v[i];
+    rhs[0] += g[0] * 1.0;  // unit step source through the driver resistor
+    v = solve_tridiagonal(lower, diag, upper, rhs);
+    const double v_out = v[n - 1];
+    if (v_out >= opts.threshold) {
+      // Linear interpolation inside the step that crossed.
+      const double frac =
+          (opts.threshold - v_prev_out) / (v_out - v_prev_out);
+      return t - dt + frac * dt;
+    }
+    v_prev_out = v_out;
+  }
+  throw Error("transient simulation did not reach the threshold within " +
+              std::to_string(t_max) + " fs");
+}
+
+double stage_t50_fs(const tech::RepeaterDevice& device, double driver_width_u,
+                    const std::vector<net::WirePiece>& pieces, double load_ff,
+                    const TransientOptions& opts) {
+  const Ladder ladder = build_stage_ladder(device, driver_width_u, pieces,
+                                           load_ff, opts.max_section_um);
+  return ladder_t50_fs(ladder, opts);
+}
+
+double chain_t50_fs(const net::Net& net, const net::RepeaterSolution& solution,
+                    const tech::RepeaterDevice& device,
+                    const TransientOptions& opts) {
+  const rc::BufferedChain chain(net, solution, device);
+  double total = 0.0;
+  for (const auto& stage : chain.stages()) {
+    total += stage_t50_fs(device, stage.driver_width_u, stage.pieces,
+                          device.co_ff * stage.load_width_u, opts);
+  }
+  return total;
+}
+
+}  // namespace rip::sim

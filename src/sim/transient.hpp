@@ -1,0 +1,63 @@
+#pragma once
+
+/// @file transient.hpp
+/// Backward-Euler transient simulation of RC ladders.
+///
+/// This is the ground truth used in tests to validate the Elmore engine:
+/// Elmore is an upper bound on the 50% step-response delay of an RC
+/// ladder, is exact to within ln(2) for a single pole, and preserves
+/// ordering between competing buffering solutions. The simulator plays the
+/// role the authors' circuit simulator plays for their delay model.
+///
+/// A repeater stage is simulated as: ideal unit step -> driver resistance
+/// R_s/w -> discretized wire ladder -> lumped load. Stages are decoupled
+/// through repeaters exactly as in the paper's switch-level model, so the
+/// buffered-net delay is the sum of per-stage delays.
+
+#include <vector>
+
+#include "net/net.hpp"
+#include "net/solution.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::sim {
+
+/// Knobs for the transient run.
+struct TransientOptions {
+  double max_section_um = 25.0;  ///< wire discretization granularity
+  double dt_fs = 0.0;            ///< time step; 0 = auto (Elmore / 400)
+  double threshold = 0.5;        ///< measure delay at this fraction of Vdd
+  double max_time_factor = 40.0; ///< abort after this multiple of Elmore
+};
+
+/// A discretized RC ladder: node i is connected to node i-1 through
+/// series_r[i] (node 0 connects to the source through series_r[0]) and
+/// carries shunt_c[i] to ground.
+struct Ladder {
+  std::vector<double> series_r_ohm;
+  std::vector<double> shunt_c_ff;
+};
+
+/// Build the ladder for one stage: driver resistance, discretized wire,
+/// lumped load capacitance at the final node.
+Ladder build_stage_ladder(const tech::RepeaterDevice& device,
+                          double driver_width_u,
+                          const std::vector<net::WirePiece>& pieces,
+                          double load_ff, double max_section_um);
+
+/// Time for the last ladder node to cross `threshold` of the step input,
+/// by backward-Euler integration with linear interpolation at the
+/// crossing. Throws if the waveform fails to cross within the time budget.
+double ladder_t50_fs(const Ladder& ladder, const TransientOptions& opts = {});
+
+/// 50% delay of a single repeater stage (driver width `w`, wire, load).
+double stage_t50_fs(const tech::RepeaterDevice& device, double driver_width_u,
+                    const std::vector<net::WirePiece>& pieces, double load_ff,
+                    const TransientOptions& opts = {});
+
+/// 50% delay of a fully buffered net: sum of per-stage delays.
+double chain_t50_fs(const net::Net& net, const net::RepeaterSolution& solution,
+                    const tech::RepeaterDevice& device,
+                    const TransientOptions& opts = {});
+
+}  // namespace rip::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file tech_io.hpp
+/// Text serialization of Technology objects. A minimal line-oriented
+/// format ("RIPTECH v1") so that alternative kits can be supplied without
+/// recompiling:
+///
+///     riptech 1
+///     name tech180
+///     device rs_ohm 36000 co_ff 1.8 cp_ff 1.6 min_u 1 max_u 1000
+///     layer metal4 r_ohm_per_um 0.108 c_ff_per_um 0.21
+///     layer metal5 r_ohm_per_um 0.088 c_ff_per_um 0.24
+///     power activity 0.15 vdd_v 1.8 freq_ghz 0.8 beta_nw_per_u 4
+///
+/// Lines beginning with '#' are comments.
+
+#include <iosfwd>
+#include <string>
+
+#include "tech/technology.hpp"
+
+namespace rip::tech {
+
+/// Parse a technology from a stream; throws rip::Error with a line number
+/// on malformed input.
+Technology read_technology(std::istream& is);
+
+/// Parse a technology from a file path.
+Technology read_technology_file(const std::string& path);
+
+/// Serialize; `read_technology` round-trips the output exactly.
+void write_technology(std::ostream& os, const Technology& tech);
+
+}  // namespace rip::tech

@@ -1,0 +1,61 @@
+#include "tech/technology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rip::tech {
+
+double PowerModel::gamma_nw_per_u(double co_ff, double cp_ff) const {
+  // alpha * Vdd^2 * f * C  with C in fF and f in GHz gives power in
+  // fF * V^2 * 1e9 / s = 1e-6 W * 1e-9... work in consistent units:
+  // P[W] = alpha * Vdd^2 [V^2] * f[Hz] * C[F].
+  // C per u = (co + cp) fF = (co + cp) * 1e-15 F; f = freq_ghz * 1e9 Hz.
+  // => P per u [W] = alpha * vdd^2 * freq_ghz * (co+cp) * 1e-6
+  // => in nW: * 1e9 = alpha * vdd^2 * freq_ghz * (co+cp) * 1e3.
+  const double dynamic_nw =
+      activity * vdd_v * vdd_v * freq_ghz * (co_ff + cp_ff) * 1e3;
+  return dynamic_nw + beta_nw_per_u;
+}
+
+double PowerModel::repeater_power_nw(double width_u, double co_ff,
+                                     double cp_ff) const {
+  return gamma_nw_per_u(co_ff, cp_ff) * width_u;
+}
+
+Technology::Technology(std::string name, RepeaterDevice device,
+                       std::vector<MetalLayer> layers, PowerModel power)
+    : name_(std::move(name)),
+      device_(device),
+      layers_(std::move(layers)),
+      power_(power) {
+  RIP_REQUIRE(!name_.empty(), "technology name must not be empty");
+  RIP_REQUIRE(device_.rs_ohm > 0, "unit repeater resistance must be positive");
+  RIP_REQUIRE(device_.co_ff > 0, "unit input capacitance must be positive");
+  RIP_REQUIRE(device_.cp_ff >= 0,
+              "unit output capacitance must be non-negative");
+  RIP_REQUIRE(device_.min_width_u > 0 &&
+                  device_.min_width_u <= device_.max_width_u,
+              "repeater width bounds out of order");
+  RIP_REQUIRE(!layers_.empty(), "technology needs at least one layer");
+  for (const auto& l : layers_) {
+    RIP_REQUIRE(!l.name.empty(), "layer name must not be empty");
+    RIP_REQUIRE(l.r_ohm_per_um > 0 && l.c_ff_per_um > 0,
+                "layer RC must be positive: " + l.name);
+  }
+}
+
+const MetalLayer& Technology::layer(const std::string& name) const {
+  const auto it =
+      std::find_if(layers_.begin(), layers_.end(),
+                   [&](const MetalLayer& l) { return l.name == name; });
+  RIP_REQUIRE(it != layers_.end(), "unknown layer: " + name);
+  return *it;
+}
+
+bool Technology::has_layer(const std::string& name) const {
+  return std::any_of(layers_.begin(), layers_.end(),
+                     [&](const MetalLayer& l) { return l.name == name; });
+}
+
+}  // namespace rip::tech

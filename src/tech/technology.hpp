@@ -1,0 +1,82 @@
+#pragma once
+
+/// @file technology.hpp
+/// Technology model: the electrical parameters the repeater-insertion
+/// algorithms consume. Mirrors the quantities named in the paper:
+/// the switch-level repeater model (R_s, C_o, C_p of a unit-size repeater,
+/// Fig. 2), per-unit-length wire RC of each routing layer, and the power
+/// model constants of Eq. (3).
+
+#include <string>
+#include <vector>
+
+namespace rip::tech {
+
+/// One routing layer with its per-unit-length RC characteristics.
+struct MetalLayer {
+  std::string name;        ///< e.g. "metal4"
+  double r_ohm_per_um = 0; ///< wire resistance per micron [Ohm/um]
+  double c_ff_per_um = 0;  ///< wire capacitance per micron [fF/um]
+};
+
+/// Switch-level model of the repeater family (Fig. 2 of the paper).
+/// A repeater of width `w` (in units of the minimal width u) has output
+/// resistance `rs_ohm / w`, input capacitance `co_ff * w` and parasitic
+/// output capacitance `cp_ff * w`.
+struct RepeaterDevice {
+  double rs_ohm = 0;       ///< unit-size output resistance R_s [Ohm]
+  double co_ff = 0;        ///< unit-size input capacitance C_o [fF]
+  double cp_ff = 0;        ///< unit-size output capacitance C_p [fF]
+  double min_width_u = 1;  ///< smallest manufacturable width [u]
+  double max_width_u = 1e9;///< largest allowed width [u]
+};
+
+/// Constants of the repeater power model, Eq. (3):
+///   P = alpha * Vdd^2 * f * C_total_load + sum_i beta * w_i.
+/// Because C_total_load is linear in total width, P = c + gamma * sum w_i
+/// (Eq. 4); `gamma_fw_per_u()` exposes that slope.
+struct PowerModel {
+  double activity = 0.15;      ///< switching activity alpha
+  double vdd_v = 1.8;          ///< supply voltage [V]
+  double freq_ghz = 1.0;       ///< clock frequency [GHz]
+  double beta_nw_per_u = 5.0;  ///< leakage slope beta [nW per u of width]
+
+  /// Dynamic + leakage power of a repeater of width `w` (total gate load
+  /// C = (C_o + C_p) * w), in nanowatts.
+  double repeater_power_nw(double width_u, double co_ff, double cp_ff) const;
+
+  /// Power slope gamma in nW per unit width (Eq. 4).
+  double gamma_nw_per_u(double co_ff, double cp_ff) const;
+};
+
+/// A complete technology: device + layer stack + power constants.
+class Technology {
+ public:
+  Technology(std::string name, RepeaterDevice device,
+             std::vector<MetalLayer> layers, PowerModel power);
+
+  const std::string& name() const { return name_; }
+  const RepeaterDevice& device() const { return device_; }
+  const PowerModel& power() const { return power_; }
+  const std::vector<MetalLayer>& layers() const { return layers_; }
+
+  /// Look up a layer by name; throws rip::Error if absent.
+  const MetalLayer& layer(const std::string& name) const;
+
+  /// True if a layer with this name exists.
+  bool has_layer(const std::string& name) const;
+
+ private:
+  std::string name_;
+  RepeaterDevice device_;
+  std::vector<MetalLayer> layers_;
+  PowerModel power_;
+};
+
+/// The built-in 0.18 um kit used by all experiments. Values are synthetic
+/// but physically plausible; they are calibrated so that the minimum delay
+/// of the paper's net population (Section 6) lands in the nanosecond range
+/// of Fig. 7. See DESIGN.md §5 for the substitution rationale.
+Technology make_tech180();
+
+}  // namespace rip::tech

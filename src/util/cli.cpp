@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rip {
+
+CliArgs CliArgs::parse(int argc, const char* const* argv,
+                       const std::set<std::string>& boolean_flags) {
+  CliArgs args;
+  int i = 1;  // skip program name
+  // Leading positional = subcommand.
+  if (i < argc && argv[i][0] != '-') {
+    args.command_ = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    const std::string token = argv[i];
+    RIP_REQUIRE(starts_with(token, "--"),
+                "unexpected positional argument '" + token + "'");
+    const std::string name = token.substr(2);
+    RIP_REQUIRE(!name.empty(), "empty option name");
+    if (boolean_flags.count(name) > 0) {
+      args.flags_.insert(name);
+      continue;
+    }
+    RIP_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+    args.options_[name] = argv[++i];
+  }
+  return args;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  touched_.insert(name);
+  return flags_.count(name) > 0 || options_.count(name) > 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  touched_.insert(name);
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double CliArgs::get_double_or(const std::string& name,
+                              double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return parse_double(*v, "--" + name);
+}
+
+int CliArgs::get_int_or(const std::string& name, int fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return parse_int(*v, "--" + name);
+}
+
+std::string CliArgs::require(const std::string& name) const {
+  const auto v = get(name);
+  RIP_REQUIRE(v.has_value(), "missing required option --" + name);
+  return *v;
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_) {
+    (void)value;
+    if (touched_.count(name) == 0) out.push_back(name);
+  }
+  for (const auto& name : flags_) {
+    if (touched_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace rip

@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file cli.hpp
+/// A small command-line argument parser for the rip_cli tool and other
+/// executables: one positional subcommand followed by `--key value`
+/// options and `--flag` booleans.
+///
+///     rip_cli solve --net my.net --target-ns 2.5 --spice out.sp
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rip {
+
+/// Parsed command line.
+class CliArgs {
+ public:
+  /// Parse argv. The first non-flag token becomes the subcommand (may be
+  /// empty). Throws rip::Error on a malformed line (option without value,
+  /// unexpected extra positionals).
+  /// @param boolean_flags  names (without "--") that take no value.
+  static CliArgs parse(int argc, const char* const* argv,
+                       const std::set<std::string>& boolean_flags = {});
+
+  const std::string& command() const { return command_; }
+
+  /// True if --name was given (as a boolean flag or with a value).
+  bool has(const std::string& name) const;
+
+  /// Value of --name, or nullopt.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// Value of --name, or `fallback`.
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const;
+
+  /// Numeric accessors; throw rip::Error on malformed numbers.
+  double get_double_or(const std::string& name, double fallback) const;
+  int get_int_or(const std::string& name, int fallback) const;
+
+  /// Value of a mandatory option; throws with a helpful message.
+  std::string require(const std::string& name) const;
+
+  /// Option names that were parsed but never read — lets tools reject
+  /// typos ("--targt-ns") instead of silently ignoring them.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> options_;
+  std::set<std::string> flags_;
+  mutable std::set<std::string> touched_;
+};
+
+}  // namespace rip

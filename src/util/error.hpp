@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file error.hpp
+/// Error handling primitives for the RIP library.
+///
+/// All recoverable errors (bad input files, invalid nets, infeasible
+/// configurations the caller could have produced) throw `rip::Error`.
+/// Internal invariant violations use `RIP_ASSERT`, which also throws so
+/// that tests can exercise failure paths without aborting the process.
+
+#include <stdexcept>
+#include <string>
+
+namespace rip {
+
+/// Exception type for all errors raised by the RIP library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw Error(full);
+}
+}  // namespace detail
+
+}  // namespace rip
+
+/// Validate a caller-supplied precondition; throws rip::Error on failure.
+#define RIP_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::rip::detail::raise("precondition", #cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Validate an internal invariant; throws rip::Error on failure.
+#define RIP_ASSERT(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::rip::detail::raise("invariant", #cond, __FILE__, __LINE__, msg);  \
+  } while (0)

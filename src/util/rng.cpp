@@ -1,0 +1,62 @@
+#include "util/rng.hpp"
+
+#include "util/error.hpp"
+
+namespace rip {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RIP_REQUIRE(lo <= hi, "uniform() bounds out of order");
+  return lo + (hi - lo) * uniform01();
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  RIP_REQUIRE(lo <= hi, "uniform_int() bounds out of order");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+  // Rejection-free modulo is fine here: span is tiny relative to 2^64,
+  // so the bias is far below anything observable in our workloads.
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+bool Rng::bernoulli(double p) { return uniform01() < p; }
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace rip

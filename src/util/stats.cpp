@@ -1,0 +1,56 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rip {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  RIP_REQUIRE(count_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStats::min() const {
+  RIP_REQUIRE(count_ > 0, "min of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  RIP_REQUIRE(count_ > 0, "max of empty sample");
+  return max_;
+}
+
+double RunningStats::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+double percentile(std::vector<double> sample, double q) {
+  RIP_REQUIRE(!sample.empty(), "percentile of empty sample");
+  RIP_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample.front();
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+}  // namespace rip

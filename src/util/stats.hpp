@@ -1,0 +1,40 @@
+#pragma once
+
+/// @file stats.hpp
+/// Streaming statistics used by the experiment harnesses to aggregate
+/// per-net / per-target metrics into the rows the paper reports
+/// (ΔMax, ΔMean, averages over the net population).
+
+#include <cstddef>
+#include <vector>
+
+namespace rip {
+
+/// Welford streaming accumulator: count / mean / min / max / stddev.
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `q` in [0, 1]. Throws on an empty sample.
+double percentile(std::vector<double> sample, double q);
+
+}  // namespace rip

@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file strings.hpp
+/// Small string helpers (formatting, trimming, splitting) shared by the
+/// tech/net file parsers and the table writers. libstdc++ 12 does not ship
+/// std::format, so numeric formatting goes through snprintf wrappers.
+
+#include <string>
+#include <vector>
+
+namespace rip {
+
+/// printf-style double with fixed decimals, e.g. fmt_f(3.14159, 2) == "3.14".
+std::string fmt_f(double v, int decimals);
+
+/// Fixed decimals followed by a unit suffix, e.g. "12.50 ns".
+std::string fmt_unit(double v, int decimals, const std::string& unit);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Split on any run of ASCII whitespace; no empty tokens.
+std::vector<std::string> split_ws(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Parse a double, throwing rip::Error with `context` on failure.
+double parse_double(const std::string& s, const std::string& context);
+
+/// Parse an int, throwing rip::Error with `context` on failure.
+int parse_int(const std::string& s, const std::string& context);
+
+}  // namespace rip

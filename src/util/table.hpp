@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file table.hpp
+/// Column-aligned text tables and CSV emission for the benchmark
+/// harnesses. Each bench binary prints the rows of the paper table it
+/// regenerates through this writer, so the output is both human-readable
+/// and machine-parsable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rip {
+
+/// A simple table: header row plus data rows of strings.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns (two-space gutters).
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no quoting — cells must not contain commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rip

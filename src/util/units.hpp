@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file units.hpp
+/// Unit conventions used throughout the RIP library.
+///
+/// All physical quantities are plain `double`s with a fixed unit convention,
+/// chosen so that the products that appear in Elmore delay come out in a
+/// single consistent time unit with no conversion factors:
+///
+///   - length:       micrometers (um)
+///   - resistance:   ohms (Ohm)
+///   - capacitance:  femtofarads (fF)
+///   - time:         femtoseconds (fs)   — because Ohm * fF = fs exactly
+///   - repeater width: multiples of the minimal repeater width "u"
+///                     (dimensionless; the paper's `u`)
+///
+/// Variable names carry the unit as a suffix (`length_um`, `cap_ff`,
+/// `delay_fs`, `width_u`) so that mismatched arithmetic is visible at the
+/// call site.
+
+namespace rip::units {
+
+/// Femtoseconds per nanosecond.
+inline constexpr double kFsPerNs = 1.0e6;
+
+/// Femtoseconds per picosecond.
+inline constexpr double kFsPerPs = 1.0e3;
+
+/// Femtofarads per picofarad.
+inline constexpr double kFfPerPf = 1.0e3;
+
+/// Convert nanoseconds to the library time unit (fs).
+constexpr double ns_to_fs(double ns) { return ns * kFsPerNs; }
+
+/// Convert the library time unit (fs) to nanoseconds.
+constexpr double fs_to_ns(double fs) { return fs / kFsPerNs; }
+
+/// Convert picoseconds to fs.
+constexpr double ps_to_fs(double ps) { return ps * kFsPerPs; }
+
+/// Convert fs to picoseconds.
+constexpr double fs_to_ps(double fs) { return fs / kFsPerPs; }
+
+}  // namespace rip::units

@@ -1,0 +1,111 @@
+// Tests for the command-line argument parser and the RIPSOL solution
+// serialization used by the rip_cli tool.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "net/solution_io.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace rip {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> tokens,
+              const std::set<std::string>& flags = {}) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data(), flags);
+}
+
+TEST(CliArgs, ParsesSubcommandAndOptions) {
+  const auto args =
+      parse({"solve", "--net", "a.net", "--target-x", "1.3"});
+  EXPECT_EQ(args.command(), "solve");
+  EXPECT_EQ(args.require("net"), "a.net");
+  EXPECT_DOUBLE_EQ(args.get_double_or("target-x", 0.0), 1.3);
+}
+
+TEST(CliArgs, EmptyCommandLine) {
+  const auto args = parse({});
+  EXPECT_EQ(args.command(), "");
+  EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(CliArgs, BooleanFlagsTakeNoValue) {
+  const auto args =
+      parse({"solve", "--zone-hop", "--net", "a.net"}, {"zone-hop"});
+  EXPECT_TRUE(args.has("zone-hop"));
+  EXPECT_EQ(args.require("net"), "a.net");
+}
+
+TEST(CliArgs, DefaultsAndFallbacks) {
+  const auto args = parse({"sweep"});
+  EXPECT_EQ(args.get_or("csv", "none"), "none");
+  EXPECT_EQ(args.get_int_or("points", 11), 11);
+  EXPECT_FALSE(args.get("csv").has_value());
+}
+
+TEST(CliArgs, ErrorsOnMalformedInput) {
+  EXPECT_THROW(parse({"solve", "--net"}), Error);       // missing value
+  EXPECT_THROW(parse({"solve", "stray"}), Error);       // extra positional
+  EXPECT_THROW(parse({"solve", "--"}), Error);          // empty name
+  const auto args = parse({"solve", "--points", "abc"});
+  EXPECT_THROW(args.get_int_or("points", 1), Error);
+  EXPECT_THROW(args.require("net"), Error);
+}
+
+TEST(CliArgs, TracksUnusedOptions) {
+  const auto args = parse({"solve", "--net", "a.net", "--typo", "x"});
+  (void)args.require("net");
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+// ------------------------------------------------------------ solution io
+
+TEST(SolutionIo, RoundTrip) {
+  const net::RepeaterSolution original({{2250.0, 80.0}, {7000.0, 90.0}});
+  std::ostringstream os;
+  net::write_solution(os, original, "my_net");
+  std::istringstream is(os.str());
+  const auto parsed = net::read_solution(is);
+  EXPECT_EQ(parsed.net_name, "my_net");
+  ASSERT_EQ(parsed.solution.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.solution.repeaters()[0].position_um, 2250.0);
+  EXPECT_DOUBLE_EQ(parsed.solution.repeaters()[1].width_u, 90.0);
+}
+
+TEST(SolutionIo, EmptySolutionRoundTrips) {
+  std::ostringstream os;
+  net::write_solution(os, net::RepeaterSolution{}, "");
+  std::istringstream is(os.str());
+  const auto parsed = net::read_solution(is);
+  EXPECT_TRUE(parsed.solution.empty());
+  EXPECT_TRUE(parsed.net_name.empty());
+}
+
+TEST(SolutionIo, RejectsMalformedInput) {
+  std::istringstream no_header("repeater x_um 10 w_u 5\n");
+  EXPECT_THROW(net::read_solution(no_header), Error);
+  std::istringstream bad_line("ripsol 1\nrepeater 10 5\n");
+  EXPECT_THROW(net::read_solution(bad_line), Error);
+  std::istringstream unknown("ripsol 1\nfoo bar\n");
+  EXPECT_THROW(net::read_solution(unknown), Error);
+}
+
+TEST(SolutionIo, MissingFileThrows) {
+  EXPECT_THROW(net::read_solution_file("/nonexistent/x.sol"), Error);
+}
+
+TEST(SolutionIo, AcceptsComments) {
+  std::istringstream is(
+      "# produced by rip_cli\nripsol 1\nnet n\nrepeater x_um 100 w_u 20\n");
+  const auto parsed = net::read_solution(is);
+  EXPECT_EQ(parsed.solution.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rip

@@ -1,0 +1,129 @@
+// Property tests proving the chain DP optimal against exhaustive
+// enumeration on small instances, across randomized nets, libraries and
+// targets. Because the brute-force reference evaluates every assignment
+// with the independent rc::BufferedChain evaluator, agreement here
+// validates both the DP's search and its incremental Elmore bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "dp/brute_force.hpp"
+#include "dp/chain_dp.hpp"
+#include "dp/library.hpp"
+#include "net/candidates.hpp"
+#include "rc/buffered_chain.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rip::dp {
+namespace {
+
+struct SmallInstance {
+  net::Net net;
+  RepeaterLibrary library;
+  std::vector<double> candidates;
+};
+
+SmallInstance random_small_instance(Rng& rng) {
+  net::NetBuilder builder("small");
+  builder.driver(rng.uniform(5.0, 20.0)).receiver(rng.uniform(2.0, 10.0));
+  const int segments = rng.uniform_int(1, 3);
+  for (int s = 0; s < segments; ++s) {
+    builder.segment(rng.uniform(500.0, 2000.0), rng.uniform(0.05, 0.2),
+                    rng.uniform(0.1, 0.3));
+  }
+  net::Net n = builder.build();
+
+  std::vector<double> widths;
+  const int lib_size = rng.uniform_int(2, 3);
+  for (int i = 0; i < lib_size; ++i) widths.push_back(rng.uniform(2.0, 40.0));
+  RepeaterLibrary lib(std::move(widths));
+
+  // 3-5 candidate positions.
+  const int n_cand = rng.uniform_int(3, 5);
+  std::vector<double> cands;
+  const double total = n.total_length_um();
+  for (int i = 1; i <= n_cand; ++i) {
+    cands.push_back(total * i / (n_cand + 1));
+  }
+  return SmallInstance{std::move(n), std::move(lib), std::move(cands)};
+}
+
+class DpVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpVsBruteForce, PowerModeMatchesExhaustiveOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const auto device = test::simple_device();
+  for (int round = 0; round < 8; ++round) {
+    SmallInstance inst = random_small_instance(rng);
+    const double unbuffered =
+        rc::elmore_delay_fs(inst.net, {}, device);
+    // Sweep targets from very tight (possibly infeasible) to loose.
+    for (const double factor : {0.3, 0.6, 0.8, 1.0, 1.5}) {
+      const double tau_t = unbuffered * factor;
+      const auto bf = brute_force(inst.net, device, inst.library,
+                                  inst.candidates, tau_t);
+      ChainDpOptions opts;
+      opts.mode = Mode::kMinPower;
+      opts.timing_target_fs = tau_t;
+      const auto dp = run_chain_dp(inst.net, device, inst.library,
+                                   inst.candidates, opts);
+      ASSERT_EQ(dp.status == Status::kOptimal, bf.feasible)
+          << "feasibility mismatch at factor " << factor;
+      if (bf.feasible) {
+        EXPECT_NEAR(dp.total_width_u, bf.total_width_u, 1e-9)
+            << "optimum mismatch at factor " << factor;
+        // The DP's solution must itself be feasible per the independent
+        // evaluator.
+        const double check =
+            rc::elmore_delay_fs(inst.net, dp.solution, device);
+        EXPECT_LE(check, tau_t + 1e-6);
+      }
+    }
+  }
+}
+
+TEST_P(DpVsBruteForce, DelayModeMatchesExhaustiveMinimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const auto device = test::simple_device();
+  for (int round = 0; round < 8; ++round) {
+    SmallInstance inst = random_small_instance(rng);
+    const auto bf = brute_force(inst.net, device, inst.library,
+                                inst.candidates, 1.0);  // target unused
+    ChainDpOptions opts;
+    opts.mode = Mode::kMinDelay;
+    const auto dp = run_chain_dp(inst.net, device, inst.library,
+                                 inst.candidates, opts);
+    EXPECT_NEAR(dp.delay_fs, bf.min_delay_fs, 1e-6 * bf.min_delay_fs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpVsBruteForce,
+                         ::testing::Range(1, 9));
+
+TEST(BruteForce, GuardsAgainstBlowup) {
+  Rng rng(1);
+  const auto device = test::simple_device();
+  SmallInstance inst = random_small_instance(rng);
+  std::vector<double> many_candidates;
+  for (double x = 10.0; x < inst.net.total_length_um(); x += 10.0) {
+    many_candidates.push_back(x);
+  }
+  EXPECT_THROW(brute_force(inst.net, device, inst.library, many_candidates,
+                           1e6, 1000),
+               Error);
+}
+
+TEST(BruteForce, CountsAssignments) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  const RepeaterLibrary lib({5.0, 10.0});
+  const auto bf = brute_force(n, device, lib, {250.0, 500.0}, 1e9);
+  // (|lib|+1)^2 = 9 assignments.
+  EXPECT_EQ(bf.assignments, 9u);
+  EXPECT_TRUE(bf.feasible);
+  EXPECT_DOUBLE_EQ(bf.total_width_u, 0.0);  // loose target: no repeaters
+}
+
+}  // namespace
+}  // namespace rip::dp

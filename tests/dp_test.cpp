@@ -1,0 +1,437 @@
+// Unit tests for the DP module: libraries, Pareto pruning, and the chain
+// DP engine (feasibility, correctness of the incremental Elmore
+// bookkeeping, zone handling, tau_min).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dp/brute_force.hpp"
+#include "dp/chain_dp.hpp"
+#include "dp/library.hpp"
+#include "dp/min_delay.hpp"
+#include "dp/pareto.hpp"
+#include "net/candidates.hpp"
+#include "rc/buffered_chain.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rip::dp {
+namespace {
+
+// -------------------------------------------------------------- library
+
+TEST(Library, UniformFactory) {
+  const auto lib = RepeaterLibrary::uniform(10.0, 20.0, 10);
+  ASSERT_EQ(lib.size(), 10u);
+  EXPECT_DOUBLE_EQ(lib.min_width_u(), 10.0);
+  EXPECT_DOUBLE_EQ(lib.max_width_u(), 10.0 + 9 * 20.0);
+  EXPECT_DOUBLE_EQ(lib.widths_u()[1], 30.0);
+}
+
+TEST(Library, RangeFactoryStartsAtGranularityMultiple) {
+  const auto lib = RepeaterLibrary::range(10.0, 400.0, 40.0);
+  EXPECT_DOUBLE_EQ(lib.min_width_u(), 40.0);
+  EXPECT_DOUBLE_EQ(lib.max_width_u(), 400.0);
+  ASSERT_EQ(lib.size(), 10u);
+  const auto lib10 = RepeaterLibrary::range(10.0, 400.0, 10.0);
+  EXPECT_EQ(lib10.size(), 40u);
+  EXPECT_DOUBLE_EQ(lib10.min_width_u(), 10.0);
+}
+
+TEST(Library, SortsAndDeduplicates) {
+  const RepeaterLibrary lib({30.0, 10.0, 30.0, 20.0});
+  ASSERT_EQ(lib.size(), 3u);
+  EXPECT_DOUBLE_EQ(lib.widths_u()[0], 10.0);
+  EXPECT_DOUBLE_EQ(lib.widths_u()[2], 30.0);
+}
+
+TEST(Library, RoundToLibrary) {
+  const RepeaterLibrary lib({10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(lib.round_to_library(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(lib.round_to_library(14.0), 10.0);
+  EXPECT_DOUBLE_EQ(lib.round_to_library(16.0), 20.0);
+  EXPECT_DOUBLE_EQ(lib.round_to_library(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(lib.round_to_library(30.0), 40.0);  // ties round up
+}
+
+TEST(Library, FromRoundingBracketsEachWidth) {
+  const auto lib =
+      RepeaterLibrary::from_rounding({62.2, 118.0}, 10.0, 10.0, 400.0);
+  // 62.2 -> {60, 70}; 118 -> {110, 120}.
+  ASSERT_EQ(lib.size(), 4u);
+  EXPECT_DOUBLE_EQ(lib.widths_u()[0], 60.0);
+  EXPECT_DOUBLE_EQ(lib.widths_u()[1], 70.0);
+  EXPECT_DOUBLE_EQ(lib.widths_u()[2], 110.0);
+  EXPECT_DOUBLE_EQ(lib.widths_u()[3], 120.0);
+}
+
+TEST(Library, FromRoundingClampsToBounds) {
+  const auto lib = RepeaterLibrary::from_rounding({3.0, 999.0}, 10.0, 10.0,
+                                                  400.0);
+  EXPECT_DOUBLE_EQ(lib.min_width_u(), 10.0);
+  EXPECT_DOUBLE_EQ(lib.max_width_u(), 400.0);
+}
+
+TEST(Library, ExactMultipleRoundsToItselfOnly) {
+  const auto lib = RepeaterLibrary::from_rounding({80.0}, 10.0, 10.0, 400.0);
+  ASSERT_EQ(lib.size(), 1u);
+  EXPECT_DOUBLE_EQ(lib.widths_u()[0], 80.0);
+}
+
+TEST(Library, InvalidInputsThrow) {
+  EXPECT_THROW(RepeaterLibrary({}), Error);
+  EXPECT_THROW(RepeaterLibrary({-1.0}), Error);
+  EXPECT_THROW(RepeaterLibrary::uniform(0.0, 10.0, 5), Error);
+  EXPECT_THROW(RepeaterLibrary::uniform(10.0, 0.0, 5), Error);
+  EXPECT_THROW(RepeaterLibrary::uniform(10.0, 10.0, 0), Error);
+  EXPECT_THROW(RepeaterLibrary::range(100.0, 10.0, 10.0), Error);
+}
+
+// --------------------------------------------------------------- pareto
+
+TEST(Pareto, DominatesRelation) {
+  const Label a{10.0, 100.0, 5.0, -1, -1, -1, 0};
+  const Label b{12.0, 90.0, 6.0, -1, -1, -1, 0};
+  EXPECT_TRUE(dominates(a, b, true));
+  EXPECT_FALSE(dominates(b, a, true));
+  EXPECT_TRUE(dominates(a, a, true));
+  // Width ignored in 2-D mode.
+  const Label c{10.0, 100.0, 99.0, -1, -1, -1, 0};
+  EXPECT_TRUE(dominates(c, b, false));
+  EXPECT_FALSE(dominates(c, b, true));
+}
+
+TEST(Pareto, PruneKeepsFrontierOnly3D) {
+  std::vector<Label> labels{
+      {10, 100, 5, -1, -1, -1, 0},   // dominated by (10, 100, 4)
+      {12, 90, 6, -1, -1, -1, 0},    // dominated by (10, 100, 5)
+      {8, 80, 9, -1, -1, -1, 0},     // kept (smallest C)
+      {10, 110, 9, -1, -1, -1, 0},   // kept (best q)
+      {10, 100, 4, -1, -1, -1, 0},   // kept (best p at C=10, q=100)
+  };
+  prune_dominated(labels, true);
+  ASSERT_EQ(labels.size(), 3u);
+  for (const auto& l : labels) {
+    EXPECT_NE(l.cap_ff, 12.0) << "dominated label survived";
+    if (l.cap_ff == 10.0 && l.q_fs == 100.0) {
+      EXPECT_DOUBLE_EQ(l.width_u, 4.0);
+    }
+  }
+}
+
+TEST(Pareto, PruneRemovesExactDuplicatesKeepingOne) {
+  std::vector<Label> labels{
+      {10, 100, 5, -1, -1, -1, 0},
+      {10, 100, 5, -1, -1, -1, 0},
+      {10, 100, 5, -1, -1, -1, 0},
+  };
+  prune_dominated(labels, true);
+  EXPECT_EQ(labels.size(), 1u);
+}
+
+TEST(Pareto, Prune2DIgnoresWidth) {
+  std::vector<Label> labels{
+      {10, 100, 99, -1, -1, -1, 0},  // dominated by (8, 120) despite width
+      {12, 90, 1, -1, -1, -1, 0},    // dominated in (C, q) despite tiny p
+      {8, 120, 50, -1, -1, -1, 0},   // dominates everything in (C, q)
+  };
+  prune_dominated(labels, false);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_DOUBLE_EQ(labels[0].cap_ff, 8.0);
+}
+
+/// Reference O(n^2) pruner used to validate the O(n log n) one.
+std::vector<Label> prune_quadratic(std::vector<Label> labels,
+                                   bool use_width) {
+  std::vector<Label> kept;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < labels.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (!dominates(labels[j], labels[i], use_width)) continue;
+      if (dominates(labels[i], labels[j], use_width)) {
+        // Mutually identical: keep only the first occurrence.
+        dominated = (j < i);
+      } else {
+        dominated = true;
+      }
+    }
+    if (!dominated) kept.push_back(labels[i]);
+  }
+  return kept;
+}
+
+class ParetoRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParetoRandomized, FastPrunerMatchesQuadraticReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Label> labels;
+    const int n = rng.uniform_int(1, 60);
+    for (int i = 0; i < n; ++i) {
+      Label l;
+      // Small discrete grids force plenty of ties.
+      l.cap_ff = rng.uniform_int(1, 6);
+      l.q_fs = rng.uniform_int(1, 6);
+      l.width_u = rng.uniform_int(1, 6);
+      labels.push_back(l);
+    }
+    for (const bool use_width : {true, false}) {
+      auto fast = labels;
+      prune_dominated(fast, use_width);
+      const auto slow = prune_quadratic(labels, use_width);
+      EXPECT_EQ(fast.size(), slow.size());
+      // Same multiset of survivors in the *tracked* dimensions. (Which
+      // representative survives among labels identical in the tracked
+      // dimensions is implementation-defined, so 2-D mode compares only
+      // (C, q).)
+      auto key = [&](const Label& l) {
+        return std::make_tuple(l.cap_ff, l.q_fs,
+                               use_width ? l.width_u : 0.0);
+      };
+      std::vector<std::tuple<double, double, double>> fk, sk;
+      for (const auto& l : fast) fk.push_back(key(l));
+      for (const auto& l : slow) sk.push_back(key(l));
+      std::sort(fk.begin(), fk.end());
+      std::sort(sk.begin(), sk.end());
+      EXPECT_EQ(fk, sk);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// -------------------------------------------------------------- chain DP
+
+ChainDpOptions power_options(double tau_t) {
+  ChainDpOptions o;
+  o.mode = Mode::kMinPower;
+  o.timing_target_fs = tau_t;
+  return o;
+}
+
+TEST(ChainDp, UnbufferedWhenTargetIsLoose) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  // Unbuffered delay is 33000 fs (hand-checked in rc_test).
+  const auto lib = RepeaterLibrary::uniform(2.0, 2.0, 5);
+  const auto cands = net::uniform_candidates(n, 100.0);
+  const auto r = run_chain_dp(n, device, lib, cands, power_options(50000.0));
+  EXPECT_EQ(r.status, Status::kOptimal);
+  EXPECT_TRUE(r.solution.empty());
+  EXPECT_DOUBLE_EQ(r.total_width_u, 0.0);
+  EXPECT_DOUBLE_EQ(r.delay_fs, 33000.0);
+}
+
+TEST(ChainDp, InfeasibleTargetReported) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  const auto lib = RepeaterLibrary::uniform(2.0, 2.0, 5);
+  const auto cands = net::uniform_candidates(n, 100.0);
+  const auto r = run_chain_dp(n, device, lib, cands, power_options(100.0));
+  EXPECT_EQ(r.status, Status::kInfeasible);
+  EXPECT_TRUE(r.solution.empty());
+  // Best-effort diagnostics still populated.
+  EXPECT_GT(r.min_delay_fs, 0.0);
+}
+
+TEST(ChainDp, DelayBookkeepingMatchesIndependentEvaluator) {
+  const auto device = test::simple_device();
+  const auto n = test::two_segment_net_with_zone();
+  const auto lib = RepeaterLibrary::uniform(4.0, 4.0, 6);
+  const auto cands = net::uniform_candidates(n, 150.0);
+  const double unbuffered = rc::elmore_delay_fs(n, {}, device);
+  const auto r =
+      run_chain_dp(n, device, lib, cands, power_options(unbuffered * 0.8));
+  ASSERT_EQ(r.status, Status::kOptimal);
+  ASSERT_FALSE(r.solution.empty());
+  const double check = rc::elmore_delay_fs(n, r.solution, device);
+  EXPECT_NEAR(r.delay_fs, check, 1e-6 * check);
+  EXPECT_LE(check, unbuffered * 0.8 + 1.0);
+  EXPECT_NEAR(r.total_width_u, r.solution.total_width_u(), 1e-12);
+}
+
+TEST(ChainDp, RespectsForbiddenZones) {
+  const auto device = test::simple_device();
+  const auto n = test::two_segment_net_with_zone();
+  const auto lib = RepeaterLibrary::uniform(4.0, 4.0, 6);
+  const auto cands = net::uniform_candidates(n, 100.0);
+  for (const double pos : cands) {
+    EXPECT_FALSE(n.in_forbidden_zone(pos));
+  }
+  const double unbuffered = rc::elmore_delay_fs(n, {}, device);
+  const auto r =
+      run_chain_dp(n, device, lib, cands, power_options(unbuffered * 0.7));
+  if (r.status == Status::kOptimal) {
+    EXPECT_TRUE(r.solution.legal_for(n));
+  }
+}
+
+TEST(ChainDp, RejectsIllegalCandidates) {
+  const auto device = test::simple_device();
+  const auto n = test::two_segment_net_with_zone();
+  const auto lib = RepeaterLibrary::uniform(4.0, 4.0, 3);
+  EXPECT_THROW(
+      run_chain_dp(n, device, lib, {500.0}, power_options(1000.0)),
+      Error);  // 500 is inside the zone
+  EXPECT_THROW(
+      run_chain_dp(n, device, lib, {900.0, 300.0}, power_options(1000.0)),
+      Error);  // unsorted
+}
+
+TEST(ChainDp, RequiresPositiveTarget) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  const auto lib = RepeaterLibrary::uniform(4.0, 4.0, 3);
+  ChainDpOptions bad;
+  bad.mode = Mode::kMinPower;
+  bad.timing_target_fs = 0.0;
+  EXPECT_THROW(run_chain_dp(n, device, lib, {}, bad), Error);
+}
+
+TEST(ChainDp, TighterTargetsNeedMoreWidth) {
+  const auto device = test::simple_device();
+  const auto n = net::NetBuilder("mono")
+                     .driver(10)
+                     .receiver(5)
+                     .segment(8000, 0.1, 0.2)
+                     .build();
+  const auto lib = RepeaterLibrary::uniform(5.0, 5.0, 8);
+  const auto cands = net::uniform_candidates(n, 250.0);
+  const double unbuffered = rc::elmore_delay_fs(n, {}, device);
+  double prev_width = 1e18;
+  for (const double factor : {0.45, 0.55, 0.7, 0.9}) {
+    const auto r = run_chain_dp(n, device, lib, cands,
+                                power_options(unbuffered * factor));
+    ASSERT_EQ(r.status, Status::kOptimal) << "factor " << factor;
+    EXPECT_LE(r.total_width_u, prev_width);
+    prev_width = r.total_width_u;
+  }
+}
+
+TEST(ChainDp, MinDelayModeMatchesPowerModeMinDelaySolution) {
+  const auto device = test::simple_device();
+  const auto n = test::two_segment_net_with_zone();
+  const auto lib = RepeaterLibrary::uniform(4.0, 4.0, 6);
+  const auto cands = net::uniform_candidates(n, 200.0);
+  ChainDpOptions delay_opts;
+  delay_opts.mode = Mode::kMinDelay;
+  const auto rd = run_chain_dp(n, device, lib, cands, delay_opts);
+  const auto rp = run_chain_dp(n, device, lib, cands,
+                               power_options(1e9));  // very loose
+  EXPECT_EQ(rd.status, Status::kOptimal);
+  // Both sweeps discover the same minimum delay.
+  EXPECT_NEAR(rd.delay_fs, rp.min_delay_fs, 1e-6 * rd.delay_fs);
+  const double check = rc::elmore_delay_fs(n, rd.solution, device);
+  EXPECT_NEAR(rd.delay_fs, check, 1e-6 * check);
+}
+
+TEST(ChainDp, StatsArePopulated) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  const auto lib = RepeaterLibrary::uniform(4.0, 4.0, 4);
+  const auto cands = net::uniform_candidates(n, 100.0);
+  const auto r = run_chain_dp(n, device, lib, cands, power_options(30000.0));
+  EXPECT_EQ(r.stats.positions, cands.size());
+  EXPECT_GT(r.stats.labels_created, 0u);
+  EXPECT_GT(r.stats.labels_peak, 0u);
+}
+
+
+TEST(ChainDp, AllowedBuffersRestrictsInsertion) {
+  const auto device = test::simple_device();
+  const auto n = net::NetBuilder("mask")
+                     .driver(10)
+                     .receiver(5)
+                     .segment(8000, 0.1, 0.2)
+                     .build();
+  const RepeaterLibrary lib({10.0, 20.0, 40.0});
+  const std::vector<double> cands{2000.0, 4000.0, 6000.0};
+  const double unbuffered = rc::elmore_delay_fs(n, {}, device);
+  ChainDpOptions opts;
+  opts.mode = Mode::kMinPower;
+  opts.timing_target_fs = unbuffered * 0.6;
+
+  // Unrestricted run for reference.
+  const auto free_run = run_chain_dp(n, device, lib, cands, opts);
+  ASSERT_EQ(free_run.status, Status::kOptimal);
+
+  // Restrict: only width 40 at 4000 um, nothing elsewhere.
+  std::vector<std::vector<std::int16_t>> allowed{{}, {2}, {}};
+  opts.allowed_buffers = &allowed;
+  const auto masked = run_chain_dp(n, device, lib, cands, opts);
+  if (masked.status == Status::kOptimal) {
+    for (const auto& rep : masked.solution.repeaters()) {
+      EXPECT_DOUBLE_EQ(rep.position_um, 4000.0);
+      EXPECT_DOUBLE_EQ(rep.width_u, 40.0);
+    }
+    // The restricted optimum cannot beat the free optimum.
+    EXPECT_GE(masked.total_width_u, free_run.total_width_u - 1e-9);
+  }
+}
+
+TEST(ChainDp, AllowedBuffersValidation) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  const RepeaterLibrary lib({10.0});
+  const std::vector<double> cands{500.0};
+  ChainDpOptions opts;
+  opts.mode = Mode::kMinPower;
+  opts.timing_target_fs = 1e6;
+  std::vector<std::vector<std::int16_t>> wrong_size;  // != candidates
+  opts.allowed_buffers = &wrong_size;
+  EXPECT_THROW(run_chain_dp(n, device, lib, cands, opts), Error);
+  std::vector<std::vector<std::int16_t>> bad_index{{5}};
+  opts.allowed_buffers = &bad_index;
+  EXPECT_THROW(run_chain_dp(n, device, lib, cands, opts), Error);
+}
+
+TEST(ChainDp, EmptyMaskEverywhereMeansUnbuffered) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  const RepeaterLibrary lib({10.0, 20.0});
+  const std::vector<double> cands{300.0, 600.0};
+  ChainDpOptions opts;
+  opts.mode = Mode::kMinPower;
+  opts.timing_target_fs = 50000.0;  // loose: unbuffered is 33000
+  std::vector<std::vector<std::int16_t>> none{{}, {}};
+  opts.allowed_buffers = &none;
+  const auto r = run_chain_dp(n, device, lib, cands, opts);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_TRUE(r.solution.empty());
+}
+// ------------------------------------------------------------- min delay
+
+TEST(MinDelay, BufferedBeatsUnbufferedOnLongNets) {
+  const auto device = test::simple_device();
+  const auto n = net::NetBuilder("long")
+                     .driver(10)
+                     .receiver(5)
+                     .segment(10000, 0.1, 0.2)
+                     .build();
+  MinDelayOptions opts;
+  opts.min_width_u = 5.0;
+  opts.max_width_u = 100.0;
+  opts.granularity_u = 5.0;
+  opts.pitch_um = 250.0;
+  const auto r = min_delay(n, device, opts);
+  EXPECT_LT(r.tau_min_fs, r.unbuffered_delay_fs);
+  EXPECT_FALSE(r.solution.empty());
+}
+
+TEST(MinDelay, ShortNetNeedsNoRepeaters) {
+  const auto device = test::simple_device();
+  const auto n = net::NetBuilder("short")
+                     .driver(50)
+                     .receiver(5)
+                     .segment(100, 0.1, 0.2)
+                     .build();
+  const auto r = min_delay(n, device, {5.0, 100.0, 5.0, 25.0});
+  EXPECT_TRUE(r.solution.empty());
+  EXPECT_DOUBLE_EQ(r.tau_min_fs, r.unbuffered_delay_fs);
+}
+
+}  // namespace
+}  // namespace rip::dp

@@ -1,0 +1,120 @@
+// Cross-metric validation: Elmore (the paper's model), D2M (the
+// higher-order metric the paper says can be swapped in), and the
+// backward-Euler transient simulator must tell a consistent story on
+// randomized buffered designs. This is the evidence that optimizing
+// under Elmore produces designs that are actually fast.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "net/generator.hpp"
+#include "rc/buffered_chain.hpp"
+#include "rc/delay_metrics.hpp"
+#include "sim/transient.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace rip {
+namespace {
+
+/// A random legal solution on a random paper net.
+struct RandomDesign {
+  net::Net net;
+  net::RepeaterSolution solution;
+};
+
+RandomDesign random_design(Rng& rng) {
+  const tech::Technology tech = tech::make_tech180();
+  net::RandomNetConfig config;
+  net::Net n = net::random_net(tech, config, rng, "metrics");
+  const double total = n.total_length_um();
+  const int reps = rng.uniform_int(1, 5);
+  std::vector<net::Repeater> placed;
+  for (int i = 0; i < reps; ++i) {
+    double x = total * (i + 1) / (reps + 1) + rng.uniform(-300.0, 300.0);
+    while (n.in_forbidden_zone(x)) x += 37.0;
+    x = std::clamp(x, 50.0, total - 50.0);
+    bool clash = false;
+    for (const auto& p : placed) {
+      if (std::abs(p.position_um - x) < 1.0) clash = true;
+    }
+    if (clash || n.in_forbidden_zone(x)) continue;
+    placed.push_back(net::Repeater{x, rng.uniform(20.0, 300.0)});
+  }
+  return RandomDesign{std::move(n), net::RepeaterSolution(std::move(placed))};
+}
+
+class MetricSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricSeeds, ElmoreBoundsD2mBoundsNothingBelowLn2) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7727);
+  const auto device = tech::make_tech180().device();
+  for (int round = 0; round < 4; ++round) {
+    const RandomDesign d = random_design(rng);
+    const double elmore = rc::elmore_delay_fs(d.net, d.solution, device);
+    const double d2m = rc::chain_d2m_fs(d.net, d.solution, device);
+    // D2M is bounded by Elmore and cannot drop below ln2 * Elmore for
+    // passive RC stage responses.
+    EXPECT_LE(d2m, elmore * (1.0 + 1e-9));
+    EXPECT_GE(d2m, std::log(2.0) * elmore * 0.999);
+  }
+}
+
+TEST_P(MetricSeeds, TransientSitsBetweenD2mScaleAndElmore) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104651);
+  const auto device = tech::make_tech180().device();
+  const RandomDesign d = random_design(rng);
+  const double elmore = rc::elmore_delay_fs(d.net, d.solution, device);
+  sim::TransientOptions opts;
+  opts.max_section_um = 150.0;
+  const double t50 = sim::chain_t50_fs(d.net, d.solution, device, opts);
+  EXPECT_LE(t50, elmore * 1.01);
+  EXPECT_GE(t50, std::log(2.0) * elmore * 0.8);
+}
+
+/// A random legal buffering of a given net.
+net::RepeaterSolution random_solution(const net::Net& n, Rng& rng) {
+  const double total = n.total_length_um();
+  const int reps = rng.uniform_int(1, 5);
+  std::vector<net::Repeater> placed;
+  for (int i = 0; i < reps; ++i) {
+    double x = total * (i + 1) / (reps + 1) + rng.uniform(-300.0, 300.0);
+    while (n.in_forbidden_zone(x)) x += 37.0;
+    x = std::clamp(x, 50.0, total - 50.0);
+    bool clash = n.in_forbidden_zone(x);
+    for (const auto& p : placed) {
+      if (std::abs(p.position_um - x) < 1.0) clash = true;
+    }
+    if (!clash) placed.push_back(net::Repeater{x, rng.uniform(20.0, 300.0)});
+  }
+  return net::RepeaterSolution(std::move(placed));
+}
+
+TEST_P(MetricSeeds, AllMetricsAgreeOnClearlySeparatedPairs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863);
+  const tech::Technology tech = tech::make_tech180();
+  const auto& device = tech.device();
+  net::RandomNetConfig config;
+  const net::Net n = net::random_net(tech, config, rng, "pairs");
+  int compared = 0;
+  for (int attempts = 0; attempts < 12 && compared < 4; ++attempts) {
+    const auto sa = random_solution(n, rng);
+    const auto sb = random_solution(n, rng);
+    const double ea = rc::elmore_delay_fs(n, sa, device);
+    const double eb = rc::elmore_delay_fs(n, sb, device);
+    if (std::abs(ea - eb) < 0.15 * std::max(ea, eb)) continue;  // too close
+    const bool elmore_says_a = ea < eb;
+    const double da = rc::chain_d2m_fs(n, sa, device);
+    const double db = rc::chain_d2m_fs(n, sb, device);
+    EXPECT_EQ(da < db, elmore_says_a)
+        << "D2M disagrees with a clear Elmore ordering";
+    ++compared;
+  }
+  EXPECT_GT(compared, 0) << "never found a separated pair to compare";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricSeeds, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace rip

@@ -1,0 +1,112 @@
+// Randomized end-to-end properties of the full pipeline, swept over
+// workload seeds and timing-target factors with parameterized gtest.
+// These are the invariants the paper's evaluation rests on.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "dp/min_delay.hpp"
+#include "rc/buffered_chain.hpp"
+#include "sim/transient.hpp"
+#include "test_helpers.hpp"
+
+namespace rip::core {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  double factor;
+};
+
+class RipSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  static const tech::Technology& technology() {
+    static const tech::Technology tech = tech::make_tech180();
+    return tech;
+  }
+};
+
+TEST_P(RipSweep, EndToEndInvariants) {
+  const auto& tech = technology();
+  const auto& device = tech.device();
+  const auto [seed, factor] = GetParam();
+
+  const net::Net n = test::paper_net(seed);
+  const auto md = dp::min_delay(n, device, {10.0, 400.0, 10.0, 200.0});
+  const double tau_t = factor * md.tau_min_fs;
+
+  const auto rip = rip_insert(n, device, tau_t);
+
+  // 1. RIP is feasible whenever its coarse stage is (the paper reports
+  //    zero RIP violations across all 400 designs).
+  if (rip.coarse.status == dp::Status::kOptimal) {
+    ASSERT_EQ(rip.status, dp::Status::kOptimal);
+  }
+  if (rip.status != dp::Status::kOptimal) return;
+
+  // 2. The solution is placement-legal: no repeater inside a forbidden
+  //    zone or at the pins.
+  EXPECT_TRUE(rip.solution.legal_for(n));
+
+  // 3. Timing met per the independent Elmore evaluator.
+  const double delay = rc::elmore_delay_fs(n, rip.solution, device);
+  EXPECT_LE(delay, tau_t * (1.0 + 1e-9) + 1.0);
+
+  // 4. Never worse than the coarse DP stage.
+  EXPECT_LE(rip.total_width_u, rip.coarse.total_width_u + 1e-9);
+
+  // 5. Width accounting is consistent.
+  EXPECT_NEAR(rip.total_width_u, rip.solution.total_width_u(), 1e-9);
+}
+
+TEST_P(RipSweep, RipIsCompetitiveWithCoarseBaselines) {
+  // Against the g=40u baseline (the paper's Table 1 rightmost columns),
+  // RIP should essentially never lose: its final stage searches a
+  // strictly finer width grid around the analytical optimum. Allow a
+  // small tolerance for pathological placements.
+  const auto& tech = technology();
+  const auto& device = tech.device();
+  const auto [seed, factor] = GetParam();
+
+  const net::Net n = test::paper_net(seed);
+  const auto md = dp::min_delay(n, device, {10.0, 400.0, 10.0, 200.0});
+  const double tau_t = factor * md.tau_min_fs;
+
+  const auto rip = rip_insert(n, device, tau_t);
+  const auto dp40 = run_baseline(n, device, tau_t,
+                                 BaselineOptions::uniform_library(10, 40, 10));
+  if (rip.status == dp::Status::kOptimal &&
+      dp40.status == dp::Status::kOptimal) {
+    EXPECT_LE(rip.total_width_u, dp40.total_width_u * 1.25 + 1e-9)
+        << "RIP lost badly to the g=40u baseline";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndTargets, RipSweep,
+    ::testing::Values(Case{201, 1.1}, Case{201, 1.5}, Case{201, 2.0},
+                      Case{202, 1.1}, Case{202, 1.5}, Case{202, 2.0},
+                      Case{203, 1.2}, Case{203, 1.7}, Case{204, 1.3},
+                      Case{205, 1.4}, Case{206, 1.6}, Case{207, 1.25}));
+
+// A slower cross-check with the transient simulator on a single case:
+// the RIP solution must actually be *fast* in simulation, not just in
+// the Elmore metric (t50 <= Elmore for RC stages).
+TEST(RipSimulation, TransientConfirmsTimingHeadroom) {
+  const auto tech = tech::make_tech180();
+  const auto& device = tech.device();
+  const net::Net n = test::paper_net(301);
+  const auto md = dp::min_delay(n, device, {10.0, 400.0, 10.0, 200.0});
+  const double tau_t = 1.4 * md.tau_min_fs;
+  const auto rip = rip_insert(n, device, tau_t);
+  ASSERT_EQ(rip.status, dp::Status::kOptimal);
+  sim::TransientOptions opts;
+  opts.max_section_um = 100.0;
+  const double t50 = sim::chain_t50_fs(n, rip.solution, device, opts);
+  EXPECT_LT(t50, tau_t);
+  EXPECT_GT(t50, 0.3 * rip.delay_fs);
+}
+
+}  // namespace
+}  // namespace rip::core

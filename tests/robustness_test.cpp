@@ -1,0 +1,190 @@
+// Robustness and failure-injection tests (DESIGN.md §7): degenerate
+// nets, empty candidate sets, multiple forbidden zones, and randomized
+// cross-checks of the geometric integrals.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "dp/chain_dp.hpp"
+#include "dp/min_delay.hpp"
+#include "net/candidates.hpp"
+#include "net/generator.hpp"
+#include "rc/buffered_chain.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rip {
+namespace {
+
+// --------------------------------------------------- degenerate inputs
+
+TEST(Robustness, DpWithNoCandidatesReturnsUnbufferedAnswer) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();  // unbuffered delay 33000 fs
+  const dp::RepeaterLibrary lib({10.0});
+  dp::ChainDpOptions opts;
+  opts.mode = dp::Mode::kMinPower;
+  opts.timing_target_fs = 40000.0;
+  const auto ok = dp::run_chain_dp(n, device, lib, {}, opts);
+  EXPECT_EQ(ok.status, dp::Status::kOptimal);
+  EXPECT_TRUE(ok.solution.empty());
+  opts.timing_target_fs = 20000.0;
+  const auto bad = dp::run_chain_dp(n, device, lib, {}, opts);
+  EXPECT_EQ(bad.status, dp::Status::kInfeasible);
+}
+
+TEST(Robustness, RipOnTinyNetWithCoarsePitch) {
+  // Net shorter than the coarse candidate pitch: stage 1 sees no
+  // candidates at all; RIP must still answer (unbuffered or infeasible),
+  // never crash.
+  const auto device = tech::make_tech180().device();
+  const auto n = net::NetBuilder("tiny")
+                     .driver(100)
+                     .receiver(40)
+                     .segment(150.0, 0.29, 0.29)
+                     .build();
+  const double unbuffered =
+      rc::elmore_delay_fs(n, net::RepeaterSolution{}, device);
+  const auto ok = core::rip_insert(n, device, unbuffered * 1.2);
+  EXPECT_EQ(ok.status, dp::Status::kOptimal);
+  EXPECT_TRUE(ok.solution.empty());
+  const auto bad = core::rip_insert(n, device, unbuffered * 0.5);
+  EXPECT_EQ(bad.status, dp::Status::kInfeasible);
+}
+
+TEST(Robustness, ZoneAlmostCoveringNet) {
+  // A zone covering all but slivers at the ends: only boundary-adjacent
+  // placements remain.
+  const auto device = tech::make_tech180().device();
+  const auto n = net::NetBuilder("sliver")
+                     .driver(120)
+                     .receiver(60)
+                     .segment(12000.0, 0.29, 0.29)
+                     .zone(600.0, 11400.0)
+                     .build();
+  const auto cands = net::uniform_candidates(n, 200.0);
+  for (const double pos : cands) {
+    EXPECT_TRUE(pos <= 600.0 || pos >= 11400.0);
+  }
+  const auto md = dp::min_delay(n, device, {10.0, 400.0, 10.0, 200.0});
+  const auto r = core::rip_insert(n, device, 1.5 * md.tau_min_fs);
+  if (r.status == dp::Status::kOptimal) {
+    EXPECT_TRUE(r.solution.legal_for(n));
+  }
+}
+
+TEST(Robustness, ManySmallZones) {
+  const auto device = tech::make_tech180().device();
+  net::NetBuilder b("holes");
+  b.driver(120).receiver(60).segment(12000.0, 0.29, 0.29);
+  for (double z = 1000.0; z < 11000.0; z += 2000.0) {
+    b.zone(z, z + 800.0);
+  }
+  const auto n = b.build();
+  const auto md = dp::min_delay(n, device, {10.0, 400.0, 10.0, 200.0});
+  const auto r = core::rip_insert(n, device, 1.4 * md.tau_min_fs);
+  ASSERT_EQ(r.status, dp::Status::kOptimal);
+  EXPECT_TRUE(r.solution.legal_for(n));
+  EXPECT_LE(rc::elmore_delay_fs(n, r.solution, device),
+            1.4 * md.tau_min_fs + 1.0);
+}
+
+TEST(Robustness, MultiZoneGeneratorEndToEnd) {
+  const auto tech = tech::make_tech180();
+  net::RandomNetConfig config;
+  config.zone_count = 3;
+  config.zone_fraction_min = 0.05;
+  config.zone_fraction_max = 0.12;
+  Rng rng(31415);
+  for (int i = 0; i < 4; ++i) {
+    const auto n = net::random_net(tech, config, rng, "mz");
+    ASSERT_EQ(n.zones().size(), 3u);
+    const auto md =
+        dp::min_delay(n, tech.device(), {10.0, 400.0, 10.0, 200.0});
+    const auto r = core::rip_insert(n, tech.device(), 1.5 * md.tau_min_fs);
+    if (r.status == dp::Status::kOptimal) {
+      EXPECT_TRUE(r.solution.legal_for(n));
+    }
+  }
+}
+
+// ------------------------------------------------- randomized geometry
+
+class GeometrySeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeometrySeeds, IntegralsMatchNumericQuadrature) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537);
+  const auto tech = tech::make_tech180();
+  net::RandomNetConfig config;
+  const auto n = net::random_net(tech, config, rng, "gq");
+  const double total = n.total_length_um();
+
+  for (int round = 0; round < 10; ++round) {
+    double a = rng.uniform(0.0, total);
+    double b = rng.uniform(0.0, total);
+    if (a > b) std::swap(a, b);
+    // Riemann sum with fine steps.
+    const int steps = 2000;
+    const double dl = (b - a) / steps;
+    double r_sum = 0.0;
+    double c_sum = 0.0;
+    for (int k = 0; k < steps; ++k) {
+      const double x = a + (k + 0.5) * dl;
+      const auto wire = n.wire_at(x, net::Side::kDownstream);
+      r_sum += wire.r_ohm_per_um * dl;
+      c_sum += wire.c_ff_per_um * dl;
+    }
+    EXPECT_NEAR(n.resistance_between_ohm(a, b), r_sum,
+                1e-3 * std::max(r_sum, 1.0));
+    EXPECT_NEAR(n.capacitance_between_ff(a, b), c_sum,
+                1e-3 * std::max(c_sum, 1.0));
+  }
+}
+
+TEST_P(GeometrySeeds, PiecesBetweenConservesTotals) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131071);
+  const auto tech = tech::make_tech180();
+  net::RandomNetConfig config;
+  const auto n = net::random_net(tech, config, rng, "pc");
+  const double total = n.total_length_um();
+  for (int round = 0; round < 10; ++round) {
+    double a = rng.uniform(0.0, total);
+    double b = rng.uniform(0.0, total);
+    if (a > b) std::swap(a, b);
+    double len = 0.0;
+    double r = 0.0;
+    double c = 0.0;
+    for (const auto& piece : n.pieces_between(a, b)) {
+      len += piece.length_um;
+      r += piece.length_um * piece.r_ohm_per_um;
+      c += piece.length_um * piece.c_ff_per_um;
+    }
+    EXPECT_NEAR(len, b - a, 1e-9 * std::max(1.0, b - a));
+    EXPECT_NEAR(r, n.resistance_between_ohm(a, b), 1e-9 * std::max(1.0, r));
+    EXPECT_NEAR(c, n.capacitance_between_ff(a, b), 1e-9 * std::max(1.0, c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometrySeeds, ::testing::Range(1, 7));
+
+// --------------------------------------------- baseline infeasibility
+
+TEST(Robustness, BaselineReportsMinDelayWhenInfeasible) {
+  const auto device = tech::make_tech180().device();
+  const auto n = test::paper_net(555);
+  const auto md = dp::min_delay(n, device, {10.0, 400.0, 10.0, 200.0});
+  // The g=10u library (caps at 100u) at a target right at tau_min.
+  const auto r = core::run_baseline(
+      n, device, md.tau_min_fs * 1.001,
+      core::BaselineOptions::uniform_library(10, 10, 10));
+  if (r.status == dp::Status::kInfeasible) {
+    EXPECT_GT(r.min_delay_fs, md.tau_min_fs);
+    // The best-effort solution is still legal.
+    EXPECT_TRUE(r.min_delay_solution.legal_for(n));
+  }
+}
+
+}  // namespace
+}  // namespace rip

@@ -1,0 +1,171 @@
+// Tests for the transient simulator, including the Elmore-vs-simulation
+// validation the paper's delay model rests on, and the SPICE exporter.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "rc/buffered_chain.hpp"
+#include "rc/elmore.hpp"
+#include "sim/spice.hpp"
+#include "sim/transient.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rip::sim {
+namespace {
+
+using net::WirePiece;
+
+TEST(Transient, SinglePoleMatchesAnalyticLn2) {
+  // Driver resistance into a lumped load with no wire: first-order RC.
+  // t50 = RC * ln 2 exactly.
+  Ladder ladder;
+  ladder.series_r_ohm = {100.0};
+  ladder.shunt_c_ff = {50.0};
+  TransientOptions opts;
+  opts.dt_fs = 1.0;
+  const double t50 = ladder_t50_fs(ladder, opts);
+  EXPECT_NEAR(t50, 100.0 * 50.0 * std::log(2.0), 20.0);
+}
+
+TEST(Transient, ElmoreIsUpperBoundOnT50) {
+  // For RC ladders the Elmore delay upper-bounds the 50% delay; the
+  // ratio t50/elmore lies in (ln2 .. 1) for realistic laddders.
+  const auto device = test::simple_device();
+  const std::vector<WirePiece> pieces{{1000.0, 0.1, 0.2}};
+  const double elmore = rc::stage_elmore_fs(device, 10.0, pieces, 50.0);
+  const double t50 = stage_t50_fs(device, 10.0, pieces, 50.0);
+  EXPECT_LT(t50, elmore);
+  EXPECT_GT(t50, std::log(2.0) * elmore * 0.9);
+}
+
+TEST(Transient, MonotoneInLoad) {
+  const auto device = test::simple_device();
+  const std::vector<WirePiece> pieces{{500.0, 0.1, 0.2}};
+  const double small = stage_t50_fs(device, 10.0, pieces, 10.0);
+  const double large = stage_t50_fs(device, 10.0, pieces, 100.0);
+  EXPECT_LT(small, large);
+}
+
+TEST(Transient, MonotoneInDriverStrength) {
+  const auto device = test::simple_device();
+  const std::vector<WirePiece> pieces{{500.0, 0.1, 0.2}};
+  const double weak = stage_t50_fs(device, 5.0, pieces, 20.0);
+  const double strong = stage_t50_fs(device, 50.0, pieces, 20.0);
+  EXPECT_LT(strong, weak);
+}
+
+TEST(Transient, PreservesElmoreOrderingOfSolutions) {
+  // The property the paper's model relies on: if Elmore says solution A
+  // is faster than B by a clear margin, the simulator agrees.
+  const auto device = test::simple_device();
+  const auto n = net::NetBuilder("order")
+                     .driver(10)
+                     .receiver(5)
+                     .segment(6000, 0.1, 0.2)
+                     .build();
+  const net::RepeaterSolution good({{3000.0, 20.0}});
+  const net::RepeaterSolution bad({{5500.0, 2.0}});
+  const double elmore_good = rc::elmore_delay_fs(n, good, device);
+  const double elmore_bad = rc::elmore_delay_fs(n, bad, device);
+  ASSERT_LT(elmore_good, elmore_bad);
+  const double sim_good = chain_t50_fs(n, good, device);
+  const double sim_bad = chain_t50_fs(n, bad, device);
+  EXPECT_LT(sim_good, sim_bad);
+}
+
+TEST(Transient, FinerDiscretizationConverges) {
+  const auto device = test::simple_device();
+  const std::vector<WirePiece> pieces{{2000.0, 0.1, 0.2}};
+  TransientOptions coarse;
+  coarse.max_section_um = 100.0;
+  TransientOptions medium;
+  medium.max_section_um = 25.0;
+  TransientOptions fine;
+  fine.max_section_um = 10.0;
+  const double a = stage_t50_fs(device, 10.0, pieces, 30.0, coarse);
+  const double m = stage_t50_fs(device, 10.0, pieces, 30.0, medium);
+  const double b = stage_t50_fs(device, 10.0, pieces, 30.0, fine);
+  // Error shrinks as the discretization refines.
+  EXPECT_LT(std::abs(m - b), std::abs(a - b));
+  EXPECT_NEAR(m, b, 0.02 * b);
+}
+
+TEST(Transient, BuildStageLadderStructure) {
+  const auto device = test::simple_device();
+  const std::vector<WirePiece> pieces{{100.0, 0.1, 0.2}};
+  const Ladder ladder = build_stage_ladder(device, 10.0, pieces, 7.0, 25.0);
+  // 1 driver node + 4 sections of 25 um.
+  ASSERT_EQ(ladder.series_r_ohm.size(), 5u);
+  EXPECT_DOUBLE_EQ(ladder.series_r_ohm[0], 100.0);       // Rs/w
+  EXPECT_DOUBLE_EQ(ladder.shunt_c_ff[0], 10.0);          // Cp*w
+  EXPECT_DOUBLE_EQ(ladder.series_r_ohm[1], 2.5);         // 25um * 0.1
+  EXPECT_DOUBLE_EQ(ladder.shunt_c_ff.back(), 5.0 + 7.0); // wire + load
+}
+
+TEST(Transient, InvalidInputsThrow) {
+  Ladder empty;
+  EXPECT_THROW(ladder_t50_fs(empty), Error);
+  Ladder bad;
+  bad.series_r_ohm = {0.0};
+  bad.shunt_c_ff = {10.0};
+  EXPECT_THROW(ladder_t50_fs(bad), Error);
+  Ladder mismatch;
+  mismatch.series_r_ohm = {1.0, 2.0};
+  mismatch.shunt_c_ff = {10.0};
+  EXPECT_THROW(ladder_t50_fs(mismatch), Error);
+}
+
+TEST(Transient, ThresholdOptionsValidated) {
+  Ladder ladder;
+  ladder.series_r_ohm = {100.0};
+  ladder.shunt_c_ff = {50.0};
+  TransientOptions opts;
+  opts.threshold = 1.5;
+  EXPECT_THROW(ladder_t50_fs(ladder, opts), Error);
+}
+
+// ---------------------------------------------------------------- spice
+
+TEST(Spice, DeckContainsAllElements) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  const net::RepeaterSolution s({{600.0, 4.0}});
+  std::ostringstream os;
+  write_spice_deck(os, n, s, device);
+  const std::string deck = os.str();
+  // Source, transient card, measurement, end card.
+  EXPECT_NE(deck.find("Vsrc"), std::string::npos);
+  EXPECT_NE(deck.find(".tran"), std::string::npos);
+  EXPECT_NE(deck.find(".measure"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+  // Two stages -> two controlled sources.
+  EXPECT_NE(deck.find("E1"), std::string::npos);
+  EXPECT_NE(deck.find("E2"), std::string::npos);
+  // Output resistance of the 4u repeater: Rs/4 = 250.
+  EXPECT_NE(deck.find(" 250\n"), std::string::npos);
+}
+
+TEST(Spice, UnbufferedDeckHasSingleStage) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  std::ostringstream os;
+  write_spice_deck(os, n, net::RepeaterSolution{}, device);
+  const std::string deck = os.str();
+  EXPECT_NE(deck.find("E1"), std::string::npos);
+  EXPECT_EQ(deck.find("E2"), std::string::npos);
+}
+
+TEST(Spice, RejectsBadOptions) {
+  const auto device = test::simple_device();
+  const auto n = test::single_segment_net();
+  SpiceOptions opts;
+  opts.vdd_v = 0.0;
+  std::ostringstream os;
+  EXPECT_THROW(write_spice_deck(os, n, {}, device, opts), Error);
+}
+
+}  // namespace
+}  // namespace rip::sim

@@ -1,0 +1,169 @@
+// Unit tests for the technology model and its text serialization.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tech/tech_io.hpp"
+#include "tech/technology.hpp"
+#include "util/error.hpp"
+
+namespace rip::tech {
+namespace {
+
+TEST(Technology, Tech180HasExpectedStructure) {
+  const Technology t = make_tech180();
+  EXPECT_EQ(t.name(), "tech180");
+  EXPECT_GT(t.device().rs_ohm, 0);
+  EXPECT_GT(t.device().co_ff, 0);
+  EXPECT_GE(t.device().cp_ff, 0);
+  ASSERT_EQ(t.layers().size(), 2u);
+  EXPECT_TRUE(t.has_layer("metal4"));
+  EXPECT_TRUE(t.has_layer("metal5"));
+  EXPECT_FALSE(t.has_layer("metal9"));
+}
+
+TEST(Technology, Metal5IsThickerThanMetal4) {
+  // Upper layers are wider/thicker: less resistance per micron.
+  const Technology t = make_tech180();
+  EXPECT_LT(t.layer("metal5").r_ohm_per_um, t.layer("metal4").r_ohm_per_um);
+}
+
+TEST(Technology, LayerLookupThrowsOnUnknown) {
+  const Technology t = make_tech180();
+  EXPECT_THROW(t.layer("poly"), Error);
+}
+
+TEST(Technology, ValidationRejectsBadDevice) {
+  RepeaterDevice bad;
+  bad.rs_ohm = -1;
+  bad.co_ff = 1;
+  bad.cp_ff = 1;
+  EXPECT_THROW(Technology("t", bad, {{"m", 0.1, 0.2}}, {}), Error);
+}
+
+TEST(Technology, ValidationRejectsEmptyLayers) {
+  RepeaterDevice dev;
+  dev.rs_ohm = 1000;
+  dev.co_ff = 1;
+  dev.cp_ff = 1;
+  EXPECT_THROW(Technology("t", dev, {}, {}), Error);
+}
+
+TEST(Technology, ValidationRejectsBadLayerRc) {
+  RepeaterDevice dev;
+  dev.rs_ohm = 1000;
+  dev.co_ff = 1;
+  dev.cp_ff = 1;
+  EXPECT_THROW(Technology("t", dev, {{"m", 0.0, 0.2}}, {}), Error);
+  EXPECT_THROW(Technology("t", dev, {{"", 0.1, 0.2}}, {}), Error);
+}
+
+TEST(Technology, ValidationRejectsBadWidthBounds) {
+  RepeaterDevice dev;
+  dev.rs_ohm = 1000;
+  dev.co_ff = 1;
+  dev.cp_ff = 1;
+  dev.min_width_u = 10;
+  dev.max_width_u = 5;
+  EXPECT_THROW(Technology("t", dev, {{"m", 0.1, 0.2}}, {}), Error);
+}
+
+TEST(PowerModel, GammaIsDynamicPlusLeakage) {
+  PowerModel p;
+  p.activity = 0.2;
+  p.vdd_v = 2.0;
+  p.freq_ghz = 1.0;
+  p.beta_nw_per_u = 3.0;
+  // dynamic per u = 0.2 * 4 * 1 * (co+cp) * 1e3 nW with (co+cp) = 2 fF
+  const double gamma = p.gamma_nw_per_u(1.0, 1.0);
+  EXPECT_NEAR(gamma, 0.2 * 4.0 * 1.0 * 2.0 * 1e3 + 3.0, 1e-9);
+}
+
+TEST(PowerModel, PowerScalesLinearlyWithWidth) {
+  PowerModel p;
+  const double p1 = p.repeater_power_nw(10.0, 1.8, 1.6);
+  const double p2 = p.repeater_power_nw(20.0, 1.8, 1.6);
+  EXPECT_NEAR(p2, 2.0 * p1, 1e-9);
+}
+
+TEST(TechIo, RoundTripsBuiltinKit) {
+  const Technology original = make_tech180();
+  std::ostringstream os;
+  write_technology(os, original);
+  std::istringstream is(os.str());
+  const Technology parsed = read_technology(is);
+  EXPECT_EQ(parsed.name(), original.name());
+  EXPECT_DOUBLE_EQ(parsed.device().rs_ohm, original.device().rs_ohm);
+  EXPECT_DOUBLE_EQ(parsed.device().co_ff, original.device().co_ff);
+  EXPECT_DOUBLE_EQ(parsed.device().cp_ff, original.device().cp_ff);
+  ASSERT_EQ(parsed.layers().size(), original.layers().size());
+  for (std::size_t i = 0; i < parsed.layers().size(); ++i) {
+    EXPECT_EQ(parsed.layers()[i].name, original.layers()[i].name);
+    EXPECT_DOUBLE_EQ(parsed.layers()[i].r_ohm_per_um,
+                     original.layers()[i].r_ohm_per_um);
+    EXPECT_DOUBLE_EQ(parsed.layers()[i].c_ff_per_um,
+                     original.layers()[i].c_ff_per_um);
+  }
+  EXPECT_DOUBLE_EQ(parsed.power().activity, original.power().activity);
+  EXPECT_DOUBLE_EQ(parsed.power().vdd_v, original.power().vdd_v);
+}
+
+TEST(TechIo, AcceptsCommentsAndBlankLines) {
+  std::istringstream is(
+      "# a comment\n"
+      "riptech 1\n"
+      "\n"
+      "name mini\n"
+      "device rs_ohm 500 co_ff 1 cp_ff 0.5 min_u 1 max_u 100\n"
+      "layer m1 r_ohm_per_um 0.1 c_ff_per_um 0.2\n");
+  const Technology t = read_technology(is);
+  EXPECT_EQ(t.name(), "mini");
+  EXPECT_DOUBLE_EQ(t.device().rs_ohm, 500.0);
+}
+
+TEST(TechIo, RejectsMissingHeader) {
+  std::istringstream is(
+      "name mini\n"
+      "device rs_ohm 500 co_ff 1 cp_ff 0.5 min_u 1 max_u 100\n"
+      "layer m1 r_ohm_per_um 0.1 c_ff_per_um 0.2\n");
+  EXPECT_THROW(read_technology(is), Error);
+}
+
+TEST(TechIo, RejectsMissingDevice) {
+  std::istringstream is(
+      "riptech 1\nname mini\nlayer m1 r_ohm_per_um 0.1 c_ff_per_um 0.2\n");
+  EXPECT_THROW(read_technology(is), Error);
+}
+
+TEST(TechIo, RejectsUnknownDirectiveWithLineNumber) {
+  std::istringstream is("riptech 1\nbogus 1 2\n");
+  try {
+    read_technology(is);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TechIo, RejectsMalformedNumbers) {
+  std::istringstream is(
+      "riptech 1\n"
+      "device rs_ohm abc co_ff 1 cp_ff 0.5 min_u 1 max_u 100\n"
+      "layer m1 r_ohm_per_um 0.1 c_ff_per_um 0.2\n");
+  EXPECT_THROW(read_technology(is), Error);
+}
+
+TEST(TechIo, RejectsOddKeyValueList) {
+  std::istringstream is(
+      "riptech 1\n"
+      "device rs_ohm 500 co_ff\n");
+  EXPECT_THROW(read_technology(is), Error);
+}
+
+TEST(TechIo, MissingFileThrows) {
+  EXPECT_THROW(read_technology_file("/nonexistent/path/tech.txt"), Error);
+}
+
+}  // namespace
+}  // namespace rip::tech

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file test_helpers.hpp
+/// Shared fixtures for the test suite: canonical nets and devices small
+/// enough to reason about by hand, plus random-net helpers for the
+/// property sweeps.
+
+#include <vector>
+
+#include "net/generator.hpp"
+#include "net/net.hpp"
+#include "tech/technology.hpp"
+#include "util/rng.hpp"
+
+namespace rip::test {
+
+/// A device with round numbers so expected delays are hand-computable:
+/// R_s = 1000 Ohm, C_o = 2 fF, C_p = 1 fF.
+inline tech::RepeaterDevice simple_device() {
+  tech::RepeaterDevice d;
+  d.rs_ohm = 1000.0;
+  d.co_ff = 2.0;
+  d.cp_ff = 1.0;
+  d.min_width_u = 1.0;
+  d.max_width_u = 1000.0;
+  return d;
+}
+
+/// One uniform segment: 1000 um at 0.1 Ohm/um and 0.2 fF/um
+/// (R = 100 Ohm, C = 200 fF), driver 10u, receiver 5u.
+inline net::Net single_segment_net() {
+  return net::NetBuilder("single")
+      .driver(10.0)
+      .receiver(5.0)
+      .segment(1000.0, 0.1, 0.2, "m4")
+      .build();
+}
+
+/// Two segments with distinct RC and a forbidden zone in the middle of
+/// the first segment.
+inline net::Net two_segment_net_with_zone() {
+  return net::NetBuilder("two_zone")
+      .driver(10.0)
+      .receiver(5.0)
+      .segment(1000.0, 0.1, 0.2, "m4")
+      .segment(2000.0, 0.05, 0.3, "m5")
+      .zone(400.0, 700.0)
+      .build();
+}
+
+/// A paper-scale random net drawn from the Section 6 population.
+inline net::Net paper_net(std::uint64_t seed) {
+  const tech::Technology tech = tech::make_tech180();
+  net::RandomNetConfig config;
+  Rng rng(seed);
+  return net::random_net(tech, config, rng, "pnet");
+}
+
+}  // namespace rip::test

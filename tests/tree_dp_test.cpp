@@ -1,0 +1,310 @@
+// Tests for the tree DP extension (power-aware van Ginneken on trees)
+// and the tree hybrid.
+
+#include <gtest/gtest.h>
+
+#include "core/tree_hybrid.hpp"
+#include "dp/library.hpp"
+#include "dp/tree_dp.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rip::dp {
+namespace {
+
+/// A 2-sink Y tree: root -- stem -- {left sink, right sink}, with a
+/// candidate at every internal node.
+BufferTree y_tree() {
+  BufferTree tree;
+  BufferTreeNode stem;
+  stem.parent = 0;
+  stem.edge_r_ohm = 100.0;
+  stem.edge_c_ff = 200.0;
+  stem.candidate = true;
+  const auto stem_id = tree.add_node(stem);
+
+  BufferTreeNode left;
+  left.parent = stem_id;
+  left.edge_r_ohm = 50.0;
+  left.edge_c_ff = 100.0;
+  left.is_sink = true;
+  left.sink_cap_ff = 10.0;
+  left.candidate = true;
+  tree.add_node(left);
+
+  BufferTreeNode right;
+  right.parent = stem_id;
+  right.edge_r_ohm = 80.0;
+  right.edge_c_ff = 150.0;
+  right.is_sink = true;
+  right.sink_cap_ff = 20.0;
+  right.candidate = true;
+  tree.add_node(right);
+  return tree;
+}
+
+ChainDpOptions power_options(double tau_t) {
+  ChainDpOptions o;
+  o.mode = Mode::kMinPower;
+  o.timing_target_fs = tau_t;
+  return o;
+}
+
+// ---------------------------------------------------------- construction
+
+TEST(BufferTree, TracksSinksAndChildren) {
+  const BufferTree tree = y_tree();
+  EXPECT_EQ(tree.nodes().size(), 4u);
+  EXPECT_EQ(tree.sink_count(), 2u);
+  EXPECT_EQ(tree.children()[0].size(), 1u);
+  EXPECT_EQ(tree.children()[1].size(), 2u);
+}
+
+TEST(BufferTree, RejectsBadNodes) {
+  BufferTree tree;
+  BufferTreeNode orphan;
+  orphan.parent = 42;
+  EXPECT_THROW(tree.add_node(orphan), Error);
+  BufferTreeNode negative;
+  negative.parent = 0;
+  negative.edge_r_ohm = -1.0;
+  EXPECT_THROW(tree.add_node(negative), Error);
+}
+
+// ------------------------------------------------------------- evaluator
+
+TEST(TreeDelay, PathTreeMatchesHandComputation) {
+  // Root -> single edge -> sink: same as a one-stage net.
+  // Driver 10u (Rs/w=100): tau = RsCp + 100*(C_edge + sink)
+  //                               + R_edge*(C_edge/2 + sink)
+  BufferTree tree;
+  BufferTreeNode sink;
+  sink.parent = 0;
+  sink.edge_r_ohm = 100.0;
+  sink.edge_c_ff = 200.0;
+  sink.is_sink = true;
+  sink.sink_cap_ff = 10.0;
+  tree.add_node(sink);
+  const auto device = test::simple_device();
+  TreeSolution empty;
+  empty.width_u.assign(2, 0.0);
+  const double d = tree_delay_fs(tree, device, 10.0, empty);
+  EXPECT_DOUBLE_EQ(d, 1000.0 + 100.0 * 210.0 + 100.0 * (100.0 + 10.0));
+}
+
+TEST(TreeDelay, WorstSinkGovernsDelay) {
+  const BufferTree tree = y_tree();
+  const auto device = test::simple_device();
+  TreeSolution empty;
+  empty.width_u.assign(4, 0.0);
+  const double d = tree_delay_fs(tree, device, 10.0, empty);
+  // Right branch (80 Ohm, 150+20 fF) is slower than left.
+  // Shared: RsCp + (Rs/w)*Ctotal + stem edge r*(C_below + c_edge/2).
+  const double c_total = 200.0 + 100.0 + 10.0 + 150.0 + 20.0;  // 480
+  const double c_below_stem = 100.0 + 10.0 + 150.0 + 20.0;     // 280
+  const double shared =
+      1000.0 + 100.0 * c_total + 100.0 * (c_below_stem + 100.0);
+  const double right = 80.0 * (75.0 + 20.0);
+  EXPECT_DOUBLE_EQ(d, shared + right);
+}
+
+TEST(TreeDelay, RejectsBufferAtNonCandidate) {
+  BufferTree tree;
+  BufferTreeNode sink;
+  sink.parent = 0;
+  sink.edge_r_ohm = 10.0;
+  sink.edge_c_ff = 10.0;
+  sink.is_sink = true;
+  sink.sink_cap_ff = 5.0;
+  sink.candidate = false;
+  tree.add_node(sink);
+  const auto device = test::simple_device();
+  TreeSolution s;
+  s.width_u = {0.0, 8.0};
+  EXPECT_THROW(tree_delay_fs(tree, device, 10.0, s), Error);
+}
+
+// ------------------------------------------------------------------- DP
+
+TEST(TreeDp, LooseTargetNeedsNoBuffers) {
+  const BufferTree tree = y_tree();
+  const auto device = test::simple_device();
+  TreeSolution empty;
+  empty.width_u.assign(4, 0.0);
+  const double unbuffered = tree_delay_fs(tree, device, 10.0, empty);
+  const auto lib = RepeaterLibrary::uniform(4.0, 4.0, 4);
+  const auto r = run_tree_dp(tree, device, 10.0, lib,
+                             power_options(unbuffered * 1.5));
+  EXPECT_EQ(r.status, Status::kOptimal);
+  EXPECT_DOUBLE_EQ(r.total_width_u, 0.0);
+}
+
+TEST(TreeDp, SolutionDelayVerifiedByEvaluator) {
+  const BufferTree tree = y_tree();
+  const auto device = test::simple_device();
+  TreeSolution empty;
+  empty.width_u.assign(4, 0.0);
+  const double unbuffered = tree_delay_fs(tree, device, 10.0, empty);
+  const auto lib = RepeaterLibrary::uniform(4.0, 4.0, 6);
+  const double tau_t = unbuffered * 0.8;
+  const auto r = run_tree_dp(tree, device, 10.0, lib, power_options(tau_t));
+  ASSERT_EQ(r.status, Status::kOptimal);
+  const double check = tree_delay_fs(tree, device, 10.0, r.solution);
+  EXPECT_NEAR(r.delay_fs, check, 1e-6 * check);
+  EXPECT_LE(check, tau_t + 1e-6);
+  EXPECT_NEAR(r.total_width_u, r.solution.total_width_u(), 1e-12);
+}
+
+TEST(TreeDp, InfeasibleTargetDetected) {
+  const BufferTree tree = y_tree();
+  const auto device = test::simple_device();
+  const auto lib = RepeaterLibrary::uniform(4.0, 4.0, 3);
+  const auto r = run_tree_dp(tree, device, 10.0, lib, power_options(10.0));
+  EXPECT_EQ(r.status, Status::kInfeasible);
+  EXPECT_GT(r.min_delay_fs, 10.0);
+}
+
+/// Exhaustive reference for tiny trees: enumerate all width assignments
+/// over candidate nodes.
+double brute_force_tree_min_width(const BufferTree& tree,
+                                  const tech::RepeaterDevice& device,
+                                  double driver_width_u,
+                                  const RepeaterLibrary& lib,
+                                  double tau_t, bool& feasible) {
+  std::vector<std::size_t> cand_nodes;
+  for (std::size_t i = 0; i < tree.nodes().size(); ++i) {
+    if (tree.nodes()[i].candidate) cand_nodes.push_back(i);
+  }
+  const std::size_t choices = lib.size() + 1;
+  std::vector<std::size_t> digits(cand_nodes.size(), 0);
+  double best = 1e300;
+  feasible = false;
+  while (true) {
+    TreeSolution s;
+    s.width_u.assign(tree.nodes().size(), 0.0);
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      if (digits[i] > 0)
+        s.width_u[cand_nodes[i]] = lib.widths_u()[digits[i] - 1];
+    }
+    if (tree_delay_fs(tree, device, driver_width_u, s) <= tau_t) {
+      feasible = true;
+      best = std::min(best, s.total_width_u());
+    }
+    std::size_t i = 0;
+    for (; i < digits.size(); ++i) {
+      if (++digits[i] < choices) break;
+      digits[i] = 0;
+    }
+    if (i == digits.size()) break;
+  }
+  return best;
+}
+
+class TreeDpVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeDpVsBruteForce, MatchesExhaustiveOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  const auto device = test::simple_device();
+  RandomTreeConfig config;
+  config.sink_count = 3;
+  config.candidates_per_edge = 2;
+  config.edge_length_min_um = 300.0;
+  config.edge_length_max_um = 800.0;
+  const BufferTree tree = random_buffer_tree(config, rng);
+
+  const RepeaterLibrary lib({rng.uniform(3.0, 10.0), rng.uniform(15.0, 40.0)});
+  TreeSolution empty;
+  empty.width_u.assign(tree.nodes().size(), 0.0);
+  const double unbuffered = tree_delay_fs(tree, device, 10.0, empty);
+
+  for (const double factor : {0.5, 0.7, 0.9, 1.2}) {
+    const double tau_t = unbuffered * factor;
+    bool bf_feasible = false;
+    const double bf_width = brute_force_tree_min_width(
+        tree, device, 10.0, lib, tau_t, bf_feasible);
+    const auto dp = run_tree_dp(tree, device, 10.0, lib,
+                                power_options(tau_t));
+    ASSERT_EQ(dp.status == Status::kOptimal, bf_feasible)
+        << "factor " << factor;
+    if (bf_feasible) {
+      EXPECT_NEAR(dp.total_width_u, bf_width, 1e-9) << "factor " << factor;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeDpVsBruteForce, ::testing::Range(1, 7));
+
+// ------------------------------------------------------------ min delay
+
+TEST(TreeDp, MinDelayModeBeatsUnbufferedOnDeepTrees) {
+  Rng rng(404);
+  RandomTreeConfig config;
+  config.sink_count = 5;
+  config.candidates_per_edge = 3;
+  config.edge_length_min_um = 1500.0;
+  config.edge_length_max_um = 3000.0;
+  const BufferTree tree = random_buffer_tree(config, rng);
+  const auto device = test::simple_device();
+  TreeSolution empty;
+  empty.width_u.assign(tree.nodes().size(), 0.0);
+  const double unbuffered = tree_delay_fs(tree, device, 10.0, empty);
+  ChainDpOptions opts;
+  opts.mode = Mode::kMinDelay;
+  const auto lib = RepeaterLibrary::uniform(10.0, 10.0, 5);
+  const auto r = run_tree_dp(tree, device, 10.0, lib, opts);
+  EXPECT_LT(r.delay_fs, unbuffered);
+  EXPECT_GT(r.solution.repeater_count(), 0u);
+}
+
+// ---------------------------------------------------------- tree hybrid
+
+TEST(TreeHybrid, FeasibleAndNeverWorseThanCoarse) {
+  Rng rng(777);
+  RandomTreeConfig config;
+  config.sink_count = 6;
+  config.candidates_per_edge = 3;
+  config.edge_length_min_um = 1000.0;
+  config.edge_length_max_um = 2500.0;
+  const BufferTree tree = random_buffer_tree(config, rng);
+  const auto device = tech::make_tech180().device();
+
+  ChainDpOptions delay_opts;
+  delay_opts.mode = Mode::kMinDelay;
+  const auto md = run_tree_dp(tree, device, 100.0,
+                              RepeaterLibrary::range(10, 400, 40),
+                              delay_opts);
+  const double tau_t = md.delay_fs * 1.4;
+
+  const auto hybrid = core::tree_hybrid_insert(tree, device, 100.0, tau_t);
+  ASSERT_EQ(hybrid.status, Status::kOptimal);
+  EXPECT_LE(hybrid.total_width_u, hybrid.coarse.total_width_u + 1e-9);
+  const double check = tree_delay_fs(tree, device, 100.0, hybrid.solution);
+  EXPECT_LE(check, tau_t + 1e-6);
+  EXPECT_GE(hybrid.greedy_moves, 0);
+}
+
+TEST(TreeHybrid, InfeasibleTargetReported) {
+  const BufferTree tree = y_tree();
+  const auto device = test::simple_device();
+  const auto r = core::tree_hybrid_insert(tree, device, 10.0, 1.0);
+  EXPECT_EQ(r.status, Status::kInfeasible);
+}
+
+// ------------------------------------------------------------ generator
+
+TEST(RandomTree, AllLeavesAreSinks) {
+  Rng rng(5);
+  RandomTreeConfig config;
+  config.sink_count = 7;
+  const BufferTree tree = random_buffer_tree(config, rng);
+  EXPECT_EQ(tree.sink_count(), 7u);
+  for (std::size_t i = 0; i < tree.nodes().size(); ++i) {
+    if (tree.children()[i].empty() && i != 0) {
+      EXPECT_TRUE(tree.nodes()[i].is_sink) << "leaf " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rip::dp
