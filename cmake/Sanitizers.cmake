@@ -1,0 +1,9 @@
+# AddressSanitizer + UndefinedBehaviorSanitizer, gated behind RIP_SANITIZE
+# so the `asan` preset is one cache variable away from any configuration.
+
+option(RIP_SANITIZE "Enable AddressSanitizer + UndefinedBehaviorSanitizer" OFF)
+
+if(RIP_SANITIZE)
+  add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=address,undefined)
+endif()

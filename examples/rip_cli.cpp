@@ -40,7 +40,7 @@ namespace {
 
 using namespace rip;
 
-int usage() {
+int usage(int rc = 2) {
   std::cout <<
       "usage: rip_cli <command> [options]\n"
       "  gen      --seed N [--out file.net] [--nets K]\n"
@@ -53,7 +53,7 @@ int usage() {
       "  sweep    --net file.net [--points N] [--csv out.csv]\n"
       "  check    --net file.net --sol file.sol [--target-ns T]\n"
       "common:    [--tech kit.tech]\n";
-  return 2;
+  return rc;
 }
 
 tech::Technology load_tech(const CliArgs& args) {
@@ -260,7 +260,8 @@ int cmd_check(const CliArgs& args) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args =
-        CliArgs::parse(argc, argv, {"zone-hop"});
+        CliArgs::parse(argc, argv, {"zone-hop", "help"});
+    if (args.has("help")) return usage(0);
     int rc;
     if (args.command() == "gen") rc = cmd_gen(args);
     else if (args.command() == "info") rc = cmd_info(args);

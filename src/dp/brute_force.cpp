@@ -16,7 +16,8 @@ BruteForceResult brute_force(const net::Net& net,
                              std::size_t max_assignments) {
   const std::size_t choices = library.size() + 1;  // widths or "no repeater"
   double estimate = 1.0;
-  for (std::size_t i = 0; i < candidates_um.size(); ++i) estimate *= choices;
+  for (std::size_t i = 0; i < candidates_um.size(); ++i)
+    estimate *= static_cast<double>(choices);
   RIP_REQUIRE(estimate <= static_cast<double>(max_assignments),
               "brute force would enumerate too many assignments");
 

@@ -40,6 +40,17 @@ TEST(CliArgs, BooleanFlagsTakeNoValue) {
   EXPECT_EQ(args.require("net"), "a.net");
 }
 
+TEST(CliArgs, HelpStyleFlagWithoutCommandParses) {
+  // `rip_cli --help`: a boolean flag can be the only token, with no
+  // subcommand, and must not be mistaken for an option needing a value.
+  const auto args = parse({"--help"}, {"help"});
+  EXPECT_TRUE(args.command().empty());
+  EXPECT_TRUE(args.has("help"));
+  // A trailing boolean flag after a subcommand parses too.
+  const auto trailing = parse({"solve", "--zone-hop"}, {"zone-hop"});
+  EXPECT_TRUE(trailing.has("zone-hop"));
+}
+
 TEST(CliArgs, DefaultsAndFallbacks) {
   const auto args = parse({"sweep"});
   EXPECT_EQ(args.get_or("csv", "none"), "none");

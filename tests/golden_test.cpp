@@ -1,0 +1,140 @@
+// Deterministic golden-value regression tests pinning seed-2005 outputs
+// of eval::run_case and the Table 1 runner. These exist so future perf
+// refactors (sharding, batching, DP rewrites) cannot silently change
+// results: any behavioral drift shows up here as an exact-value diff.
+//
+// Values were extracted from the first green build (PR 1). If a change
+// legitimately alters them (e.g. an accuracy fix), re-pin and say why in
+// the commit message.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "eval/experiments.hpp"
+#include "eval/workload.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::eval {
+namespace {
+
+// Loose enough to survive -O0/-O2/sanitizer FP differences, tight enough
+// that any algorithmic change trips it.
+constexpr double kTauTolFs = 1e-2;
+constexpr double kPctTol = 1e-6;
+constexpr double kWidthTol = 1e-9;
+
+class GoldenSeed2005 : public ::testing::Test {
+ protected:
+  static const tech::Technology& technology() {
+    static const tech::Technology tech = tech::make_tech180();
+    return tech;
+  }
+};
+
+TEST_F(GoldenSeed2005, WorkloadTauMinIsPinned) {
+  const auto workload = make_paper_workload(technology(), 2, 2005);
+  ASSERT_EQ(workload.size(), 2u);
+  EXPECT_EQ(workload[0].net.name(), "net_1");
+  EXPECT_NEAR(workload[0].tau_min_fs, 2292355.603793, kTauTolFs);
+  EXPECT_NEAR(workload[1].tau_min_fs, 3033602.328428, kTauTolFs);
+}
+
+TEST_F(GoldenSeed2005, RunCaseIsPinned) {
+  const auto& tech = technology();
+  const auto workload = make_paper_workload(tech, 1, 2005);
+  ASSERT_EQ(workload.size(), 1u);
+  const auto baseline = core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+
+  {
+    const auto c = run_case(workload[0].net, tech,
+                            1.25 * workload[0].tau_min_fs, {}, baseline);
+    EXPECT_TRUE(c.rip_feasible);
+    EXPECT_TRUE(c.dp_feasible);
+    EXPECT_NEAR(c.rip_width_u, 280.0, kWidthTol);
+    EXPECT_NEAR(c.dp_width_u, 280.0, kWidthTol);
+    EXPECT_NEAR(c.improvement_pct, 0.0, kPctTol);
+  }
+  {
+    const auto c = run_case(workload[0].net, tech,
+                            1.85 * workload[0].tau_min_fs, {}, baseline);
+    EXPECT_TRUE(c.rip_feasible);
+    EXPECT_TRUE(c.dp_feasible);
+    EXPECT_NEAR(c.rip_width_u, 50.0, kWidthTol);
+    EXPECT_NEAR(c.dp_width_u, 50.0, kWidthTol);
+    EXPECT_NEAR(c.improvement_pct, 0.0, kPctTol);
+  }
+}
+
+TEST_F(GoldenSeed2005, Table1RunnerIsPinned) {
+  // Reduced Table 1 (3 nets x 5 targets) so this stays fast while still
+  // exercising the full runner: workload generation, per-granularity
+  // baselines, violation accounting, and the Ave row.
+  Table1Config cfg;
+  cfg.net_count = 3;
+  cfg.targets_per_net = 5;
+  const auto t1 = run_table1(technology(), cfg);
+
+  ASSERT_EQ(t1.rows.size(), 3u);
+  ASSERT_EQ(t1.granularities_u.size(), 3u);
+
+  // The paper's headline claim: RIP never violates timing.
+  for (const auto& row : t1.rows) EXPECT_EQ(row.rip_violations, 0);
+
+  // Per-row golden cells: {delta_max_pct, delta_mean_pct, dp_violations,
+  // compared} for granularities g = 10u, 20u, 40u.
+  struct Cell {
+    double max_pct, mean_pct;
+    int violations, compared;
+  };
+  const Cell expected[3][3] = {
+      {{0.0, 0.0, 1, 4},
+       {20.0, 7.225108, 0, 5},
+       {21.428571, 11.382617, 0, 5}},
+      {{3.846154, 0.961538, 1, 4},
+       {18.478261, 5.177134, 0, 5},
+       {22.222222, 7.407407, 0, 5}},
+      {{0.0, 0.0, 1, 4},
+       {14.285714, 5.248926, 0, 5},
+       {33.333333, 12.212790, 0, 5}},
+  };
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_EQ(t1.rows[r].cells.size(), 3u) << "row " << r;
+    for (int g = 0; g < 3; ++g) {
+      const auto& cell = t1.rows[r].cells[g];
+      const auto& want = expected[r][g];
+      EXPECT_NEAR(cell.delta_max_pct, want.max_pct, kPctTol)
+          << "row " << r << " g-index " << g;
+      EXPECT_NEAR(cell.delta_mean_pct, want.mean_pct, kPctTol)
+          << "row " << r << " g-index " << g;
+      EXPECT_EQ(cell.dp_violations, want.violations)
+          << "row " << r << " g-index " << g;
+      EXPECT_EQ(cell.compared, want.compared) << "row " << r << " g-index "
+                                              << g;
+    }
+  }
+
+  // The Ave row.
+  ASSERT_EQ(t1.average.cells.size(), 3u);
+  EXPECT_EQ(t1.average.rip_violations, 0);
+  EXPECT_NEAR(t1.average.cells[0].delta_mean_pct, 0.320513, kPctTol);
+  EXPECT_NEAR(t1.average.cells[1].delta_mean_pct, 5.883723, kPctTol);
+  EXPECT_NEAR(t1.average.cells[2].delta_mean_pct, 10.334272, kPctTol);
+  EXPECT_NEAR(t1.average.cells[0].delta_max_pct, 1.282051, kPctTol);
+  EXPECT_NEAR(t1.average.cells[1].delta_max_pct, 17.587992, kPctTol);
+  EXPECT_NEAR(t1.average.cells[2].delta_max_pct, 25.661376, kPctTol);
+}
+
+TEST_F(GoldenSeed2005, WorkloadIsReproducibleAcrossCalls) {
+  // Same seed, same workload — the determinism the golden values rely on.
+  const auto a = make_paper_workload(technology(), 3, 2005);
+  const auto b = make_paper_workload(technology(), 3, 2005);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].tau_min_fs, b[i].tau_min_fs) << "net " << i;
+    EXPECT_EQ(a[i].net.name(), b[i].net.name()) << "net " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rip::eval

@@ -1,0 +1,114 @@
+// Property tests for the RIP fallback guarantee (rip.hpp): the returned
+// solution is the best feasible of stage 3 and stage 1, so RIP is
+// feasible whenever the coarse DP is, never worse than it, and
+// `used_fallback` records exactly when the answer came from stage 1.
+
+#include <gtest/gtest.h>
+
+#include "core/rip.hpp"
+#include "dp/min_delay.hpp"
+#include "rc/buffered_chain.hpp"
+#include "test_helpers.hpp"
+
+namespace rip::core {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  double factor;
+};
+
+class RipFallbackSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  static const tech::Technology& technology() {
+    static const tech::Technology tech = tech::make_tech180();
+    return tech;
+  }
+};
+
+TEST_P(RipFallbackSweep, NeverWorseThanCoarseDpAndFallbackFlagConsistent) {
+  const auto& device = technology().device();
+  const auto [seed, factor] = GetParam();
+
+  const net::Net n = test::paper_net(seed);
+  const auto md = dp::min_delay(n, device, {10.0, 400.0, 10.0, 200.0});
+  const double tau_t = factor * md.tau_min_fs;
+
+  const auto rip = rip_insert(n, device, tau_t);
+
+  // Feasibility tracks stage 1 exactly: RIP succeeds iff the coarse DP does.
+  EXPECT_EQ(rip.status == dp::Status::kOptimal,
+            rip.coarse.status == dp::Status::kOptimal);
+  if (rip.status != dp::Status::kOptimal) return;
+
+  // Never worse than the stage-1 coarse DP.
+  EXPECT_LE(rip.total_width_u, rip.coarse.total_width_u + 1e-9);
+
+  if (rip.used_fallback) {
+    // Fallback answers are the stage-1 solution verbatim.
+    EXPECT_NEAR(rip.total_width_u, rip.coarse.total_width_u, 1e-9);
+    EXPECT_NEAR(rip.delay_fs, rip.coarse.delay_fs, 1e-9);
+    EXPECT_EQ(rip.solution.repeaters().size(),
+              rip.coarse.solution.repeaters().size());
+  } else {
+    // Non-fallback answers come from a feasible stage 3 that beat (or
+    // tied) stage 1.
+    EXPECT_EQ(rip.final_dp.status, dp::Status::kOptimal);
+    EXPECT_NEAR(rip.total_width_u, rip.final_dp.total_width_u, 1e-9);
+    EXPECT_LE(rip.final_dp.total_width_u, rip.coarse.total_width_u + 1e-9);
+  }
+
+  // Either way the reported solution must actually meet timing.
+  EXPECT_LE(rc::elmore_delay_fs(n, rip.solution, device),
+            tau_t * (1.0 + 1e-9) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndTargets, RipFallbackSweep,
+    ::testing::Values(Case{401, 1.1}, Case{401, 1.5}, Case{401, 2.0},
+                      Case{402, 1.1}, Case{402, 1.6}, Case{403, 1.2},
+                      Case{404, 1.3}, Case{405, 1.8}, Case{406, 1.05},
+                      Case{407, 1.45}));
+
+// Forcing stage 3 to be infeasible must trip the fallback, not degrade
+// the answer: restrict the fine library to a single 10u width, which
+// cannot meet a tight target that the coarse 80u..400u library can.
+TEST(RipFallback, FallbackSetWhenFinalStageInfeasible) {
+  const auto tech = tech::make_tech180();
+  const auto& device = tech.device();
+  const net::Net n = test::paper_net(408);
+  const auto md = dp::min_delay(n, device, {10.0, 400.0, 10.0, 200.0});
+  const double tau_t = 1.1 * md.tau_min_fs;
+
+  RipOptions crippled;
+  crippled.fine_min_width_u = 10.0;
+  crippled.fine_max_width_u = 10.0;
+
+  const auto rip = rip_insert(n, device, tau_t, crippled);
+  ASSERT_EQ(rip.status, dp::Status::kOptimal);
+  ASSERT_NE(rip.final_dp.status, dp::Status::kOptimal)
+      << "test premise broken: the 10u-only stage 3 met the tight target";
+  EXPECT_TRUE(rip.used_fallback);
+  EXPECT_NEAR(rip.total_width_u, rip.coarse.total_width_u, 1e-9);
+  EXPECT_NEAR(rip.delay_fs, rip.coarse.delay_fs, 1e-9);
+}
+
+// On the default options with a generous target, stage 3 should win and
+// the fallback flag must stay false (guards against the flag being set
+// unconditionally).
+TEST(RipFallback, FallbackClearWhenFinalStageWins) {
+  const auto tech = tech::make_tech180();
+  const auto& device = tech.device();
+  const net::Net n = test::paper_net(409);
+  const auto md = dp::min_delay(n, device, {10.0, 400.0, 10.0, 200.0});
+  const double tau_t = 1.5 * md.tau_min_fs;
+
+  const auto rip = rip_insert(n, device, tau_t);
+  ASSERT_EQ(rip.status, dp::Status::kOptimal);
+  ASSERT_EQ(rip.final_dp.status, dp::Status::kOptimal);
+  ASSERT_LT(rip.final_dp.total_width_u, rip.coarse.total_width_u);
+  EXPECT_FALSE(rip.used_fallback);
+}
+
+}  // namespace
+}  // namespace rip::core

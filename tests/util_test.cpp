@@ -284,7 +284,7 @@ TEST(Table, RejectsBadRows) {
 TEST(Timer, MeasuresElapsedTime) {
   WallTimer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
   EXPECT_GT(t.seconds(), 0.0);
   const double first = t.millis();
   EXPECT_GE(t.millis(), first);  // monotone
