@@ -12,7 +12,8 @@
 //   fine-5u         stage-3 library granularity 5u instead of 10u
 //   coarse-40u      stage-1 coarse library granularity 40u instead of 80u
 //
-// Environment: RIP_BENCH_NETS / RIP_BENCH_TARGETS shrink the run.
+// Environment: RIP_BENCH_NETS / RIP_BENCH_TARGETS / RIP_BENCH_JOBS
+// shrink or parallelize the run; --nets / --targets / --jobs override.
 
 #include <functional>
 #include <iostream>
@@ -21,9 +22,11 @@
 #include "bench_env.hpp"
 #include "core/rip.hpp"
 #include "eval/workload.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -74,54 +77,71 @@ std::vector<Variant> make_variants() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rip;
+  const CliArgs args = CliArgs::parse(argc, argv);
   const tech::Technology tech = tech::make_tech180();
-  const int nets = bench::net_count(10);
-  const int targets = bench::targets_per_net(8);
+  const int nets = bench::net_count(args, 10);
+  const int targets = bench::targets_per_net(args, 8);
+  const int jobs = bench::jobs(args);
 
   std::cout << "=== Ablation: RIP design choices ===\n";
-  std::cout << "(" << nets << " nets x " << targets << " targets; width "
-            << "relative to the full configuration; lower is better)\n\n";
+  std::cout << "(" << nets << " nets x " << targets << " targets, jobs "
+            << jobs << "; width relative to the full configuration; "
+            << "lower is better)\n\n";
 
-  const auto workload = eval::make_paper_workload(tech, nets, 2005);
+  const auto workload = eval::make_paper_workload(tech, nets, 2005, {},
+                                                  {10.0, 400.0, 10.0, 200.0},
+                                                  jobs);
   const auto variants = make_variants();
 
-  // Reference pass: the full configuration.
-  std::vector<std::vector<double>> reference_width;
+  const std::size_t net_n = workload.size();
+  const std::size_t tgt_n = static_cast<std::size_t>(targets);
+  std::vector<std::vector<double>> taus;
+  taus.reserve(net_n);
   for (const auto& wn : workload) {
-    const auto taus = eval::timing_targets_fs(wn.tau_min_fs, targets);
-    std::vector<double> widths;
-    for (const double tau : taus) {
-      const auto r = core::rip_insert(wn.net, tech.device(), tau,
-                                      variants.front().options);
-      widths.push_back(r.status == dp::Status::kOptimal ? r.total_width_u
-                                                        : -1.0);
-    }
-    reference_width.push_back(std::move(widths));
+    taus.push_back(eval::timing_targets_fs(wn.tau_min_fs, targets));
   }
+
+  // Per (net, target) solves fan out over the pool; each task measures
+  // its own wall clock and writes only its slot, so the aggregates are
+  // identical at any job count (runtimes aside).
+  struct Run {
+    double width_u = -1.0;  ///< -1 = timing violated
+    double millis = 0;
+  };
+  auto run_variant = [&](const core::RipOptions& options) {
+    std::vector<Run> runs(net_n * tgt_n);
+    parallel_for_indexed(runs.size(), jobs, [&](std::size_t k) {
+      const std::size_t ni = k / tgt_n;
+      const std::size_t ti = k % tgt_n;
+      WallTimer timer;
+      const auto r = core::rip_insert(workload[ni].net, tech.device(),
+                                      taus[ni][ti], options);
+      runs[k].millis = timer.millis();
+      if (r.status == dp::Status::kOptimal) runs[k].width_u = r.total_width_u;
+    });
+    return runs;
+  };
+
+  // Reference pass: the full configuration.
+  const auto reference = run_variant(variants.front().options);
 
   Table table({"variant", "rel_width", "delta_vs_full%", "violations",
                "runtime_ms"});
   for (const auto& variant : variants) {
+    const auto runs = run_variant(variant.options);
     RunningStats rel;
     RunningStats runtime_ms;
     int violations = 0;
-    for (std::size_t ni = 0; ni < workload.size(); ++ni) {
-      const auto taus =
-          eval::timing_targets_fs(workload[ni].tau_min_fs, targets);
-      for (std::size_t ti = 0; ti < taus.size(); ++ti) {
-        WallTimer timer;
-        const auto r = core::rip_insert(workload[ni].net, tech.device(),
-                                        taus[ti], variant.options);
-        runtime_ms.add(timer.millis());
-        if (r.status != dp::Status::kOptimal) {
-          ++violations;
-          continue;
-        }
-        const double ref = reference_width[ni][ti];
-        if (ref > 0) rel.add(r.total_width_u / ref);
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      runtime_ms.add(runs[k].millis);
+      if (runs[k].width_u < 0) {
+        ++violations;
+        continue;
       }
+      if (reference[k].width_u > 0) rel.add(runs[k].width_u /
+                                            reference[k].width_u);
     }
     const double mean_rel = rel.count() > 0 ? rel.mean() : 0.0;
     table.add_row({variant.name, fmt_f(mean_rel, 4),
@@ -134,5 +154,9 @@ int main() {
                "repeater movement; zone-hop and refine-x2 are the paper's "
                "Section 7 extensions; the window rows probe the stage-3 "
                "location set; coarse-40u probes the stage-1 library.\n";
+  bench::warn_unused(args);
   return 0;
+} catch (const rip::Error& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

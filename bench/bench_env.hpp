@@ -1,13 +1,19 @@
 #pragma once
 
 /// @file bench_env.hpp
-/// Environment-variable knobs shared by the table-regeneration benches,
-/// so CI can run reduced configurations:
-///   RIP_BENCH_NETS     population size (default: the paper's 20)
-///   RIP_BENCH_TARGETS  timing targets per net (default: the paper's 20)
+/// Shared configuration for the table-regeneration benches. Every knob
+/// has an environment-variable default (so CI can shrink runs globally)
+/// that the command line overrides per invocation:
+///   RIP_BENCH_NETS     / --nets N     population size (paper: 20)
+///   RIP_BENCH_TARGETS  / --targets N  timing targets per net (paper: 20)
+///   RIP_BENCH_JOBS     / --jobs N     worker threads (1 = serial,
+///                                     0 = all hardware threads)
 
 #include <cstdlib>
+#include <iostream>
 #include <string>
+
+#include "util/cli.hpp"
 
 namespace rip::bench {
 
@@ -27,6 +33,33 @@ inline int net_count(int fallback = 20) {
 
 inline int targets_per_net(int fallback = 20) {
   return env_int("RIP_BENCH_TARGETS", fallback);
+}
+
+inline int jobs(int fallback = 1) {
+  return env_int("RIP_BENCH_JOBS", fallback);
+}
+
+/// CLI-over-environment resolution used by every bench main().
+inline int net_count(const CliArgs& args, int fallback = 20) {
+  return args.get_int_or("nets", net_count(fallback));
+}
+
+inline int targets_per_net(const CliArgs& args, int fallback = 20) {
+  return args.get_int_or("targets", targets_per_net(fallback));
+}
+
+/// Resolved worker-thread count (`--jobs`, then RIP_BENCH_JOBS, then
+/// `fallback`; 0 = all hardware threads).
+inline int jobs(const CliArgs& args, int fallback = 1) {
+  return parallel_jobs(args, jobs(fallback));
+}
+
+/// Flag mistyped options instead of silently ignoring them (mirrors
+/// rip_cli); call after every option has been read.
+inline void warn_unused(const CliArgs& args) {
+  for (const auto& name : args.unused()) {
+    std::cerr << "warning: unused option --" << name << "\n";
+  }
 }
 
 }  // namespace rip::bench

@@ -9,27 +9,32 @@
 //   zone III (loose targets): the schemes converge, and the DP
 //            occasionally wins slightly (negative improvement).
 //
-// Environment: RIP_BENCH_TARGETS sets the number of sweep points.
+// Environment: RIP_BENCH_TARGETS / RIP_BENCH_JOBS set the sweep size
+// and worker threads; --targets / --jobs override.
 
 #include <iostream>
 
 #include "bench_env.hpp"
 #include "eval/experiments.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 #include "util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rip;
+  const CliArgs args = CliArgs::parse(argc, argv);
   const tech::Technology tech = tech::make_tech180();
 
   eval::Fig7Config config;
-  config.points = bench::targets_per_net(21);
+  config.points = bench::targets_per_net(args, 21);
+  config.jobs = bench::jobs(args);
 
   std::cout << "=== Figure 7: improvement vs timing constraint ===\n";
   std::cout << "(one representative net, DP library size 10, g=10u and "
                "g=40u; "
-            << config.points << " sweep points)\n\n";
+            << config.points << " sweep points, jobs " << config.jobs
+            << ")\n\n";
 
   WallTimer timer;
   const auto result = eval::run_fig7(tech, config);
@@ -52,5 +57,9 @@ int main() {
                "negative) in zone III; Fig 7(b) stays positive and grows "
                "with looser targets.\n";
   std::cout << "wall clock: " << fmt_f(timer.seconds(), 1) << " s\n";
+  bench::warn_unused(args);
   return 0;
+} catch (const rip::Error& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

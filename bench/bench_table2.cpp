@@ -5,30 +5,34 @@
 // gap but its runtime grows pseudo-polynomially, while RIP's runtime is
 // constant — the paper reports a 203x speedup at equal quality.
 //
-// Environment: RIP_BENCH_NETS / RIP_BENCH_TARGETS shrink the run.
+// Environment: RIP_BENCH_NETS / RIP_BENCH_TARGETS / RIP_BENCH_JOBS
+// shrink or parallelize the run; --nets / --targets / --jobs override.
 
 #include <iostream>
 
 #include "bench_env.hpp"
 #include "eval/experiments.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rip;
+  const CliArgs args = CliArgs::parse(argc, argv);
   const tech::Technology tech = tech::make_tech180();
 
   // Default reduced to 10x10 (the g_DP=10u baseline costs seconds per
   // design by construction — that is the point of the table); set
   // RIP_BENCH_NETS=20 RIP_BENCH_TARGETS=20 for the paper's full sweep.
   eval::Table2Config config;
-  config.net_count = bench::net_count(10);
-  config.targets_per_net = bench::targets_per_net(10);
+  config.net_count = bench::net_count(args, 10);
+  config.targets_per_net = bench::targets_per_net(args, 10);
+  config.jobs = bench::jobs(args);
 
   std::cout << "=== Table 2: power savings and speedup tradeoff ===\n";
   std::cout << "(DP width range 10u..400u at granularity g_DP; "
             << config.net_count << " nets x " << config.targets_per_net
-            << " targets)\n\n";
+            << " targets, jobs " << config.jobs << ")\n\n";
 
   WallTimer timer;
   const auto result = eval::run_table2(tech, config);
@@ -40,5 +44,9 @@ int main() {
   std::cout << "(absolute seconds differ from 2005 hardware; the claim is "
                "the growth of the ratio)\n";
   std::cout << "wall clock: " << fmt_f(timer.seconds(), 1) << " s\n";
+  bench::warn_unused(args);
   return 0;
+} catch (const rip::Error& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -9,18 +9,25 @@
 //                    [--zone-hop] [--refine-repeats 2]
 //   rip_cli baseline --net my.net --target-x 1.3 --granularity 20
 //   rip_cli sweep    --net my.net --points 11 --csv sweep.csv
+//   rip_cli compare  --net my.net --points 11 --granularity 20 --jobs 4
 //   rip_cli check    --net my.net --sol out.sol [--target-ns 2.5]
 //
 // A custom technology file (riptech format) can replace the built-in
-// 0.18 um kit everywhere with --tech kit.tech.
+// 0.18 um kit everywhere with --tech kit.tech. The sweep/compare
+// multi-target commands fan out over `--jobs N` worker threads
+// (0 = all hardware threads) with results identical to --jobs 1.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "core/baseline.hpp"
 #include "core/rip.hpp"
 #include "dp/min_delay.hpp"
+#include "eval/parallel.hpp"
+#include "eval/workload.hpp"
 #include "net/generator.hpp"
 #include "net/net_io.hpp"
 #include "net/solution_io.hpp"
@@ -34,6 +41,7 @@
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace {
@@ -50,9 +58,12 @@ int usage(int rc = 2) {
       "           [--refine-repeats N]\n"
       "  baseline --net file.net (--target-ns T | --target-x F)\n"
       "           [--granularity G] [--lib-size N] [--min-width W]\n"
-      "  sweep    --net file.net [--points N] [--csv out.csv]\n"
+      "  sweep    --net file.net [--points N] [--csv out.csv] [--jobs N]\n"
+      "  compare  --net file.net [--points N] [--granularity G]\n"
+      "           [--lib-size N] [--min-width W] [--csv out.csv]\n"
+      "           [--jobs N]\n"
       "  check    --net file.net --sol file.sol [--target-ns T]\n"
-      "common:    [--tech kit.tech]\n";
+      "common:    [--tech kit.tech]   (--jobs 0 = all hardware threads)\n";
   return rc;
 }
 
@@ -201,16 +212,27 @@ int cmd_sweep(const CliArgs& args) {
   const tech::Technology tech = load_tech(args);
   const net::Net n = load_net(args);
   const int points = args.get_int_or("points", 11);
+  const int jobs = parallel_jobs(args);
   const auto md = dp::min_delay(n, tech.device(), {10.0, 400.0, 10.0, 200.0});
+
+  // Solve every point in parallel, then render in sweep order.
+  std::vector<double> factors(static_cast<std::size_t>(std::max(points, 0)));
+  for (int k = 0; k < points; ++k) {
+    factors[static_cast<std::size_t>(k)] =
+        1.05 + (points > 1 ? k * 1.0 / (points - 1) : 0.0);
+  }
+  std::vector<core::RipResult> runs(factors.size());
+  parallel_for_indexed(runs.size(), jobs, [&](std::size_t k) {
+    runs[k] = core::rip_insert(n, tech.device(),
+                               factors[k] * md.tau_min_fs);
+  });
 
   Table table({"tau_t_ns", "tau_over_min", "width_u", "repeaters",
                "delay_ns"});
-  for (int k = 0; k < points; ++k) {
-    const double factor =
-        1.05 + (points > 1 ? k * 1.0 / (points - 1) : 0.0);
-    const double tau_t = factor * md.tau_min_fs;
-    const auto r = core::rip_insert(n, tech.device(), tau_t);
-    table.add_row({fmt_f(units::fs_to_ns(tau_t), 3), fmt_f(factor, 3),
+  for (std::size_t k = 0; k < runs.size(); ++k) {
+    const double tau_t = factors[k] * md.tau_min_fs;
+    const auto& r = runs[k];
+    table.add_row({fmt_f(units::fs_to_ns(tau_t), 3), fmt_f(factors[k], 3),
                    r.status == dp::Status::kOptimal
                        ? fmt_f(r.total_width_u, 0)
                        : "VIOL",
@@ -222,6 +244,51 @@ int cmd_sweep(const CliArgs& args) {
     RIP_REQUIRE(out.good(), "cannot write " + *csv);
     table.print_csv(out);
     std::cout << "sweep written to " << *csv << "\n";
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_compare(const CliArgs& args) {
+  const tech::Technology tech = load_tech(args);
+  const net::Net n = load_net(args);
+  const int points = args.get_int_or("points", 11);
+  const auto md = dp::min_delay(n, tech.device(), {10.0, 400.0, 10.0, 200.0});
+  const auto baseline = core::BaselineOptions::uniform_library(
+      args.get_double_or("min-width", 10.0),
+      args.get_double_or("granularity", 10.0),
+      args.get_int_or("lib-size", 10));
+
+  // The batch engine: one Case per sweep point, fanned out over --jobs.
+  const auto targets = eval::timing_targets_fs(md.tau_min_fs, points);
+  std::vector<eval::Case> cases;
+  cases.reserve(targets.size());
+  for (const double tau_t : targets) {
+    cases.push_back(eval::Case{&n, tau_t, core::RipOptions{}, baseline});
+  }
+  eval::BatchOptions batch;
+  batch.jobs = parallel_jobs(args);
+  const auto results = eval::run_cases(tech, cases, batch);
+
+  Table table({"tau_t_ns", "tau_over_min", "rip_u", "dp_u", "impr%",
+               "rip_ms", "dp_ms"});
+  for (const auto& r : results) {
+    table.add_row({fmt_f(units::fs_to_ns(r.tau_t_fs), 3),
+                   fmt_f(r.tau_t_fs / md.tau_min_fs, 3),
+                   r.rip_feasible ? fmt_f(r.rip_width_u, 0) : "VIOL",
+                   r.dp_feasible ? fmt_f(r.dp_width_u, 0) : "VIOL",
+                   r.rip_feasible && r.dp_feasible
+                       ? fmt_f(r.improvement_pct, 2)
+                       : "-",
+                   fmt_f(r.rip_runtime_s * 1e3, 1),
+                   fmt_f(r.dp_runtime_s * 1e3, 1)});
+  }
+  if (const auto csv = args.get("csv")) {
+    std::ofstream out(*csv);
+    RIP_REQUIRE(out.good(), "cannot write " + *csv);
+    table.print_csv(out);
+    std::cout << "comparison written to " << *csv << "\n";
   } else {
     table.print(std::cout);
   }
@@ -268,6 +335,7 @@ int main(int argc, char** argv) {
     else if (args.command() == "solve") rc = cmd_solve(args);
     else if (args.command() == "baseline") rc = cmd_baseline(args);
     else if (args.command() == "sweep") rc = cmd_sweep(args);
+    else if (args.command() == "compare") rc = cmd_compare(args);
     else if (args.command() == "check") rc = cmd_check(args);
     else return usage();
     for (const auto& name : args.unused()) {

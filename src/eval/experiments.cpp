@@ -5,6 +5,7 @@
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "util/units.hpp"
 
@@ -39,49 +40,80 @@ CaseResult run_case(const net::Net& net, const tech::Technology& tech,
 
 // ------------------------------------------------------------------ Table 1
 
+// All three runners share the same parallel shape: fan the independent
+// (net, target[, granularity]) solves out over util::parallel_for_indexed
+// into index-addressed slots, then reduce serially in the exact order of
+// the original serial loops — so every RunningStats sees the same values
+// in the same sequence and the golden pins hold at any job count.
+
 Table1Result run_table1(const tech::Technology& tech,
                         const Table1Config& config) {
   RIP_REQUIRE(!config.granularities_u.empty(),
               "table 1 needs at least one granularity");
   const auto workload =
-      make_paper_workload(tech, config.net_count, config.seed);
+      make_paper_workload(tech, config.net_count, config.seed, {},
+                          {10.0, 400.0, 10.0, 200.0}, config.jobs);
+
+  const std::size_t net_n = workload.size();
+  const std::size_t tgt_n = static_cast<std::size_t>(config.targets_per_net);
+  const std::size_t g_n = config.granularities_u.size();
+
+  std::vector<std::vector<double>> targets;
+  targets.reserve(net_n);
+  for (const auto& wn : workload) {
+    targets.push_back(
+        timing_targets_fs(wn.tau_min_fs, config.targets_per_net));
+  }
+
+  // RIP runs once per (net, target); each baseline granularity reuses it.
+  std::vector<core::RipResult> rip_runs(net_n * tgt_n);
+  parallel_for_indexed(rip_runs.size(), config.jobs, [&](std::size_t k) {
+    const std::size_t ni = k / tgt_n;
+    const std::size_t ti = k % tgt_n;
+    rip_runs[k] = core::rip_insert(workload[ni].net, tech.device(),
+                                   targets[ni][ti], config.rip);
+  });
+
+  std::vector<core::BaselineOptions> baselines;
+  baselines.reserve(g_n);
+  for (const double g : config.granularities_u) {
+    baselines.push_back(core::BaselineOptions::uniform_library(
+        config.baseline_min_width_u, g, config.baseline_library_size,
+        config.pitch_um));
+  }
+  std::vector<dp::ChainDpResult> dp_runs(net_n * g_n * tgt_n);
+  parallel_for_indexed(dp_runs.size(), config.jobs, [&](std::size_t k) {
+    const std::size_t ni = k / (g_n * tgt_n);
+    const std::size_t gi = (k / tgt_n) % g_n;
+    const std::size_t ti = k % tgt_n;
+    dp_runs[k] = core::run_baseline(workload[ni].net, tech.device(),
+                                    targets[ni][ti], baselines[gi]);
+  });
 
   Table1Result result;
   result.granularities_u = config.granularities_u;
-  std::vector<RunningStats> avg_max(config.granularities_u.size());
-  std::vector<RunningStats> avg_mean(config.granularities_u.size());
+  std::vector<RunningStats> avg_max(g_n);
+  std::vector<RunningStats> avg_mean(g_n);
   RunningStats avg_violations;
 
-  for (const auto& wn : workload) {
+  for (std::size_t ni = 0; ni < net_n; ++ni) {
     Table1Row row;
-    row.net_name = wn.net.name();
-    const auto targets =
-        timing_targets_fs(wn.tau_min_fs, config.targets_per_net);
-
-    // RIP runs once per target; each baseline granularity reuses it.
-    std::vector<core::RipResult> rip_runs;
-    rip_runs.reserve(targets.size());
-    for (const double tau_t : targets) {
-      rip_runs.push_back(
-          core::rip_insert(wn.net, tech.device(), tau_t, config.rip));
-      if (rip_runs.back().status != dp::Status::kOptimal)
+    row.net_name = workload[ni].net.name();
+    for (std::size_t ti = 0; ti < tgt_n; ++ti) {
+      if (rip_runs[ni * tgt_n + ti].status != dp::Status::kOptimal)
         ++row.rip_violations;
     }
 
-    for (std::size_t gi = 0; gi < config.granularities_u.size(); ++gi) {
-      const auto baseline = core::BaselineOptions::uniform_library(
-          config.baseline_min_width_u, config.granularities_u[gi],
-          config.baseline_library_size, config.pitch_um);
+    for (std::size_t gi = 0; gi < g_n; ++gi) {
       Table1Cell cell;
       RunningStats improvements;
-      for (std::size_t ti = 0; ti < targets.size(); ++ti) {
-        const auto dp = core::run_baseline(wn.net, tech.device(),
-                                           targets[ti], baseline);
+      for (std::size_t ti = 0; ti < tgt_n; ++ti) {
+        const auto& dp = dp_runs[(ni * g_n + gi) * tgt_n + ti];
         if (dp.status != dp::Status::kOptimal) {
           ++cell.dp_violations;
           continue;
         }
-        const auto& rip = rip_runs[ti];
+        const auto& rip = rip_runs[ni * tgt_n + ti];
         if (rip.status == dp::Status::kOptimal && dp.total_width_u > 0) {
           improvements.add((dp.total_width_u - rip.total_width_u) /
                            dp.total_width_u * 100.0);
@@ -101,7 +133,7 @@ Table1Result run_table1(const tech::Technology& tech,
   }
 
   result.average.net_name = "Ave";
-  for (std::size_t gi = 0; gi < config.granularities_u.size(); ++gi) {
+  for (std::size_t gi = 0; gi < g_n; ++gi) {
     Table1Cell cell;
     cell.delta_max_pct = avg_max[gi].mean();
     cell.delta_mean_pct = avg_mean[gi].mean();
@@ -143,55 +175,83 @@ Table to_table(const Table1Result& result) {
 Table2Result run_table2(const tech::Technology& tech,
                         const Table2Config& config) {
   const auto workload =
-      make_paper_workload(tech, config.net_count, config.seed);
+      make_paper_workload(tech, config.net_count, config.seed, {},
+                          {10.0, 400.0, 10.0, 200.0}, config.jobs);
+
+  const std::size_t net_n = workload.size();
+  const std::size_t tgt_n = static_cast<std::size_t>(config.targets_per_net);
+  const std::size_t g_n = config.granularities_u.size();
+
+  std::vector<std::vector<double>> all_targets;
+  all_targets.reserve(net_n);
+  for (const auto& wn : workload) {
+    all_targets.push_back(
+        timing_targets_fs(wn.tau_min_fs, config.targets_per_net));
+  }
 
   // RIP runs once per (net, target); every granularity row reuses it.
+  // Runtimes are wall clock per task, taken inside the worker.
   struct RipOutcome {
     bool feasible = false;
     double width_u = 0;
     double runtime_s = 0;
   };
-  std::vector<std::vector<RipOutcome>> rip_runs;
-  std::vector<std::vector<double>> all_targets;
+  std::vector<RipOutcome> rip_runs(net_n * tgt_n);
+  parallel_for_indexed(rip_runs.size(), config.jobs, [&](std::size_t k) {
+    const std::size_t ni = k / tgt_n;
+    const std::size_t ti = k % tgt_n;
+    WallTimer timer;
+    const auto rip = core::rip_insert(workload[ni].net, tech.device(),
+                                      all_targets[ni][ti], config.rip);
+    RipOutcome oc;
+    oc.runtime_s = timer.seconds();
+    oc.feasible = rip.status == dp::Status::kOptimal;
+    oc.width_u = rip.total_width_u;
+    rip_runs[k] = oc;
+  });
   RunningStats rip_time;
-  for (const auto& wn : workload) {
-    all_targets.push_back(
-        timing_targets_fs(wn.tau_min_fs, config.targets_per_net));
-    std::vector<RipOutcome> outcomes;
-    for (const double tau_t : all_targets.back()) {
-      WallTimer timer;
-      const auto rip =
-          core::rip_insert(wn.net, tech.device(), tau_t, config.rip);
-      RipOutcome oc;
-      oc.runtime_s = timer.seconds();
-      oc.feasible = rip.status == dp::Status::kOptimal;
-      oc.width_u = rip.total_width_u;
-      rip_time.add(oc.runtime_s);
-      outcomes.push_back(oc);
-    }
-    rip_runs.push_back(std::move(outcomes));
+  for (const auto& oc : rip_runs) rip_time.add(oc.runtime_s);
+
+  struct DpOutcome {
+    bool feasible = false;
+    double width_u = 0;
+    double runtime_s = 0;
+  };
+  std::vector<core::BaselineOptions> baselines;
+  baselines.reserve(g_n);
+  for (const double g : config.granularities_u) {
+    baselines.push_back(core::BaselineOptions::range_library(
+        config.range_min_width_u, config.range_max_width_u, g,
+        config.pitch_um));
   }
+  std::vector<DpOutcome> dp_runs(g_n * net_n * tgt_n);
+  parallel_for_indexed(dp_runs.size(), config.jobs, [&](std::size_t k) {
+    const std::size_t gi = k / (net_n * tgt_n);
+    const std::size_t ni = (k / tgt_n) % net_n;
+    const std::size_t ti = k % tgt_n;
+    WallTimer timer;
+    const auto dp = core::run_baseline(workload[ni].net, tech.device(),
+                                       all_targets[ni][ti], baselines[gi]);
+    DpOutcome oc;
+    oc.runtime_s = timer.seconds();
+    oc.feasible = dp.status == dp::Status::kOptimal;
+    oc.width_u = dp.total_width_u;
+    dp_runs[k] = oc;
+  });
 
   Table2Result result;
-  for (const double g : config.granularities_u) {
-    const auto baseline = core::BaselineOptions::range_library(
-        config.range_min_width_u, config.range_max_width_u, g,
-        config.pitch_um);
+  for (std::size_t gi = 0; gi < g_n; ++gi) {
     Table2Row row;
-    row.granularity_u = g;
+    row.granularity_u = config.granularities_u[gi];
     RunningStats improvements;
     RunningStats dp_time;
-    for (std::size_t ni = 0; ni < workload.size(); ++ni) {
-      for (std::size_t ti = 0; ti < all_targets[ni].size(); ++ti) {
-        WallTimer timer;
-        const auto dp = core::run_baseline(workload[ni].net, tech.device(),
-                                           all_targets[ni][ti], baseline);
-        dp_time.add(timer.seconds());
-        const auto& rip = rip_runs[ni][ti];
-        if (dp.status == dp::Status::kOptimal && rip.feasible &&
-            dp.total_width_u > 0) {
-          improvements.add((dp.total_width_u - rip.width_u) /
-                           dp.total_width_u * 100.0);
+    for (std::size_t ni = 0; ni < net_n; ++ni) {
+      for (std::size_t ti = 0; ti < tgt_n; ++ti) {
+        const auto& dp = dp_runs[(gi * net_n + ni) * tgt_n + ti];
+        dp_time.add(dp.runtime_s);
+        const auto& rip = rip_runs[ni * tgt_n + ti];
+        if (dp.feasible && rip.feasible && dp.width_u > 0) {
+          improvements.add((dp.width_u - rip.width_u) / dp.width_u * 100.0);
         }
       }
     }
@@ -219,32 +279,45 @@ Table to_table(const Table2Result& result) {
 // ------------------------------------------------------------------ Fig. 7
 
 Fig7Result run_fig7(const tech::Technology& tech, const Fig7Config& config) {
-  const auto workload = make_paper_workload(
-      tech, config.net_index + 1, config.seed);
+  const auto workload =
+      make_paper_workload(tech, config.net_index + 1, config.seed, {},
+                          {10.0, 400.0, 10.0, 200.0}, config.jobs);
   const auto& wn = workload.back();
 
   Fig7Result result;
   result.net_name = wn.net.name();
   result.tau_min_fs = wn.tau_min_fs;
   const auto targets = timing_targets_fs(wn.tau_min_fs, config.points);
+  const std::size_t tgt_n = targets.size();
+  const std::size_t g_n = config.granularities_u.size();
 
   // RIP once per target; both series reuse it.
-  std::vector<core::RipResult> rip_runs;
-  rip_runs.reserve(targets.size());
-  for (const double tau_t : targets) {
-    rip_runs.push_back(
-        core::rip_insert(wn.net, tech.device(), tau_t, config.rip));
-  }
+  std::vector<core::RipResult> rip_runs(tgt_n);
+  parallel_for_indexed(tgt_n, config.jobs, [&](std::size_t ti) {
+    rip_runs[ti] =
+        core::rip_insert(wn.net, tech.device(), targets[ti], config.rip);
+  });
 
+  std::vector<core::BaselineOptions> baselines;
+  baselines.reserve(g_n);
   for (const double g : config.granularities_u) {
-    const auto baseline = core::BaselineOptions::uniform_library(
+    baselines.push_back(core::BaselineOptions::uniform_library(
         config.baseline_min_width_u, g, config.baseline_library_size,
-        config.pitch_um);
+        config.pitch_um));
+  }
+  std::vector<dp::ChainDpResult> dp_runs(g_n * tgt_n);
+  parallel_for_indexed(dp_runs.size(), config.jobs, [&](std::size_t k) {
+    const std::size_t gi = k / tgt_n;
+    const std::size_t ti = k % tgt_n;
+    dp_runs[k] = core::run_baseline(wn.net, tech.device(), targets[ti],
+                                    baselines[gi]);
+  });
+
+  for (std::size_t gi = 0; gi < g_n; ++gi) {
     Fig7Series series;
-    series.granularity_u = g;
-    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
-      const auto dp = core::run_baseline(wn.net, tech.device(), targets[ti],
-                                         baseline);
+    series.granularity_u = config.granularities_u[gi];
+    for (std::size_t ti = 0; ti < tgt_n; ++ti) {
+      const auto& dp = dp_runs[gi * tgt_n + ti];
       const auto& rip = rip_runs[ti];
       Fig7Point point;
       point.tau_t_fs = targets[ti];

@@ -50,6 +50,10 @@ struct Table1Config {
   double baseline_min_width_u = 10.0;
   double pitch_um = 200.0;
   core::RipOptions rip;
+  /// Worker threads for the (net, target, granularity) sweep; 1 = the
+  /// serial reference path, 0 = all hardware threads. Results are
+  /// bit-identical at any job count (see eval/parallel.hpp).
+  int jobs = 1;
 };
 
 /// Per-granularity aggregate for one net.
@@ -92,6 +96,10 @@ struct Table2Config {
   double range_max_width_u = 400.0;
   double pitch_um = 200.0;
   core::RipOptions rip;
+  /// Worker threads (see Table1Config::jobs). Width/improvement columns
+  /// are bit-identical at any job count; runtime columns are per-task
+  /// wall clock measured inside the worker.
+  int jobs = 1;
 };
 
 /// One row (one baseline granularity) of Table 2.
@@ -126,6 +134,8 @@ struct Fig7Config {
   double baseline_min_width_u = 10.0;
   double pitch_um = 200.0;
   core::RipOptions rip;
+  /// Worker threads (see Table1Config::jobs).
+  int jobs = 1;
 };
 
 /// One sample of one series.

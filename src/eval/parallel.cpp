@@ -1,0 +1,24 @@
+#include "eval/parallel.hpp"
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rip::eval {
+
+std::vector<CaseResult> run_cases(const tech::Technology& tech,
+                                  std::span<const Case> cases,
+                                  const BatchOptions& options) {
+  for (const Case& c : cases) {
+    RIP_REQUIRE(c.net != nullptr, "batch case without a net");
+  }
+  std::vector<CaseResult> results(cases.size());
+  parallel_for_indexed(cases.size(), options.jobs, [&](std::size_t i) {
+    const Case& c = cases[i];
+    // run_case starts its WallTimers inside this worker, so the
+    // per-case runtime columns measure the task, not the batch.
+    results[i] = run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline);
+  });
+  return results;
+}
+
+}  // namespace rip::eval

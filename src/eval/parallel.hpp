@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file parallel.hpp
+/// The parallel batch-evaluation engine. The paper's whole evaluation
+/// (Tables 1-2, Fig. 7) is an embarrassingly parallel sweep over
+/// (net, target, scheme) cases; this module fans those cases out over a
+/// util::ThreadPool while keeping results bit-identical to the serial
+/// loop: every case writes only its own slot and reductions stay serial
+/// in input order. `eval::run_table1/run_table2/run_fig7`, rip_cli and
+/// the bench binaries all sit on top of it via the `--jobs` knob.
+
+#include <span>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "eval/experiments.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::eval {
+
+/// One unit of batch work: a net, a timing target, and both schemes'
+/// options. The pointed-to net must outlive the run_cases call.
+/// BaselineOptions carries a repeater library and so has no default
+/// state — build cases with aggregate init:
+///   Case{&net, tau_t_fs, core::RipOptions{}, baseline}
+struct Case {
+  const net::Net* net;
+  double tau_t_fs;
+  core::RipOptions rip;
+  core::BaselineOptions baseline;
+};
+
+/// Knobs of the batch engine.
+struct BatchOptions {
+  /// Worker threads: 1 = serial on the calling thread (the reference
+  /// path the golden tests pin), 0 = one per hardware thread.
+  int jobs = 1;
+};
+
+/// Evaluate every case (RIP + the DP baseline) and return results in
+/// input order. Runtimes (`rip_runtime_s`, `dp_runtime_s`) are wall
+/// clock measured inside the worker, per task — never around the whole
+/// batch — so Table 1/2 runtime columns stay meaningful at any job
+/// count. jobs=1 is the plain serial loop; jobs>1 is bit-identical
+/// because cases are independent and each writes only its own slot.
+std::vector<CaseResult> run_cases(const tech::Technology& tech,
+                                  std::span<const Case> cases,
+                                  const BatchOptions& options = {});
+
+}  // namespace rip::eval

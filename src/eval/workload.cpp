@@ -1,27 +1,39 @@
 #include "eval/workload.hpp"
 
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rip::eval {
 
 std::vector<WorkloadNet> make_paper_workload(
     const tech::Technology& tech, int net_count, std::uint64_t seed,
     const net::RandomNetConfig& config,
-    const dp::MinDelayOptions& min_delay) {
+    const dp::MinDelayOptions& min_delay, int jobs) {
   RIP_REQUIRE(net_count >= 1, "workload needs at least one net");
-  std::vector<WorkloadNet> workload;
-  workload.reserve(static_cast<std::size_t>(net_count));
+  // The master stream must be consumed serially so net i's generator is
+  // independent of the job count; each child stream is then on its own.
   Rng master(seed);
-  for (int i = 0; i < net_count; ++i) {
-    Rng net_rng = master.split();
-    net::Net n = net::random_net(tech, config, net_rng,
+  std::vector<Rng> net_rngs;
+  net_rngs.reserve(static_cast<std::size_t>(net_count));
+  for (int i = 0; i < net_count; ++i) net_rngs.push_back(master.split());
+
+  std::vector<std::optional<WorkloadNet>> slots(
+      static_cast<std::size_t>(net_count));
+  parallel_for_indexed(slots.size(), jobs, [&](std::size_t i) {
+    net::Net n = net::random_net(tech, config, net_rngs[i],
                                  "net_" + std::to_string(i + 1));
     const auto md = dp::min_delay(n, tech.device(), min_delay);
-    workload.push_back(WorkloadNet{std::move(n), md.tau_min_fs});
-  }
+    slots[i] = WorkloadNet{std::move(n), md.tau_min_fs};
+  });
+
+  std::vector<WorkloadNet> workload;
+  workload.reserve(slots.size());
+  for (auto& slot : slots) workload.push_back(std::move(*slot));
   return workload;
 }
 

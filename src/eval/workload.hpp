@@ -27,11 +27,17 @@ struct WorkloadNet {
 /// delay-mode DP (dp::min_delay). The default tau_min grid matches the
 /// DP schemes' 200 um location pitch so that every scheme's target is
 /// achievable on its own placement grid.
+///
+/// The per-net generators are split off the master seed serially, then
+/// the per-net tau_min solves fan out over `jobs` worker threads
+/// (util::parallel_for_indexed); any job count yields the same workload
+/// bit for bit. jobs=1 is the serial path, 0 = all hardware threads.
 std::vector<WorkloadNet> make_paper_workload(
     const tech::Technology& tech, int net_count = 20,
     std::uint64_t seed = 2005,
     const net::RandomNetConfig& config = {},
-    const dp::MinDelayOptions& min_delay = {10.0, 400.0, 10.0, 200.0});
+    const dp::MinDelayOptions& min_delay = {10.0, 400.0, 10.0, 200.0},
+    int jobs = 1);
 
 /// The paper's target sweep: `count` evenly spaced multipliers from
 /// `lo_factor` to `hi_factor` (inclusive) applied to tau_min.

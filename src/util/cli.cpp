@@ -2,6 +2,7 @@
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rip {
 
@@ -76,6 +77,12 @@ std::vector<std::string> CliArgs::unused() const {
     if (touched_.count(name) == 0) out.push_back(name);
   }
   return out;
+}
+
+int parallel_jobs(const CliArgs& args, int fallback) {
+  const int jobs = args.get_int_or("jobs", fallback);
+  RIP_REQUIRE(jobs >= 0, "--jobs must be >= 0 (0 = all hardware threads)");
+  return resolve_jobs(jobs);
 }
 
 }  // namespace rip

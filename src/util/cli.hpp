@@ -55,4 +55,10 @@ class CliArgs {
   mutable std::set<std::string> touched_;
 };
 
+/// The standard `--jobs N` option shared by every parallel-capable
+/// binary (rip_cli, the bench runners): N >= 1 worker threads taken
+/// literally, 0 meaning one per hardware thread. Returns the resolved
+/// thread count; throws rip::Error on a negative or malformed value.
+int parallel_jobs(const CliArgs& args, int fallback = 1);
+
 }  // namespace rip

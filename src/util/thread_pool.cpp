@@ -1,0 +1,125 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rip {
+
+int resolve_jobs(int jobs) {
+  if (jobs >= 1) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  RIP_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RIP_REQUIRE(!stop_, "submit on a stopping thread pool");
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping, so the destructor completes
+      // every submitted task before joining.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex mutex;
+    std::condition_variable done;
+    int pending = 0;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  const int fanout = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(thread_count()), count));
+  shared->pending = fanout;
+
+  // `fn` is only referenced while this call blocks on `done`, so the
+  // reference capture is safe.
+  auto body = [shared, count, &fn] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1);
+      if (i >= count || shared->cancelled.load(std::memory_order_relaxed)) {
+        break;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (i < shared->error_index) {
+          shared->error_index = i;
+          shared->error = std::current_exception();
+        }
+        shared->cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      last = --shared->pending == 0;
+    }
+    if (last) shared->done.notify_all();
+  };
+  for (int t = 0; t < fanout; ++t) submit(body);
+
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  shared->done.wait(lock, [&] { return shared->pending == 0; });
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+void parallel_for_indexed(std::size_t count, int jobs,
+                          const std::function<void(std::size_t)>& fn) {
+  const int resolved = resolve_jobs(jobs);
+  if (resolved <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(resolved), count)));
+  pool.parallel_for_indexed(count, fn);
+}
+
+}  // namespace rip

@@ -1,0 +1,73 @@
+#pragma once
+
+/// @file thread_pool.hpp
+/// A fixed-size worker pool plus the `parallel_for_indexed` helper that
+/// every batch evaluation path (eval/parallel.hpp, the table runners,
+/// the bench binaries) is built on. Design rules:
+///
+///   - workers communicate only through index-addressed result slots,
+///     so a parallel run is bit-identical to the serial loop no matter
+///     how indices are scheduled across threads;
+///   - exceptions propagate: the exception of the lowest failing index
+///     is rethrown on the calling thread and unclaimed indices are
+///     skipped;
+///   - `jobs == 1` never touches a thread — it is the plain serial
+///     loop on the calling thread, byte-for-byte the pre-pool path.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rip {
+
+/// Resolve a user-facing `--jobs` value: N >= 1 is taken literally;
+/// 0 or negative means "one per hardware thread" (at least 1).
+int resolve_jobs(int jobs);
+
+/// Fixed-size thread pool. Workers start in the constructor and are
+/// joined in the destructor after draining every queued task.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task (FIFO). Tasks must not throw out of the pool — use
+  /// parallel_for_indexed for exception-aware batches.
+  void submit(std::function<void()> task);
+
+  /// Run fn(0) .. fn(count-1) across the pool's workers and block until
+  /// every index has run or one has thrown. Indices are claimed
+  /// dynamically, so `fn` must only write through index-addressed slots
+  /// to stay deterministic. On failure the exception of the lowest
+  /// failing index (among those that ran) is rethrown here and indices
+  /// not yet claimed are skipped.
+  void parallel_for_indexed(std::size_t count,
+                            const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stop_ = false;
+};
+
+/// One-shot helper. After resolve_jobs, `jobs == 1` (or count <= 1)
+/// runs the serial loop on the calling thread — the reference path the
+/// golden tests pin — otherwise a pool of min(jobs, count) workers
+/// lives for the duration of the loop.
+void parallel_for_indexed(std::size_t count, int jobs,
+                          const std::function<void(std::size_t)>& fn);
+
+}  // namespace rip

@@ -1,0 +1,148 @@
+// util::ThreadPool and parallel_for_indexed: the contracts the batch
+// evaluation engine relies on — every index runs exactly once, jobs=1
+// is the serial loop on the calling thread, queued tasks run FIFO and
+// are drained on destruction, and exceptions propagate to the caller.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rip {
+namespace {
+
+TEST(ResolveJobs, LiteralForPositiveValues) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(4), 4);
+  EXPECT_EQ(resolve_jobs(64), 64);
+}
+
+TEST(ResolveJobs, ZeroAndNegativeMeanHardwareThreads) {
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_GE(resolve_jobs(-3), 1);
+  EXPECT_EQ(resolve_jobs(0), resolve_jobs(-1));
+}
+
+TEST(ParallelForIndexed, JobsOneRunsSeriallyOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  std::vector<std::thread::id> threads;
+  parallel_for_indexed(16, 1, [&](std::size_t i) {
+    order.push_back(i);
+    threads.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i) << "serial path must preserve index order";
+  }
+  for (const auto id : threads) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForIndexed, EveryIndexRunsExactlyOnce) {
+  constexpr std::size_t kCount = 500;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for_indexed(kCount, 8, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForIndexed, ResultsMatchSerialAtAnyJobCount) {
+  constexpr std::size_t kCount = 200;
+  std::vector<double> serial(kCount);
+  parallel_for_indexed(kCount, 1, [&](std::size_t i) {
+    serial[i] = static_cast<double>(i) * 1.5 + 1.0;
+  });
+  for (const int jobs : {2, 4, 8}) {
+    std::vector<double> parallel(kCount);
+    parallel_for_indexed(kCount, jobs, [&](std::size_t i) {
+      parallel[i] = static_cast<double>(i) * 1.5 + 1.0;
+    });
+    EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelForIndexed, ZeroCountIsANoop) {
+  bool ran = false;
+  parallel_for_indexed(0, 4, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForIndexed, ExceptionPropagatesFromWorker) {
+  for (const int jobs : {1, 4}) {
+    std::atomic<int> executed{0};
+    try {
+      parallel_for_indexed(64, jobs, [&](std::size_t i) {
+        if (i == 17) throw std::runtime_error("boom at 17");
+        executed.fetch_add(1);
+      });
+      FAIL() << "expected the worker exception at jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 17");
+    }
+    EXPECT_LT(executed.load(), 64) << "failure must cancel remaining work";
+  }
+}
+
+TEST(ParallelForIndexed, SerialPathStopsAtFirstFailure) {
+  std::vector<std::size_t> ran;
+  EXPECT_THROW(parallel_for_indexed(10, 1,
+                                    [&](std::size_t i) {
+                                      if (i == 3) throw Error("bad index");
+                                      ran.push_back(i);
+                                    }),
+               Error);
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
+  std::vector<int> order;
+  {
+    ThreadPool pool(1);
+    for (int t = 0; t < 10; ++t) {
+      pool.submit([&order, t] { order.push_back(t); });
+    }
+    // The destructor drains the queue before joining.
+  }
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossParallelForCalls) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<int> out(100, -1);
+    pool.parallel_for_indexed(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<int>(i) + round;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i) + round);
+    }
+  }
+}
+
+TEST(ThreadPool, MoreWorkersThanWorkStillCompletes) {
+  ThreadPool pool(8);
+  std::vector<int> out(3, 0);
+  pool.parallel_for_indexed(out.size(), [&](std::size_t i) {
+    out[i] = 1;
+  });
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPool, RejectsNonPositiveWorkerCount) {
+  EXPECT_THROW(ThreadPool pool(0), Error);
+}
+
+}  // namespace
+}  // namespace rip
