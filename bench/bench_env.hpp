@@ -8,12 +8,17 @@
 ///   RIP_BENCH_TARGETS  / --targets N  timing targets per net (paper: 20)
 ///   RIP_BENCH_JOBS     / --jobs N     worker threads (1 = serial,
 ///                                     0 = all hardware threads)
+///                / --shard I/N        solve shard I of an N-way split
+///                / --grain G          scheduler chunk size (0 = auto)
+///                / --mode M           chunking mode: static|dynamic|guided
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rip::bench {
 
@@ -52,6 +57,25 @@ inline int targets_per_net(const CliArgs& args, int fallback = 20) {
 /// `fallback`; 0 = all hardware threads).
 inline int jobs(const CliArgs& args, int fallback = 1) {
   return parallel_jobs(args, jobs(fallback));
+}
+
+/// The `--shard I/N` split of a sweep (default: unsharded).
+inline ShardSpec shard(const CliArgs& args) { return shard_option(args); }
+
+/// Scheduler chunking knobs: `--grain G` (0 = auto) and `--mode M`
+/// (static | dynamic | guided, default dynamic). Any policy yields
+/// bit-identical results; it only shifts load balance.
+inline ChunkPolicy chunk_policy(const CliArgs& args) {
+  ChunkPolicy policy;
+  const int grain = args.get_int_or("grain", 0);
+  RIP_REQUIRE(grain >= 0, "--grain must be >= 0 (0 = auto)");
+  policy.grain = static_cast<std::size_t>(grain);
+  const std::string mode = args.get_or("mode", "dynamic");
+  if (mode == "static") policy.mode = ChunkPolicy::Mode::kStatic;
+  else if (mode == "dynamic") policy.mode = ChunkPolicy::Mode::kDynamic;
+  else if (mode == "guided") policy.mode = ChunkPolicy::Mode::kGuided;
+  else throw Error("--mode must be static, dynamic, or guided");
+  return policy;
 }
 
 /// Flag mistyped options instead of silently ignoring them (mirrors

@@ -11,11 +11,17 @@
 //   rip_cli sweep    --net my.net --points 11 --csv sweep.csv
 //   rip_cli compare  --net my.net --points 11 --granularity 20 --jobs 4
 //   rip_cli check    --net my.net --sol out.sol [--target-ns 2.5]
+//   rip_cli merge    --in s0.csv,s1.csv --out merged.csv
 //
 // A custom technology file (riptech format) can replace the built-in
 // 0.18 um kit everywhere with --tech kit.tech. The sweep/compare
 // multi-target commands fan out over `--jobs N` worker threads
-// (0 = all hardware threads) with results identical to --jobs 1.
+// (0 = all hardware threads) with results identical to --jobs 1, and
+// split across processes/machines with `--shard I/N`: each shard
+// solves a deterministic round-robin subset of the points (row `idx`
+// is the global point index), and `merge` reassembles shard CSVs into
+// the byte-identical unsharded table (runtime columns excepted — they
+// are wall clock).
 
 #include <algorithm>
 #include <fstream>
@@ -59,11 +65,14 @@ int usage(int rc = 2) {
       "  baseline --net file.net (--target-ns T | --target-x F)\n"
       "           [--granularity G] [--lib-size N] [--min-width W]\n"
       "  sweep    --net file.net [--points N] [--csv out.csv] [--jobs N]\n"
+      "           [--shard I/N]\n"
       "  compare  --net file.net [--points N] [--granularity G]\n"
       "           [--lib-size N] [--min-width W] [--csv out.csv]\n"
-      "           [--jobs N]\n"
+      "           [--jobs N] [--shard I/N]\n"
       "  check    --net file.net --sol file.sol [--target-ns T]\n"
-      "common:    [--tech kit.tech]   (--jobs 0 = all hardware threads)\n";
+      "  merge    --in shard0.csv,shard1.csv[,...] --out merged.csv\n"
+      "common:    [--tech kit.tech]   (--jobs 0 = all hardware threads;\n"
+      "           --shard I/N = solve shard I of an N-way split)\n";
   return rc;
 }
 
@@ -213,26 +222,31 @@ int cmd_sweep(const CliArgs& args) {
   const net::Net n = load_net(args);
   const int points = args.get_int_or("points", 11);
   const int jobs = parallel_jobs(args);
+  const ShardSpec shard = shard_option(args);
   const auto md = dp::min_delay(n, tech.device(), {10.0, 400.0, 10.0, 200.0});
 
-  // Solve every point in parallel, then render in sweep order.
+  // Solve this shard's points in parallel, then render in sweep order.
   std::vector<double> factors(static_cast<std::size_t>(std::max(points, 0)));
   for (int k = 0; k < points; ++k) {
     factors[static_cast<std::size_t>(k)] =
         1.05 + (points > 1 ? k * 1.0 / (points - 1) : 0.0);
   }
-  std::vector<core::RipResult> runs(factors.size());
-  parallel_for_indexed(runs.size(), jobs, [&](std::size_t k) {
-    runs[k] = core::rip_insert(n, tech.device(),
-                               factors[k] * md.tau_min_fs);
+  const auto mine =
+      eval::shard_case_indices(factors.size(), shard.index, shard.count);
+  std::vector<core::RipResult> runs(mine.size());
+  parallel_for_indexed(runs.size(), jobs, [&](std::size_t j) {
+    runs[j] = core::rip_insert(n, tech.device(),
+                               factors[mine[j]] * md.tau_min_fs);
   });
 
-  Table table({"tau_t_ns", "tau_over_min", "width_u", "repeaters",
+  Table table({"idx", "tau_t_ns", "tau_over_min", "width_u", "repeaters",
                "delay_ns"});
-  for (std::size_t k = 0; k < runs.size(); ++k) {
+  for (std::size_t j = 0; j < runs.size(); ++j) {
+    const std::size_t k = mine[j];
     const double tau_t = factors[k] * md.tau_min_fs;
-    const auto& r = runs[k];
-    table.add_row({fmt_f(units::fs_to_ns(tau_t), 3), fmt_f(factors[k], 3),
+    const auto& r = runs[j];
+    table.add_row({std::to_string(k), fmt_f(units::fs_to_ns(tau_t), 3),
+                   fmt_f(factors[k], 3),
                    r.status == dp::Status::kOptimal
                        ? fmt_f(r.total_width_u, 0)
                        : "VIOL",
@@ -260,7 +274,8 @@ int cmd_compare(const CliArgs& args) {
       args.get_double_or("granularity", 10.0),
       args.get_int_or("lib-size", 10));
 
-  // The batch engine: one Case per sweep point, fanned out over --jobs.
+  // The batch engine: one Case per sweep point, fanned out over --jobs
+  // and, with --shard I/N, split round-robin across processes.
   const auto targets = eval::timing_targets_fs(md.tau_min_fs, points);
   std::vector<eval::Case> cases;
   cases.reserve(targets.size());
@@ -269,12 +284,19 @@ int cmd_compare(const CliArgs& args) {
   }
   eval::BatchOptions batch;
   batch.jobs = parallel_jobs(args);
+  const ShardSpec shard = shard_option(args);
+  batch.shard_index = shard.index;
+  batch.shard_count = shard.count;
   const auto results = eval::run_cases(tech, cases, batch);
+  const auto mine =
+      eval::shard_case_indices(cases.size(), shard.index, shard.count);
 
-  Table table({"tau_t_ns", "tau_over_min", "rip_u", "dp_u", "impr%",
+  Table table({"idx", "tau_t_ns", "tau_over_min", "rip_u", "dp_u", "impr%",
                "rip_ms", "dp_ms"});
-  for (const auto& r : results) {
-    table.add_row({fmt_f(units::fs_to_ns(r.tau_t_fs), 3),
+  for (std::size_t j = 0; j < results.size(); ++j) {
+    const auto& r = results[j];
+    table.add_row({std::to_string(mine[j]),
+                   fmt_f(units::fs_to_ns(r.tau_t_fs), 3),
                    fmt_f(r.tau_t_fs / md.tau_min_fs, 3),
                    r.rip_feasible ? fmt_f(r.rip_width_u, 0) : "VIOL",
                    r.dp_feasible ? fmt_f(r.dp_width_u, 0) : "VIOL",
@@ -292,6 +314,58 @@ int cmd_compare(const CliArgs& args) {
   } else {
     table.print(std::cout);
   }
+  return 0;
+}
+
+// Reassemble shard CSVs (sweep/compare --shard output) into the full
+// table: every row carries its global point index in the `idx` column,
+// so the merge is a validated interleave — each index 0..total-1 must
+// appear exactly once across the inputs.
+int cmd_merge(const CliArgs& args) {
+  const auto inputs = split_on(args.require("in"), ',');
+  RIP_REQUIRE(!inputs.empty() && !inputs.front().empty(),
+              "--in needs a comma-separated list of shard CSVs");
+  std::string header;
+  std::vector<std::pair<std::size_t, std::string>> rows;
+  for (const auto& path : inputs) {
+    std::ifstream file(path);
+    RIP_REQUIRE(file.good(), "cannot read " + path);
+    std::string line;
+    bool first = true;
+    while (std::getline(file, line)) {
+      if (trim(line).empty()) continue;
+      if (first) {
+        first = false;
+        RIP_REQUIRE(starts_with(line, "idx,"),
+                    path + " is not a sharded sweep CSV (no idx column)");
+        if (header.empty()) header = line;
+        RIP_REQUIRE(line == header, path + " has a different header");
+        continue;
+      }
+      const auto comma = line.find(',');
+      RIP_REQUIRE(comma != std::string::npos, path + ": malformed row");
+      const int idx = parse_int(line.substr(0, comma), path + " idx");
+      RIP_REQUIRE(idx >= 0, path + ": negative idx");
+      rows.emplace_back(static_cast<std::size_t>(idx), line);
+    }
+    RIP_REQUIRE(!first, path + " is empty");
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    RIP_REQUIRE(rows[i].first == i,
+                rows[i].first < i
+                    ? "duplicate idx " + std::to_string(rows[i].first)
+                    : "missing idx " + std::to_string(i) +
+                          " (is a shard absent?)");
+  }
+  const std::string out_path = args.require("out");
+  std::ofstream out(out_path);
+  RIP_REQUIRE(out.good(), "cannot write " + out_path);
+  out << header << "\n";
+  for (const auto& [idx, line] : rows) out << line << "\n";
+  std::cout << "merged " << rows.size() << " rows from " << inputs.size()
+            << " shard(s) into " << out_path << "\n";
   return 0;
 }
 
@@ -337,6 +411,7 @@ int main(int argc, char** argv) {
     else if (args.command() == "sweep") rc = cmd_sweep(args);
     else if (args.command() == "compare") rc = cmd_compare(args);
     else if (args.command() == "check") rc = cmd_check(args);
+    else if (args.command() == "merge") rc = cmd_merge(args);
     else return usage();
     for (const auto& name : args.unused()) {
       std::cerr << "warning: unused option --" << name << "\n";

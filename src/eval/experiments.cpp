@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "eval/parallel.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -46,8 +47,16 @@ CaseResult run_case(const net::Net& net, const tech::Technology& tech,
 // the original serial loops — so every RunningStats sees the same values
 // in the same sequence and the golden pins hold at any job count.
 
-Table1Result run_table1(const tech::Technology& tech,
-                        const Table1Config& config) {
+// The sweep is split into two flat case spaces — RIP: net x target,
+// DP: net x granularity x target — each sharded round-robin across
+// processes (eval::shard_case_indices) and fanned out over the
+// persistent scheduler within a process. The reduction lives only in
+// merge_table1_shards and runs serially in the original input order,
+// so any (shard_count, jobs) combination reproduces the serial bits.
+
+Table1Shard run_table1_shard(const tech::Technology& tech,
+                             const Table1Config& config, int shard_index,
+                             int shard_count) {
   RIP_REQUIRE(!config.granularities_u.empty(),
               "table 1 needs at least one granularity");
   const auto workload =
@@ -65,13 +74,23 @@ Table1Result run_table1(const tech::Technology& tech,
         timing_targets_fs(wn.tau_min_fs, config.targets_per_net));
   }
 
+  Table1Shard shard;
+  shard.shard_index = shard_index;
+  shard.shard_count = shard_count;
+  for (const auto& wn : workload) shard.net_names.push_back(wn.net.name());
+
   // RIP runs once per (net, target); each baseline granularity reuses it.
-  std::vector<core::RipResult> rip_runs(net_n * tgt_n);
-  parallel_for_indexed(rip_runs.size(), config.jobs, [&](std::size_t k) {
+  const auto rip_mine =
+      shard_case_indices(net_n * tgt_n, shard_index, shard_count);
+  shard.rip.resize(rip_mine.size());
+  parallel_for_indexed(rip_mine.size(), config.jobs, [&](std::size_t j) {
+    const std::size_t k = rip_mine[j];
     const std::size_t ni = k / tgt_n;
     const std::size_t ti = k % tgt_n;
-    rip_runs[k] = core::rip_insert(workload[ni].net, tech.device(),
-                                   targets[ni][ti], config.rip);
+    const auto rip = core::rip_insert(workload[ni].net, tech.device(),
+                                      targets[ni][ti], config.rip);
+    shard.rip[j] =
+        SolveOutcome{rip.status == dp::Status::kOptimal, rip.total_width_u};
   });
 
   std::vector<core::BaselineOptions> baselines;
@@ -81,14 +100,62 @@ Table1Result run_table1(const tech::Technology& tech,
         config.baseline_min_width_u, g, config.baseline_library_size,
         config.pitch_um));
   }
-  std::vector<dp::ChainDpResult> dp_runs(net_n * g_n * tgt_n);
-  parallel_for_indexed(dp_runs.size(), config.jobs, [&](std::size_t k) {
+  const auto dp_mine =
+      shard_case_indices(net_n * g_n * tgt_n, shard_index, shard_count);
+  shard.dp.resize(dp_mine.size());
+  parallel_for_indexed(dp_mine.size(), config.jobs, [&](std::size_t j) {
+    const std::size_t k = dp_mine[j];
     const std::size_t ni = k / (g_n * tgt_n);
     const std::size_t gi = (k / tgt_n) % g_n;
     const std::size_t ti = k % tgt_n;
-    dp_runs[k] = core::run_baseline(workload[ni].net, tech.device(),
-                                    targets[ni][ti], baselines[gi]);
+    const auto dp = core::run_baseline(workload[ni].net, tech.device(),
+                                       targets[ni][ti], baselines[gi]);
+    shard.dp[j] =
+        SolveOutcome{dp.status == dp::Status::kOptimal, dp.total_width_u};
   });
+  return shard;
+}
+
+Table1Result merge_table1_shards(const Table1Config& config,
+                                 std::span<const Table1Shard> shards) {
+  RIP_REQUIRE(!shards.empty(), "merge needs at least one shard");
+  const int shard_count = shards.front().shard_count;
+  RIP_REQUIRE(static_cast<int>(shards.size()) == shard_count,
+              "merge needs every shard of the split");
+
+  const std::size_t net_n = shards.front().net_names.size();
+  const std::size_t tgt_n = static_cast<std::size_t>(config.targets_per_net);
+  const std::size_t g_n = config.granularities_u.size();
+
+  // Reassemble the full flat case spaces from the round-robin slices.
+  std::vector<SolveOutcome> rip_runs(net_n * tgt_n);
+  std::vector<SolveOutcome> dp_runs(net_n * g_n * tgt_n);
+  std::vector<bool> seen(static_cast<std::size_t>(shard_count), false);
+  for (const Table1Shard& shard : shards) {
+    RIP_REQUIRE(shard.shard_count == shard_count,
+                "shards come from different splits");
+    RIP_REQUIRE(shard.shard_index >= 0 && shard.shard_index < shard_count,
+                "shard index out of range");
+    RIP_REQUIRE(!seen[static_cast<std::size_t>(shard.shard_index)],
+                "duplicate shard " + std::to_string(shard.shard_index));
+    seen[static_cast<std::size_t>(shard.shard_index)] = true;
+    RIP_REQUIRE(shard.net_names == shards.front().net_names,
+                "shards disagree on the workload");
+    const auto rip_mine = shard_case_indices(
+        rip_runs.size(), shard.shard_index, shard_count);
+    RIP_REQUIRE(shard.rip.size() == rip_mine.size(),
+                "shard RIP case count mismatch");
+    for (std::size_t j = 0; j < rip_mine.size(); ++j) {
+      rip_runs[rip_mine[j]] = shard.rip[j];
+    }
+    const auto dp_mine =
+        shard_case_indices(dp_runs.size(), shard.shard_index, shard_count);
+    RIP_REQUIRE(shard.dp.size() == dp_mine.size(),
+                "shard DP case count mismatch");
+    for (std::size_t j = 0; j < dp_mine.size(); ++j) {
+      dp_runs[dp_mine[j]] = shard.dp[j];
+    }
+  }
 
   Table1Result result;
   result.granularities_u = config.granularities_u;
@@ -98,10 +165,9 @@ Table1Result run_table1(const tech::Technology& tech,
 
   for (std::size_t ni = 0; ni < net_n; ++ni) {
     Table1Row row;
-    row.net_name = workload[ni].net.name();
+    row.net_name = shards.front().net_names[ni];
     for (std::size_t ti = 0; ti < tgt_n; ++ti) {
-      if (rip_runs[ni * tgt_n + ti].status != dp::Status::kOptimal)
-        ++row.rip_violations;
+      if (!rip_runs[ni * tgt_n + ti].feasible) ++row.rip_violations;
     }
 
     for (std::size_t gi = 0; gi < g_n; ++gi) {
@@ -109,14 +175,13 @@ Table1Result run_table1(const tech::Technology& tech,
       RunningStats improvements;
       for (std::size_t ti = 0; ti < tgt_n; ++ti) {
         const auto& dp = dp_runs[(ni * g_n + gi) * tgt_n + ti];
-        if (dp.status != dp::Status::kOptimal) {
+        if (!dp.feasible) {
           ++cell.dp_violations;
           continue;
         }
         const auto& rip = rip_runs[ni * tgt_n + ti];
-        if (rip.status == dp::Status::kOptimal && dp.total_width_u > 0) {
-          improvements.add((dp.total_width_u - rip.total_width_u) /
-                           dp.total_width_u * 100.0);
+        if (rip.feasible && dp.width_u > 0) {
+          improvements.add((dp.width_u - rip.width_u) / dp.width_u * 100.0);
           ++cell.compared;
         }
       }
@@ -142,6 +207,12 @@ Table1Result run_table1(const tech::Technology& tech,
     result.average.cells.push_back(cell);
   }
   return result;
+}
+
+Table1Result run_table1(const tech::Technology& tech,
+                        const Table1Config& config) {
+  const Table1Shard shard = run_table1_shard(tech, config, 0, 1);
+  return merge_table1_shards(config, {&shard, 1});
 }
 
 Table to_table(const Table1Result& result) {

@@ -6,6 +6,7 @@
 /// bench binaries print via util::Table; EXPERIMENTS.md records the
 /// paper-vs-measured comparison.
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,45 @@ Table1Result run_table1(const tech::Technology& tech,
 
 /// Render in the paper's column layout.
 Table to_table(const Table1Result& result);
+
+// ------------------------------------------------- Table 1 sharding
+
+/// The reduced per-solve record Table 1's aggregation needs. Sharded
+/// runs ship these across processes instead of full solver results.
+struct SolveOutcome {
+  bool feasible = false;
+  double width_u = 0;
+};
+
+/// One shard of the Table 1 sweep: the outcomes of the cases this
+/// shard owns, in ascending global order. The RIP flat case space is
+/// net x target, the DP space net x granularity x target; both are
+/// split round-robin (flat index k belongs to shard k % shard_count),
+/// so one giant net does not land wholesale on one shard.
+struct Table1Shard {
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Full workload net names (identical in every shard — the workload
+  /// is regenerated deterministically per process).
+  std::vector<std::string> net_names;
+  std::vector<SolveOutcome> rip;  ///< this shard's net x target cases
+  std::vector<SolveOutcome> dp;   ///< this shard's net x g x target cases
+};
+
+/// Solve only this shard's slice of the Table 1 sweep. Workload
+/// generation (cheap, deterministic) runs in every shard; the DP/RIP
+/// solves (the actual cost) are split. run_table1(config) is exactly
+/// run_table1_shard(0, 1) + merge_table1_shards, so a sharded run
+/// merged over all shards is bit-identical to the unsharded table.
+Table1Shard run_table1_shard(const tech::Technology& tech,
+                             const Table1Config& config, int shard_index,
+                             int shard_count);
+
+/// Reassemble every shard (any order; all shards of one split must be
+/// present) and run the serial input-order reduction — the same code
+/// path, and therefore the same bits, as the unsharded runner.
+Table1Result merge_table1_shards(const Table1Config& config,
+                                 std::span<const Table1Shard> shards);
 
 // ---------------------------------------------------------------- Table 2
 

@@ -5,20 +5,67 @@
 
 namespace rip::eval {
 
+int case_shard(std::size_t case_index, int shard_count) {
+  RIP_REQUIRE(shard_count >= 1, "shard count must be >= 1");
+  return static_cast<int>(case_index %
+                          static_cast<std::size_t>(shard_count));
+}
+
+std::vector<std::size_t> shard_case_indices(std::size_t case_count,
+                                            int shard_index,
+                                            int shard_count) {
+  RIP_REQUIRE(shard_count >= 1, "shard count must be >= 1");
+  RIP_REQUIRE(shard_index >= 0 && shard_index < shard_count,
+              "shard index out of range");
+  std::vector<std::size_t> indices;
+  const auto step = static_cast<std::size_t>(shard_count);
+  for (std::size_t i = static_cast<std::size_t>(shard_index);
+       i < case_count; i += step) {
+    indices.push_back(i);
+  }
+  return indices;
+}
+
 std::vector<CaseResult> run_cases(const tech::Technology& tech,
                                   std::span<const Case> cases,
                                   const BatchOptions& options) {
   for (const Case& c : cases) {
     RIP_REQUIRE(c.net != nullptr, "batch case without a net");
   }
-  std::vector<CaseResult> results(cases.size());
-  parallel_for_indexed(cases.size(), options.jobs, [&](std::size_t i) {
-    const Case& c = cases[i];
-    // run_case starts its WallTimers inside this worker, so the
-    // per-case runtime columns measure the task, not the batch.
-    results[i] = run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline);
-  });
+  const auto mine = shard_case_indices(cases.size(), options.shard_index,
+                                       options.shard_count);
+  std::vector<CaseResult> results(mine.size());
+  parallel_for_indexed(mine.size(), options.jobs, options.chunk,
+                       [&](std::size_t j) {
+                         const Case& c = cases[mine[j]];
+                         // run_case starts its WallTimers inside this
+                         // worker, so the per-case runtime columns
+                         // measure the task, not the batch.
+                         results[j] = run_case(*c.net, tech, c.tau_t_fs,
+                                               c.rip, c.baseline);
+                       });
   return results;
+}
+
+std::vector<CaseResult> merge_shards(
+    std::span<const std::vector<CaseResult>> shards) {
+  RIP_REQUIRE(!shards.empty(), "merge_shards needs at least one shard");
+  const int shard_count = static_cast<int>(shards.size());
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  std::vector<CaseResult> merged(total);
+  for (int s = 0; s < shard_count; ++s) {
+    const auto indices = shard_case_indices(total, s, shard_count);
+    RIP_REQUIRE(shards[static_cast<std::size_t>(s)].size() ==
+                    indices.size(),
+                "shard " + std::to_string(s) +
+                    " result count does not match the round-robin "
+                    "assignment");
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      merged[indices[j]] = shards[static_cast<std::size_t>(s)][j];
+    }
+  }
+  return merged;
 }
 
 }  // namespace rip::eval

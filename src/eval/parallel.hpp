@@ -3,12 +3,21 @@
 /// @file parallel.hpp
 /// The parallel batch-evaluation engine. The paper's whole evaluation
 /// (Tables 1-2, Fig. 7) is an embarrassingly parallel sweep over
-/// (net, target, scheme) cases; this module fans those cases out over a
-/// util::ThreadPool while keeping results bit-identical to the serial
-/// loop: every case writes only its own slot and reductions stay serial
-/// in input order. `eval::run_table1/run_table2/run_fig7`, rip_cli and
-/// the bench binaries all sit on top of it via the `--jobs` knob.
+/// (net, target, scheme) cases; this module fans those cases out over
+/// the persistent util::Scheduler while keeping results bit-identical
+/// to the serial loop: every case writes only its own slot and
+/// reductions stay serial in input order.
+///
+/// On top of the in-process fan-out (`jobs`, `chunk`), a batch can be
+/// split across processes or machines: `shard_index`/`shard_count`
+/// select a deterministic round-robin subset of the cases
+/// (case i belongs to shard i % shard_count), each shard runs
+/// independently, and merge_shards() reassembles the full result
+/// vector bit-identical to an unsharded run. eval::run_table1/
+/// run_table2/run_fig7, rip_cli (`sweep`/`compare` `--shard I/N`) and
+/// the bench binaries all sit on top of this via `--jobs`/`--shard`.
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -16,6 +25,7 @@
 #include "core/rip.hpp"
 #include "eval/experiments.hpp"
 #include "tech/technology.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rip::eval {
 
@@ -36,10 +46,28 @@ struct BatchOptions {
   /// Worker threads: 1 = serial on the calling thread (the reference
   /// path the golden tests pin), 0 = one per hardware thread.
   int jobs = 1;
+  /// Chunking/stealing policy for the in-process fan-out. Any policy
+  /// yields bit-identical results; it only changes load balance.
+  ChunkPolicy chunk;
+  /// Cross-process sharding: this process evaluates only the cases with
+  /// case_shard(i, shard_count) == shard_index. Defaults to the single,
+  /// unsharded shard.
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
-/// Evaluate every case (RIP + the DP baseline) and return results in
-/// input order. Runtimes (`rip_runtime_s`, `dp_runtime_s`) are wall
+/// Deterministic case→shard assignment: case i belongs to shard
+/// i % shard_count. Every case lands in exactly one shard.
+int case_shard(std::size_t case_index, int shard_count);
+
+/// Global indices owned by one shard, in ascending (input) order.
+std::vector<std::size_t> shard_case_indices(std::size_t case_count,
+                                            int shard_index,
+                                            int shard_count);
+
+/// Evaluate this shard's cases (RIP + the DP baseline) and return their
+/// results in input order — with the default unsharded options, that is
+/// every case. Runtimes (`rip_runtime_s`, `dp_runtime_s`) are wall
 /// clock measured inside the worker, per task — never around the whole
 /// batch — so Table 1/2 runtime columns stay meaningful at any job
 /// count. jobs=1 is the plain serial loop; jobs>1 is bit-identical
@@ -47,5 +75,12 @@ struct BatchOptions {
 std::vector<CaseResult> run_cases(const tech::Technology& tech,
                                   std::span<const Case> cases,
                                   const BatchOptions& options = {});
+
+/// Reassemble per-shard run_cases outputs (element s = shard s's
+/// results, all from the same shard_count = shards.size() split) into
+/// the full batch result, bit-identical to an unsharded run. Throws if
+/// the shard sizes are inconsistent with the round-robin assignment.
+std::vector<CaseResult> merge_shards(
+    std::span<const std::vector<CaseResult>> shards);
 
 }  // namespace rip::eval

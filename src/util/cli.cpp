@@ -85,4 +85,19 @@ int parallel_jobs(const CliArgs& args, int fallback) {
   return resolve_jobs(jobs);
 }
 
+ShardSpec shard_option(const CliArgs& args, const std::string& name) {
+  const auto value = args.get(name);
+  if (!value) return {};
+  const auto slash = value->find('/');
+  RIP_REQUIRE(slash != std::string::npos,
+              "--" + name + " expects I/N (e.g. --" + name + " 0/2)");
+  ShardSpec spec;
+  spec.index = parse_int(value->substr(0, slash), "--" + name + " index");
+  spec.count = parse_int(value->substr(slash + 1), "--" + name + " count");
+  RIP_REQUIRE(spec.count >= 1, "--" + name + " count must be >= 1");
+  RIP_REQUIRE(spec.index >= 0 && spec.index < spec.count,
+              "--" + name + " index must be in [0, count)");
+  return spec;
+}
+
 }  // namespace rip

@@ -61,4 +61,16 @@ class CliArgs {
 /// thread count; throws rip::Error on a negative or malformed value.
 int parallel_jobs(const CliArgs& args, int fallback = 1);
 
+/// One process's slice of a cross-process sweep split.
+struct ShardSpec {
+  int index = 0;  ///< this process's shard, 0-based
+  int count = 1;  ///< total shards in the split
+};
+
+/// The standard `--shard I/N` option shared by every shard-capable
+/// binary: shard I of N (0 <= I < N). Absent means the single,
+/// unsharded shard 0/1. Throws rip::Error on a malformed spec.
+ShardSpec shard_option(const CliArgs& args,
+                       const std::string& name = "shard");
+
 }  // namespace rip

@@ -39,6 +39,20 @@ std::vector<std::string> split_ws(const std::string& s) {
   return out;
 }
 
+std::vector<std::string> split_on(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t end = s.find(delim, begin);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(begin));
+      return out;
+    }
+    out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() &&
          s.compare(0, prefix.size(), prefix) == 0;

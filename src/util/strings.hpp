@@ -22,6 +22,10 @@ std::string trim(const std::string& s);
 /// Split on any run of ASCII whitespace; no empty tokens.
 std::vector<std::string> split_ws(const std::string& s);
 
+/// Split on every occurrence of `delim`; keeps empty tokens, so
+/// "a,,b" -> {"a", "", "b"} and "" -> {""}.
+std::vector<std::string> split_on(const std::string& s, char delim);
+
 /// True if `s` starts with `prefix`.
 bool starts_with(const std::string& s, const std::string& prefix);
 

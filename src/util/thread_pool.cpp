@@ -4,12 +4,58 @@
 #include <atomic>
 #include <exception>
 #include <limits>
-#include <memory>
+#include <optional>
 #include <utility>
 
 #include "util/error.hpp"
 
 namespace rip {
+namespace {
+
+// Growth cap for the persistent pool: enough for any sane --jobs value
+// while bounding a pathological request. The calling thread always
+// participates, so jobs=N needs at most N-1 pool workers.
+constexpr int kMaxWorkers = 256;
+
+std::atomic<bool> g_scheduler_exists{false};
+
+/// Serial, deterministic chunk plan: contiguous [begin, end) ranges
+/// covering [0, count) exactly once. `participants` is only a sizing
+/// hint — the plan never depends on which thread runs what.
+std::vector<std::pair<std::size_t, std::size_t>> make_chunks(
+    std::size_t count, std::size_t participants, const ChunkPolicy& policy) {
+  const std::size_t p = std::max<std::size_t>(participants, 1);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  auto fixed = [&](std::size_t grain) {
+    for (std::size_t b = 0; b < count; b += grain) {
+      chunks.emplace_back(b, std::min(b + grain, count));
+    }
+  };
+  switch (policy.mode) {
+    case ChunkPolicy::Mode::kStatic:
+      fixed(std::max<std::size_t>(
+          policy.grain != 0 ? policy.grain : (count + p - 1) / p, 1));
+      break;
+    case ChunkPolicy::Mode::kDynamic:
+      fixed(std::max<std::size_t>(
+          policy.grain != 0 ? policy.grain : count / (8 * p), 1));
+      break;
+    case ChunkPolicy::Mode::kGuided: {
+      const std::size_t floor = std::max<std::size_t>(policy.grain, 1);
+      std::size_t b = 0;
+      while (b < count) {
+        const std::size_t size =
+            std::min(std::max((count - b) / (2 * p), floor), count - b);
+        chunks.emplace_back(b, b + size);
+        b += size;
+      }
+      break;
+    }
+  }
+  return chunks;
+}
+
+}  // namespace
 
 int resolve_jobs(int jobs) {
   if (jobs >= 1) return jobs;
@@ -17,15 +63,44 @@ int resolve_jobs(int jobs) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-ThreadPool::ThreadPool(int threads) {
-  RIP_REQUIRE(threads >= 1, "thread pool needs at least one worker");
-  workers_.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+/// One parallel_for call. Shared between the caller and the pool
+/// workers that join it; kept alive by shared_ptr until the last
+/// participant leaves, so late joiners of a finished region are no-ops.
+struct Scheduler::Region {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+
+  /// Per-participant work deque. The owner pops from the front
+  /// (ascending indices, cache-friendly); thieves steal from the back —
+  /// the Chase-Lev owner/thief discipline, with a per-deque mutex
+  /// instead of the lock-free CAS dance (chunks are coarse enough that
+  /// the lock is not a bottleneck, and it keeps TSan trivially clean).
+  struct WorkDeque {
+    std::mutex mutex;
+    std::deque<std::size_t> chunk_ids;
+  };
+  std::vector<std::unique_ptr<WorkDeque>> deques;
+
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex mutex;
+  std::condition_variable done;
+  bool finished = false;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+Scheduler& Scheduler::global() {
+  static Scheduler instance;
+  g_scheduler_exists.store(true, std::memory_order_release);
+  return instance;
 }
 
-ThreadPool::~ThreadPool() {
+bool Scheduler::exists() {
+  return g_scheduler_exists.load(std::memory_order_acquire);
+}
+
+Scheduler::~Scheduler() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
@@ -34,23 +109,27 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    RIP_REQUIRE(!stop_, "submit on a stopping thread pool");
-    queue_.push_back(std::move(task));
-  }
-  task_ready_.notify_one();
+int Scheduler::worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
 }
 
-void ThreadPool::worker_loop() {
+void Scheduler::ensure_workers(int target) {
+  target = std::min(target, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(workers_.size()) < target) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Scheduler::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      // Drain the queue even when stopping, so the destructor completes
-      // every submitted task before joining.
+      // Drain the queue even when stopping: stale join tasks for
+      // finished regions are no-ops and must not outlive the pool.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -59,67 +138,138 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for_indexed(
-    std::size_t count, const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
+void Scheduler::run_region(const std::shared_ptr<Region>& region,
+                           int participant) {
+  Region& r = *region;
+  const int fanout = static_cast<int>(r.deques.size());
 
-  struct Shared {
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> cancelled{false};
-    std::mutex mutex;
-    std::condition_variable done;
-    int pending = 0;
-    std::size_t error_index = std::numeric_limits<std::size_t>::max();
-    std::exception_ptr error;
+  auto pop_own = [&]() -> std::optional<std::size_t> {
+    auto& dq = *r.deques[static_cast<std::size_t>(participant)];
+    std::lock_guard<std::mutex> lock(dq.mutex);
+    if (dq.chunk_ids.empty()) return std::nullopt;
+    const std::size_t id = dq.chunk_ids.front();
+    dq.chunk_ids.pop_front();
+    return id;
   };
-  auto shared = std::make_shared<Shared>();
-  const int fanout = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(thread_count()), count));
-  shared->pending = fanout;
+  auto steal = [&]() -> std::optional<std::size_t> {
+    for (int k = 1; k < fanout; ++k) {
+      auto& dq = *r.deques[static_cast<std::size_t>((participant + k) %
+                                                    fanout)];
+      std::lock_guard<std::mutex> lock(dq.mutex);
+      if (dq.chunk_ids.empty()) continue;
+      const std::size_t id = dq.chunk_ids.back();
+      dq.chunk_ids.pop_back();
+      return id;
+    }
+    return std::nullopt;
+  };
 
-  // `fn` is only referenced while this call blocks on `done`, so the
-  // reference capture is safe.
-  auto body = [shared, count, &fn] {
-    for (;;) {
-      const std::size_t i = shared->next.fetch_add(1);
-      if (i >= count || shared->cancelled.load(std::memory_order_relaxed)) {
+  for (;;) {
+    auto id = pop_own();
+    if (!id) id = steal();
+    // Every deque is empty: whatever remains is in flight on other
+    // participants, who will finish it — safe to leave.
+    if (!id) return;
+
+    const auto [begin, end] = r.chunks[*id];
+    for (std::size_t i = begin; i < end; ++i) {
+      if (r.cancelled.load(std::memory_order_relaxed)) break;
+      try {
+        (*r.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        if (i < r.error_index) {
+          r.error_index = i;
+          r.error = std::current_exception();
+        }
+        r.cancelled.store(true, std::memory_order_relaxed);
         break;
       }
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(shared->mutex);
-        if (i < shared->error_index) {
-          shared->error_index = i;
-          shared->error = std::current_exception();
-        }
-        shared->cancelled.store(true, std::memory_order_relaxed);
+    }
+    if (r.remaining.fetch_sub(1) == 1) {
+      {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.finished = true;
       }
+      r.done.notify_all();
     }
-    bool last = false;
-    {
-      std::lock_guard<std::mutex> lock(shared->mutex);
-      last = --shared->pending == 0;
-    }
-    if (last) shared->done.notify_all();
-  };
-  for (int t = 0; t < fanout; ++t) submit(body);
+  }
+}
 
-  std::unique_lock<std::mutex> lock(shared->mutex);
-  shared->done.wait(lock, [&] { return shared->pending == 0; });
-  if (shared->error) std::rethrow_exception(shared->error);
+void Scheduler::parallel_for_indexed(
+    std::size_t count, int jobs, const std::function<void(std::size_t)>& fn,
+    const ChunkPolicy& policy) {
+  if (count == 0) return;
+  const std::size_t resolved =
+      static_cast<std::size_t>(resolve_jobs(jobs));
+  if (resolved <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->fn = &fn;
+  region->chunks = make_chunks(count, std::min(resolved, count), policy);
+  const int fanout = static_cast<int>(
+      std::min<std::size_t>(resolved, region->chunks.size()));
+  if (fanout <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  region->remaining.store(region->chunks.size());
+  region->deques.reserve(static_cast<std::size_t>(fanout));
+  for (int p = 0; p < fanout; ++p) {
+    region->deques.push_back(std::make_unique<Region::WorkDeque>());
+  }
+  // Round-robin distribution: ascending chunks interleave across
+  // participants, so contiguous hot spots spread out even before any
+  // steal happens. No locks needed — workers have not seen the region.
+  for (std::size_t c = 0; c < region->chunks.size(); ++c) {
+    region->deques[c % static_cast<std::size_t>(fanout)]
+        ->chunk_ids.push_back(c);
+  }
+
+  ensure_workers(fanout - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int p = 1; p < fanout; ++p) {
+      queue_.push_back([region, p] { run_region(region, p); });
+    }
+  }
+  task_ready_.notify_all();
+
+  // The caller is participant 0 and keeps popping/stealing until no
+  // chunk is left unclaimed — it can drain the whole region alone if
+  // the pool is busy, which is what makes nested calls deadlock-free.
+  run_region(region, 0);
+
+  std::unique_lock<std::mutex> lock(region->mutex);
+  region->done.wait(lock, [&] { return region->finished; });
+  // Take the exception out of the region before rethrowing: late pool
+  // workers may still drop their (stale) region references, and the
+  // exception object must not be co-owned by anything another thread
+  // can release while the caller is reading it.
+  std::exception_ptr error = std::move(region->error);
+  region->error = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 void parallel_for_indexed(std::size_t count, int jobs,
                           const std::function<void(std::size_t)>& fn) {
+  parallel_for_indexed(count, jobs, ChunkPolicy{}, fn);
+}
+
+void parallel_for_indexed(std::size_t count, int jobs,
+                          const ChunkPolicy& policy,
+                          const std::function<void(std::size_t)>& fn) {
   const int resolved = resolve_jobs(jobs);
   if (resolved <= 1 || count <= 1) {
+    // Serial reference path: never touches (or creates) the scheduler.
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  ThreadPool pool(static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(resolved), count)));
-  pool.parallel_for_indexed(count, fn);
+  Scheduler::global().parallel_for_indexed(count, resolved, fn, policy);
 }
 
 }  // namespace rip

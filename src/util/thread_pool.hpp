@@ -1,23 +1,28 @@
 #pragma once
 
 /// @file thread_pool.hpp
-/// A fixed-size worker pool plus the `parallel_for_indexed` helper that
-/// every batch evaluation path (eval/parallel.hpp, the table runners,
-/// the bench binaries) is built on. Design rules:
+/// The persistent per-process scheduler behind every batch evaluation
+/// path (eval/parallel.hpp, the table runners, the bench binaries).
+/// PR 2's spin-up-per-call pool is retired: a lazily-initialized
+/// process-wide Scheduler keeps its workers alive across calls, cuts
+/// each `parallel_for_indexed` region into chunks (ChunkPolicy), and
+/// balances uneven per-index costs by work stealing between
+/// per-participant deques. Design rules, unchanged since PR 2:
 ///
 ///   - workers communicate only through index-addressed result slots,
 ///     so a parallel run is bit-identical to the serial loop no matter
-///     how indices are scheduled across threads;
+///     how chunks are scheduled or stolen across threads;
 ///   - exceptions propagate: the exception of the lowest failing index
-///     is rethrown on the calling thread and unclaimed indices are
-///     skipped;
-///   - `jobs == 1` never touches a thread — it is the plain serial
+///     (among those that ran) is rethrown on the calling thread and
+///     indices not yet claimed are skipped;
+///   - `jobs == 1` never touches the scheduler — it is the plain serial
 ///     loop on the calling thread, byte-for-byte the pre-pool path.
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -28,46 +33,86 @@ namespace rip {
 /// 0 or negative means "one per hardware thread" (at least 1).
 int resolve_jobs(int jobs);
 
-/// Fixed-size thread pool. Workers start in the constructor and are
-/// joined in the destructor after draining every queued task.
-class ThreadPool {
+/// How a parallel_for region is cut into contiguous index chunks.
+/// Chunking is computed serially up front, so the chunk list — and
+/// therefore which indices exist — is identical at any job count; only
+/// which thread runs a chunk varies, which the index-addressed-slot
+/// rule makes invisible.
+struct ChunkPolicy {
+  enum class Mode {
+    kStatic,   ///< fixed chunks assigned round-robin; grain 0 = count/P
+    kDynamic,  ///< fixed `grain`-sized chunks, stolen freely (default)
+    kGuided,   ///< decreasing chunk sizes: remaining/(2P), floor `grain`
+  };
+  Mode mode = Mode::kDynamic;
+  /// Indices per chunk; 0 picks an automatic grain (dynamic:
+  /// count/(8P), static: count/P, guided: 1), always at least 1.
+  std::size_t grain = 0;
+};
+
+/// Persistent per-process scheduler. Workers are started lazily on the
+/// first parallel region that needs them and are reused by every later
+/// call (no per-call thread spin-up); the pool only ever grows, up to
+/// the largest `jobs` requested (capped), and is joined at process
+/// exit. Each region gets per-participant deques: a participant pops
+/// its own deque from the front and steals from the back of others'
+/// (Chase-Lev-style owner/thief ends), so one giant case among many
+/// tiny ones no longer serializes a worker's whole static slice.
+///
+/// The calling thread always participates as a worker of its own
+/// region and drains whatever the pool does not take — nested
+/// `parallel_for_indexed` calls from inside a worker therefore cannot
+/// deadlock even when every pool worker is busy.
+class Scheduler {
  public:
-  explicit ThreadPool(int threads);
-  ~ThreadPool();
+  /// The process-wide instance, created on first use.
+  static Scheduler& global();
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// True once global() has been called (the singleton exists). jobs=1
+  /// paths never create it.
+  static bool exists();
 
-  int thread_count() const { return static_cast<int>(workers_.size()); }
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
 
-  /// Enqueue a task (FIFO). Tasks must not throw out of the pool — use
-  /// parallel_for_indexed for exception-aware batches.
-  void submit(std::function<void()> task);
+  /// Pool workers currently alive (excludes calling threads).
+  int worker_count() const;
 
-  /// Run fn(0) .. fn(count-1) across the pool's workers and block until
-  /// every index has run or one has thrown. Indices are claimed
-  /// dynamically, so `fn` must only write through index-addressed slots
-  /// to stay deterministic. On failure the exception of the lowest
-  /// failing index (among those that ran) is rethrown here and indices
-  /// not yet claimed are skipped.
-  void parallel_for_indexed(std::size_t count,
-                            const std::function<void(std::size_t)>& fn);
+  /// Run fn(0) .. fn(count-1) using up to `jobs` threads (this one plus
+  /// pool workers) and block until every index has run or the region
+  /// was cancelled by a failure. On failure the exception of the lowest
+  /// failing index (among those that ran) is rethrown here.
+  void parallel_for_indexed(std::size_t count, int jobs,
+                            const std::function<void(std::size_t)>& fn,
+                            const ChunkPolicy& policy = {});
 
  private:
+  Scheduler() = default;
+
+  struct Region;
+  static void run_region(const std::shared_ptr<Region>& region,
+                         int participant);
+  void ensure_workers(int target);
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_ready_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
   bool stop_ = false;
 };
 
-/// One-shot helper. After resolve_jobs, `jobs == 1` (or count <= 1)
-/// runs the serial loop on the calling thread — the reference path the
-/// golden tests pin — otherwise a pool of min(jobs, count) workers
-/// lives for the duration of the loop.
+/// The standard entry point. After resolve_jobs, `jobs == 1` (or
+/// count <= 1) runs the serial loop on the calling thread — the
+/// reference path the golden tests pin — without ever creating the
+/// scheduler; otherwise the call goes through Scheduler::global().
 void parallel_for_indexed(std::size_t count, int jobs,
+                          const std::function<void(std::size_t)>& fn);
+
+/// Same, with an explicit chunking/stealing policy.
+void parallel_for_indexed(std::size_t count, int jobs,
+                          const ChunkPolicy& policy,
                           const std::function<void(std::size_t)>& fn);
 
 }  // namespace rip

@@ -70,8 +70,12 @@ TEST(ParallelDeterminism, RunCasesMatchesSerialBitForBit) {
     }
   }
 
-  const auto serial = run_cases(tech, cases, BatchOptions{1});
-  const auto parallel = run_cases(tech, cases, BatchOptions{8});
+  BatchOptions serial_options;
+  serial_options.jobs = 1;
+  BatchOptions parallel_options;
+  parallel_options.jobs = 8;
+  const auto serial = run_cases(tech, cases, serial_options);
+  const auto parallel = run_cases(tech, cases, parallel_options);
   ASSERT_EQ(parallel.size(), serial.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(parallel[i].tau_t_fs, serial[i].tau_t_fs) << "case " << i;

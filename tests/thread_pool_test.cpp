@@ -1,12 +1,18 @@
-// util::ThreadPool and parallel_for_indexed: the contracts the batch
-// evaluation engine relies on — every index runs exactly once, jobs=1
-// is the serial loop on the calling thread, queued tasks run FIFO and
-// are drained on destruction, and exceptions propagate to the caller.
+// util::Scheduler and parallel_for_indexed: the contracts the batch
+// evaluation engine relies on — every index runs exactly once under
+// any ChunkPolicy, jobs=1 is the serial loop on the calling thread and
+// never creates the scheduler, the persistent singleton is reused
+// across calls (no per-call thread spin-up), and exceptions propagate
+// to the caller. Each gtest case runs in its own process (ctest
+// discovery), so singleton-lifecycle assertions are isolated.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
-#include <numeric>
+#include <chrono>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -44,6 +50,16 @@ TEST(ParallelForIndexed, JobsOneRunsSeriallyOnCallingThread) {
   for (const auto id : threads) EXPECT_EQ(id, caller);
 }
 
+TEST(ParallelForIndexed, JobsOneNeverCreatesTheScheduler) {
+  ASSERT_FALSE(Scheduler::exists()) << "test process must start clean";
+  std::vector<int> out(64, 0);
+  for (int round = 0; round < 3; ++round) {
+    parallel_for_indexed(out.size(), 1, [&](std::size_t i) { out[i] = 1; });
+  }
+  EXPECT_FALSE(Scheduler::exists())
+      << "jobs=1 must bypass the persistent pool entirely";
+}
+
 TEST(ParallelForIndexed, EveryIndexRunsExactlyOnce) {
   constexpr std::size_t kCount = 500;
   std::vector<std::atomic<int>> hits(kCount);
@@ -67,6 +83,50 @@ TEST(ParallelForIndexed, ResultsMatchSerialAtAnyJobCount) {
       parallel[i] = static_cast<double>(i) * 1.5 + 1.0;
     });
     EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelForIndexed, EveryChunkPolicyCoversEveryIndexExactlyOnce) {
+  // Counts chosen to not divide evenly by typical grains/participants.
+  for (const std::size_t count : {1u, 2u, 7u, 64u, 257u}) {
+    for (const auto mode :
+         {ChunkPolicy::Mode::kStatic, ChunkPolicy::Mode::kDynamic,
+          ChunkPolicy::Mode::kGuided}) {
+      for (const std::size_t grain : {0u, 1u, 3u, 100u}) {
+        ChunkPolicy policy;
+        policy.mode = mode;
+        policy.grain = grain;
+        std::vector<std::atomic<int>> hits(count);
+        parallel_for_indexed(count, 8, policy, [&](std::size_t i) {
+          hits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < count; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "count " << count << " mode " << static_cast<int>(mode)
+              << " grain " << grain << " index " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelForIndexed, ChunkPoliciesAreBitIdenticalToSerial) {
+  constexpr std::size_t kCount = 300;
+  std::vector<double> serial(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    serial[i] = static_cast<double>(i) * 0.3 + 7.0;
+  }
+  for (const auto mode :
+       {ChunkPolicy::Mode::kStatic, ChunkPolicy::Mode::kDynamic,
+        ChunkPolicy::Mode::kGuided}) {
+    ChunkPolicy policy;
+    policy.mode = mode;
+    policy.grain = 5;
+    std::vector<double> out(kCount);
+    parallel_for_indexed(kCount, 8, policy, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 0.3 + 7.0;
+    });
+    EXPECT_EQ(out, serial) << "mode " << static_cast<int>(mode);
   }
 }
 
@@ -103,45 +163,90 @@ TEST(ParallelForIndexed, SerialPathStopsAtFirstFailure) {
   EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
 }
 
-TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder) {
-  std::vector<int> order;
-  {
-    ThreadPool pool(1);
-    for (int t = 0; t < 10; ++t) {
-      pool.submit([&order, t] { order.push_back(t); });
-    }
-    // The destructor drains the queue before joining.
-  }
-  std::vector<int> expected(10);
-  std::iota(expected.begin(), expected.end(), 0);
-  EXPECT_EQ(order, expected);
+TEST(Scheduler, GlobalReturnsTheSameInstance) {
+  Scheduler& a = Scheduler::global();
+  Scheduler& b = Scheduler::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_TRUE(Scheduler::exists());
 }
 
-TEST(ThreadPool, PoolIsReusableAcrossParallelForCalls) {
-  ThreadPool pool(4);
-  EXPECT_EQ(pool.thread_count(), 4);
-  for (int round = 0; round < 3; ++round) {
-    std::vector<int> out(100, -1);
-    pool.parallel_for_indexed(out.size(), [&](std::size_t i) {
+TEST(Scheduler, WorkersPersistAcrossCalls) {
+  // Calls at the same job count must reuse the pool: the worker count
+  // after the first call is already sufficient and must not grow.
+  // Bounds are relative to the pool earlier tests may have grown when
+  // the whole binary runs in one process.
+  const int prior =
+      Scheduler::exists() ? Scheduler::global().worker_count() : 0;
+  std::vector<int> out(100, -1);
+  parallel_for_indexed(out.size(), 4, [&](std::size_t i) {
+    out[i] = static_cast<int>(i);
+  });
+  const int after_first = Scheduler::global().worker_count();
+  EXPECT_GE(after_first, 1);
+  EXPECT_LE(after_first, std::max(prior, 3))
+      << "jobs=4 needs at most 3 pool workers";
+  for (int round = 0; round < 5; ++round) {
+    parallel_for_indexed(out.size(), 4, [&](std::size_t i) {
       out[i] = static_cast<int>(i) + round;
     });
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      EXPECT_EQ(out[i], static_cast<int>(i) + round);
-    }
+  }
+  EXPECT_EQ(Scheduler::global().worker_count(), after_first)
+      << "repeated calls must not spin up new threads";
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 4);
   }
 }
 
-TEST(ThreadPool, MoreWorkersThanWorkStillCompletes) {
-  ThreadPool pool(8);
-  std::vector<int> out(3, 0);
-  pool.parallel_for_indexed(out.size(), [&](std::size_t i) {
-    out[i] = 1;
-  });
-  EXPECT_EQ(out, (std::vector<int>{1, 1, 1}));
+TEST(Scheduler, PoolGrowsToTheLargestJobCount) {
+  const int prior =
+      Scheduler::exists() ? Scheduler::global().worker_count() : 0;
+  std::vector<int> out(64, 0);
+  parallel_for_indexed(out.size(), 2, [&](std::size_t i) { out[i] = 1; });
+  const int small = Scheduler::global().worker_count();
+  parallel_for_indexed(out.size(), 6, [&](std::size_t i) { out[i] = 2; });
+  const int big = Scheduler::global().worker_count();
+  EXPECT_GE(big, small);
+  EXPECT_LE(big, std::max(prior, 5))
+      << "jobs=6 needs at most 5 pool workers";
+  // Shrinking the job count never shrinks the pool (workers are
+  // parked, not churned).
+  parallel_for_indexed(out.size(), 2, [&](std::size_t i) { out[i] = 3; });
+  EXPECT_EQ(Scheduler::global().worker_count(), big);
 }
 
-TEST(ThreadPool, RejectsNonPositiveWorkerCount) {
-  EXPECT_THROW(ThreadPool pool(0), Error);
+TEST(Scheduler, MultipleThreadsExecuteChunksOfOneRegion) {
+  // Whichever thread runs the first chunk holds it until a second
+  // thread has run one — the 63 remaining single-index chunks are
+  // poppable/stealable by every other participant, so a second thread
+  // must arrive (caller and pool workers are all in the region). A
+  // generous 5 s limit keeps a genuine failure from hanging.
+  constexpr std::size_t kCount = 64;
+  std::mutex mutex;
+  std::set<std::thread::id> distinct;
+  std::atomic<bool> first_claimed{false};
+  ChunkPolicy policy;
+  policy.grain = 1;
+  parallel_for_indexed(kCount, 4, policy, [&](std::size_t) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      distinct.insert(std::this_thread::get_id());
+    }
+    if (!first_claimed.exchange(true)) {
+      for (int spin = 0; spin < 5000; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::lock_guard<std::mutex> lock(mutex);
+        if (distinct.size() >= 2) break;
+      }
+    }
+  });
+  EXPECT_GE(distinct.size(), 2u)
+      << "work stealing never moved a chunk to a second thread";
+}
+
+TEST(Scheduler, MoreJobsThanWorkStillCompletes) {
+  std::vector<int> out(3, 0);
+  parallel_for_indexed(out.size(), 8, [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 1}));
 }
 
 }  // namespace
