@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../forbidden_zones"
+  "../forbidden_zones.pdb"
+  "CMakeFiles/forbidden_zones.dir/forbidden_zones.cpp.o"
+  "CMakeFiles/forbidden_zones.dir/forbidden_zones.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forbidden_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

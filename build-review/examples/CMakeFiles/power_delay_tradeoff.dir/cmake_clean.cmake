@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../power_delay_tradeoff"
+  "../power_delay_tradeoff.pdb"
+  "CMakeFiles/power_delay_tradeoff.dir/power_delay_tradeoff.cpp.o"
+  "CMakeFiles/power_delay_tradeoff.dir/power_delay_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_delay_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../rip_cli"
+  "../rip_cli.pdb"
+  "CMakeFiles/rip_cli.dir/rip_cli.cpp.o"
+  "CMakeFiles/rip_cli.dir/rip_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rip_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

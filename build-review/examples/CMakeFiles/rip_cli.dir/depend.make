@@ -1,0 +1,2 @@
+# Empty dependencies file for rip_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../spice_export"
+  "../spice_export.pdb"
+  "CMakeFiles/spice_export.dir/spice_export.cpp.o"
+  "CMakeFiles/spice_export.dir/spice_export.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tree_buffering"
+  "../tree_buffering.pdb"
+  "CMakeFiles/tree_buffering.dir/tree_buffering.cpp.o"
+  "CMakeFiles/tree_buffering.dir/tree_buffering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytical/bakoglu.cpp" "src/CMakeFiles/rip.dir/analytical/bakoglu.cpp.o" "gcc" "src/CMakeFiles/rip.dir/analytical/bakoglu.cpp.o.d"
+  "/root/repo/src/analytical/movement.cpp" "src/CMakeFiles/rip.dir/analytical/movement.cpp.o" "gcc" "src/CMakeFiles/rip.dir/analytical/movement.cpp.o.d"
+  "/root/repo/src/analytical/refine.cpp" "src/CMakeFiles/rip.dir/analytical/refine.cpp.o" "gcc" "src/CMakeFiles/rip.dir/analytical/refine.cpp.o.d"
+  "/root/repo/src/analytical/stage_quantities.cpp" "src/CMakeFiles/rip.dir/analytical/stage_quantities.cpp.o" "gcc" "src/CMakeFiles/rip.dir/analytical/stage_quantities.cpp.o.d"
+  "/root/repo/src/analytical/width_solver.cpp" "src/CMakeFiles/rip.dir/analytical/width_solver.cpp.o" "gcc" "src/CMakeFiles/rip.dir/analytical/width_solver.cpp.o.d"
+  "/root/repo/src/core/baseline.cpp" "src/CMakeFiles/rip.dir/core/baseline.cpp.o" "gcc" "src/CMakeFiles/rip.dir/core/baseline.cpp.o.d"
+  "/root/repo/src/core/rip.cpp" "src/CMakeFiles/rip.dir/core/rip.cpp.o" "gcc" "src/CMakeFiles/rip.dir/core/rip.cpp.o.d"
+  "/root/repo/src/core/tree_hybrid.cpp" "src/CMakeFiles/rip.dir/core/tree_hybrid.cpp.o" "gcc" "src/CMakeFiles/rip.dir/core/tree_hybrid.cpp.o.d"
+  "/root/repo/src/dp/brute_force.cpp" "src/CMakeFiles/rip.dir/dp/brute_force.cpp.o" "gcc" "src/CMakeFiles/rip.dir/dp/brute_force.cpp.o.d"
+  "/root/repo/src/dp/chain_dp.cpp" "src/CMakeFiles/rip.dir/dp/chain_dp.cpp.o" "gcc" "src/CMakeFiles/rip.dir/dp/chain_dp.cpp.o.d"
+  "/root/repo/src/dp/library.cpp" "src/CMakeFiles/rip.dir/dp/library.cpp.o" "gcc" "src/CMakeFiles/rip.dir/dp/library.cpp.o.d"
+  "/root/repo/src/dp/min_delay.cpp" "src/CMakeFiles/rip.dir/dp/min_delay.cpp.o" "gcc" "src/CMakeFiles/rip.dir/dp/min_delay.cpp.o.d"
+  "/root/repo/src/dp/pareto.cpp" "src/CMakeFiles/rip.dir/dp/pareto.cpp.o" "gcc" "src/CMakeFiles/rip.dir/dp/pareto.cpp.o.d"
+  "/root/repo/src/dp/tree_dp.cpp" "src/CMakeFiles/rip.dir/dp/tree_dp.cpp.o" "gcc" "src/CMakeFiles/rip.dir/dp/tree_dp.cpp.o.d"
+  "/root/repo/src/eval/experiments.cpp" "src/CMakeFiles/rip.dir/eval/experiments.cpp.o" "gcc" "src/CMakeFiles/rip.dir/eval/experiments.cpp.o.d"
+  "/root/repo/src/eval/parallel.cpp" "src/CMakeFiles/rip.dir/eval/parallel.cpp.o" "gcc" "src/CMakeFiles/rip.dir/eval/parallel.cpp.o.d"
+  "/root/repo/src/eval/workload.cpp" "src/CMakeFiles/rip.dir/eval/workload.cpp.o" "gcc" "src/CMakeFiles/rip.dir/eval/workload.cpp.o.d"
+  "/root/repo/src/net/candidates.cpp" "src/CMakeFiles/rip.dir/net/candidates.cpp.o" "gcc" "src/CMakeFiles/rip.dir/net/candidates.cpp.o.d"
+  "/root/repo/src/net/generator.cpp" "src/CMakeFiles/rip.dir/net/generator.cpp.o" "gcc" "src/CMakeFiles/rip.dir/net/generator.cpp.o.d"
+  "/root/repo/src/net/net.cpp" "src/CMakeFiles/rip.dir/net/net.cpp.o" "gcc" "src/CMakeFiles/rip.dir/net/net.cpp.o.d"
+  "/root/repo/src/net/net_io.cpp" "src/CMakeFiles/rip.dir/net/net_io.cpp.o" "gcc" "src/CMakeFiles/rip.dir/net/net_io.cpp.o.d"
+  "/root/repo/src/net/solution.cpp" "src/CMakeFiles/rip.dir/net/solution.cpp.o" "gcc" "src/CMakeFiles/rip.dir/net/solution.cpp.o.d"
+  "/root/repo/src/net/solution_io.cpp" "src/CMakeFiles/rip.dir/net/solution_io.cpp.o" "gcc" "src/CMakeFiles/rip.dir/net/solution_io.cpp.o.d"
+  "/root/repo/src/rc/buffered_chain.cpp" "src/CMakeFiles/rip.dir/rc/buffered_chain.cpp.o" "gcc" "src/CMakeFiles/rip.dir/rc/buffered_chain.cpp.o.d"
+  "/root/repo/src/rc/delay_metrics.cpp" "src/CMakeFiles/rip.dir/rc/delay_metrics.cpp.o" "gcc" "src/CMakeFiles/rip.dir/rc/delay_metrics.cpp.o.d"
+  "/root/repo/src/rc/elmore.cpp" "src/CMakeFiles/rip.dir/rc/elmore.cpp.o" "gcc" "src/CMakeFiles/rip.dir/rc/elmore.cpp.o.d"
+  "/root/repo/src/rc/moments.cpp" "src/CMakeFiles/rip.dir/rc/moments.cpp.o" "gcc" "src/CMakeFiles/rip.dir/rc/moments.cpp.o.d"
+  "/root/repo/src/rc/pi_model.cpp" "src/CMakeFiles/rip.dir/rc/pi_model.cpp.o" "gcc" "src/CMakeFiles/rip.dir/rc/pi_model.cpp.o.d"
+  "/root/repo/src/rc/tree.cpp" "src/CMakeFiles/rip.dir/rc/tree.cpp.o" "gcc" "src/CMakeFiles/rip.dir/rc/tree.cpp.o.d"
+  "/root/repo/src/sim/spice.cpp" "src/CMakeFiles/rip.dir/sim/spice.cpp.o" "gcc" "src/CMakeFiles/rip.dir/sim/spice.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/CMakeFiles/rip.dir/sim/transient.cpp.o" "gcc" "src/CMakeFiles/rip.dir/sim/transient.cpp.o.d"
+  "/root/repo/src/tech/tech180.cpp" "src/CMakeFiles/rip.dir/tech/tech180.cpp.o" "gcc" "src/CMakeFiles/rip.dir/tech/tech180.cpp.o.d"
+  "/root/repo/src/tech/tech_io.cpp" "src/CMakeFiles/rip.dir/tech/tech_io.cpp.o" "gcc" "src/CMakeFiles/rip.dir/tech/tech_io.cpp.o.d"
+  "/root/repo/src/tech/technology.cpp" "src/CMakeFiles/rip.dir/tech/technology.cpp.o" "gcc" "src/CMakeFiles/rip.dir/tech/technology.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/rip.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/rip.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rip.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rip.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/solver.cpp" "src/CMakeFiles/rip.dir/util/solver.cpp.o" "gcc" "src/CMakeFiles/rip.dir/util/solver.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/rip.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/rip.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/rip.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/rip.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/rip.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/rip.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/rip.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rip.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

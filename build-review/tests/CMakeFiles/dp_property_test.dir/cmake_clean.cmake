@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../dp_property_test"
+  "../dp_property_test.pdb"
+  "CMakeFiles/dp_property_test.dir/dp_property_test.cpp.o"
+  "CMakeFiles/dp_property_test.dir/dp_property_test.cpp.o.d"
+  "dp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../metrics_validation_test"
+  "../metrics_validation_test.pdb"
+  "CMakeFiles/metrics_validation_test.dir/metrics_validation_test.cpp.o"
+  "CMakeFiles/metrics_validation_test.dir/metrics_validation_test.cpp.o.d"
+  "metrics_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

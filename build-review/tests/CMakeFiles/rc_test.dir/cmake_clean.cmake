@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../rc_test"
+  "../rc_test.pdb"
+  "CMakeFiles/rc_test.dir/rc_test.cpp.o"
+  "CMakeFiles/rc_test.dir/rc_test.cpp.o.d"
+  "rc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../rip_fallback_test"
+  "../rip_fallback_test.pdb"
+  "CMakeFiles/rip_fallback_test.dir/rip_fallback_test.cpp.o"
+  "CMakeFiles/rip_fallback_test.dir/rip_fallback_test.cpp.o.d"
+  "rip_fallback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rip_fallback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../rip_property_test"
+  "../rip_property_test.pdb"
+  "CMakeFiles/rip_property_test.dir/rip_property_test.cpp.o"
+  "CMakeFiles/rip_property_test.dir/rip_property_test.cpp.o.d"
+  "rip_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rip_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../rip_test"
+  "../rip_test.pdb"
+  "CMakeFiles/rip_test.dir/rip_test.cpp.o"
+  "CMakeFiles/rip_test.dir/rip_test.cpp.o.d"
+  "rip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

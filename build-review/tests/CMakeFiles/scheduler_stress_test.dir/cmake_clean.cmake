@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../scheduler_stress_test"
+  "../scheduler_stress_test.pdb"
+  "CMakeFiles/scheduler_stress_test.dir/scheduler_stress_test.cpp.o"
+  "CMakeFiles/scheduler_stress_test.dir/scheduler_stress_test.cpp.o.d"
+  "scheduler_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../shard_determinism_test"
+  "../shard_determinism_test.pdb"
+  "CMakeFiles/shard_determinism_test.dir/shard_determinism_test.cpp.o"
+  "CMakeFiles/shard_determinism_test.dir/shard_determinism_test.cpp.o.d"
+  "shard_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

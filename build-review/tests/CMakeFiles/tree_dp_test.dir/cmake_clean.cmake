@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "../tree_dp_test"
+  "../tree_dp_test.pdb"
+  "CMakeFiles/tree_dp_test.dir/tree_dp_test.cpp.o"
+  "CMakeFiles/tree_dp_test.dir/tree_dp_test.cpp.o.d"
+  "tree_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/cli_test[1]_include.cmake")
+include("/root/repo/build-review/tests/dp_test[1]_include.cmake")
+include("/root/repo/build-review/tests/net_test[1]_include.cmake")
+include("/root/repo/build-review/tests/rc_test[1]_include.cmake")
+include("/root/repo/build-review/tests/refine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/rip_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/tech_test[1]_include.cmake")
+include("/root/repo/build-review/tests/tree_dp_test[1]_include.cmake")
+include("/root/repo/build-review/tests/util_test[1]_include.cmake")
+include("/root/repo/build-review/tests/metrics_validation_test[1]_include.cmake")
+include("/root/repo/build-review/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build-review/tests/dp_property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/rip_property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/rip_fallback_test[1]_include.cmake")
+include("/root/repo/build-review/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-review/tests/eval_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/golden_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parallel_determinism_test[1]_include.cmake")
+include("/root/repo/build-review/tests/scheduler_stress_test[1]_include.cmake")
+include("/root/repo/build-review/tests/shard_determinism_test[1]_include.cmake")
