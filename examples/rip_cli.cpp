@@ -13,6 +13,13 @@
 //   rip_cli check    --net my.net --sol out.sol [--target-ns 2.5]
 //   rip_cli merge    --in s0.csv,s1.csv --out merged.csv
 //
+// `sweep` and `compare` also run through the asynchronous evaluation
+// service (eval/service.hpp) with `--async`: points are submitted
+// individually and collected from futures, with `--max-pending N`
+// bounding the pending queue (submit blocks when full — the
+// backpressure a long-running driver loop wants). Output is identical
+// to the blocking path; wall-clock columns excepted.
+//
 // A custom technology file (riptech format) can replace the built-in
 // 0.18 um kit everywhere with --tech kit.tech. The sweep/compare
 // multi-target commands fan out over `--jobs N` worker threads
@@ -33,6 +40,7 @@
 #include "core/rip.hpp"
 #include "dp/min_delay.hpp"
 #include "eval/parallel.hpp"
+#include "eval/service.hpp"
 #include "eval/workload.hpp"
 #include "net/generator.hpp"
 #include "net/net_io.hpp"
@@ -65,10 +73,10 @@ int usage(int rc = 2) {
       "  baseline --net file.net (--target-ns T | --target-x F)\n"
       "           [--granularity G] [--lib-size N] [--min-width W]\n"
       "  sweep    --net file.net [--points N] [--csv out.csv] [--jobs N]\n"
-      "           [--shard I/N]\n"
+      "           [--shard I/N] [--async] [--max-pending N]\n"
       "  compare  --net file.net [--points N] [--granularity G]\n"
       "           [--lib-size N] [--min-width W] [--csv out.csv]\n"
-      "           [--jobs N] [--shard I/N]\n"
+      "           [--jobs N] [--shard I/N] [--async] [--max-pending N]\n"
       "  check    --net file.net --sol file.sol [--target-ns T]\n"
       "  merge    --in shard0.csv,shard1.csv[,...] --out merged.csv\n"
       "common:    [--tech kit.tech]   (--jobs 0 = all hardware threads;\n"
@@ -85,6 +93,17 @@ tech::Technology load_tech(const CliArgs& args) {
 
 net::Net load_net(const CliArgs& args) {
   return net::read_net_file(args.require("net"));
+}
+
+/// Service options for `--async`: worker threads from --jobs and the
+/// bounded pending queue from --max-pending (0 = unbounded).
+eval::ServiceOptions async_service_options(const CliArgs& args, int jobs) {
+  const int max_pending = args.get_int_or("max-pending", 0);
+  RIP_REQUIRE(max_pending >= 0, "--max-pending must be >= 0 (0 = unbounded)");
+  eval::ServiceOptions options;
+  options.jobs = jobs;
+  options.max_pending = static_cast<std::size_t>(max_pending);
+  return options;
 }
 
 /// Resolve --target-ns / --target-x (x tau_min) into femtoseconds.
@@ -234,10 +253,28 @@ int cmd_sweep(const CliArgs& args) {
   const auto mine =
       eval::shard_case_indices(factors.size(), shard.index, shard.count);
   std::vector<core::RipResult> runs(mine.size());
-  parallel_for_indexed(runs.size(), jobs, [&](std::size_t j) {
-    runs[j] = core::rip_insert(n, tech.device(),
-                               factors[mine[j]] * md.tau_min_fs);
-  });
+  if (args.has("async")) {
+    // The async service via the submit_fn escape hatch: the sweep is
+    // RIP-only, so each point writes its index-addressed slot and uses
+    // the future purely as a completion signal. Output is identical to
+    // the blocking path.
+    eval::EvalService service(tech, async_service_options(args, jobs));
+    std::vector<std::future<eval::CaseResult>> futures;
+    futures.reserve(mine.size());
+    for (std::size_t j = 0; j < mine.size(); ++j) {
+      futures.push_back(service.submit_fn([&, j] {
+        runs[j] = core::rip_insert(n, tech.device(),
+                                   factors[mine[j]] * md.tau_min_fs);
+        return eval::CaseResult{};
+      }));
+    }
+    for (auto& future : futures) future.get();
+  } else {
+    parallel_for_indexed(runs.size(), jobs, [&](std::size_t j) {
+      runs[j] = core::rip_insert(n, tech.device(),
+                                 factors[mine[j]] * md.tau_min_fs);
+    });
+  }
 
   Table table({"idx", "tau_t_ns", "tau_over_min", "width_u", "repeaters",
                "delay_ns"});
@@ -287,9 +324,24 @@ int cmd_compare(const CliArgs& args) {
   const ShardSpec shard = shard_option(args);
   batch.shard_index = shard.index;
   batch.shard_count = shard.count;
-  const auto results = eval::run_cases(tech, cases, batch);
   const auto mine =
       eval::shard_case_indices(cases.size(), shard.index, shard.count);
+  std::vector<eval::CaseResult> results;
+  if (args.has("async")) {
+    // One future per point through the async service (FIFO order);
+    // --max-pending exercises the bounded-queue backpressure. Results
+    // are collected in submission order, so the table is identical to
+    // the blocking run_cases path (wall-clock columns excepted).
+    eval::EvalService service(tech,
+                              async_service_options(args, batch.jobs));
+    std::vector<std::future<eval::CaseResult>> futures;
+    futures.reserve(mine.size());
+    for (const std::size_t k : mine) futures.push_back(service.submit(cases[k]));
+    results.reserve(futures.size());
+    for (auto& future : futures) results.push_back(future.get());
+  } else {
+    results = eval::run_cases(tech, cases, batch);
+  }
 
   Table table({"idx", "tau_t_ns", "tau_over_min", "rip_u", "dp_u", "impr%",
                "rip_ms", "dp_ms"});
@@ -401,7 +453,7 @@ int cmd_check(const CliArgs& args) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args =
-        CliArgs::parse(argc, argv, {"zone-hop", "help"});
+        CliArgs::parse(argc, argv, {"zone-hop", "help", "async"});
     if (args.has("help")) return usage(0);
     int rc;
     if (args.command() == "gen") rc = cmd_gen(args);

@@ -243,8 +243,16 @@ Table to_table(const Table1Result& result) {
 
 // ------------------------------------------------------------------ Table 2
 
-Table2Result run_table2(const tech::Technology& tech,
-                        const Table2Config& config) {
+// Sharded exactly like Table 1: RIP flat space net x target, DP flat
+// space granularity x net x target (granularity-major, the unsharded
+// loop order), both split round-robin; the reduction lives only in
+// merge_table2_shards and runs serially in the original input order.
+
+Table2Shard run_table2_shard(const tech::Technology& tech,
+                             const Table2Config& config, int shard_index,
+                             int shard_count) {
+  RIP_REQUIRE(!config.granularities_u.empty(),
+              "table 2 needs at least one granularity");
   const auto workload =
       make_paper_workload(tech, config.net_count, config.seed, {},
                           {10.0, 400.0, 10.0, 200.0}, config.jobs);
@@ -260,34 +268,30 @@ Table2Result run_table2(const tech::Technology& tech,
         timing_targets_fs(wn.tau_min_fs, config.targets_per_net));
   }
 
+  Table2Shard shard;
+  shard.shard_index = shard_index;
+  shard.shard_count = shard_count;
+  for (const auto& wn : workload) shard.net_names.push_back(wn.net.name());
+
   // RIP runs once per (net, target); every granularity row reuses it.
   // Runtimes are wall clock per task, taken inside the worker.
-  struct RipOutcome {
-    bool feasible = false;
-    double width_u = 0;
-    double runtime_s = 0;
-  };
-  std::vector<RipOutcome> rip_runs(net_n * tgt_n);
-  parallel_for_indexed(rip_runs.size(), config.jobs, [&](std::size_t k) {
+  const auto rip_mine =
+      shard_case_indices(net_n * tgt_n, shard_index, shard_count);
+  shard.rip.resize(rip_mine.size());
+  parallel_for_indexed(rip_mine.size(), config.jobs, [&](std::size_t j) {
+    const std::size_t k = rip_mine[j];
     const std::size_t ni = k / tgt_n;
     const std::size_t ti = k % tgt_n;
     WallTimer timer;
     const auto rip = core::rip_insert(workload[ni].net, tech.device(),
                                       all_targets[ni][ti], config.rip);
-    RipOutcome oc;
+    TimedSolveOutcome oc;
     oc.runtime_s = timer.seconds();
     oc.feasible = rip.status == dp::Status::kOptimal;
     oc.width_u = rip.total_width_u;
-    rip_runs[k] = oc;
+    shard.rip[j] = oc;
   });
-  RunningStats rip_time;
-  for (const auto& oc : rip_runs) rip_time.add(oc.runtime_s);
 
-  struct DpOutcome {
-    bool feasible = false;
-    double width_u = 0;
-    double runtime_s = 0;
-  };
   std::vector<core::BaselineOptions> baselines;
   baselines.reserve(g_n);
   for (const double g : config.granularities_u) {
@@ -295,20 +299,68 @@ Table2Result run_table2(const tech::Technology& tech,
         config.range_min_width_u, config.range_max_width_u, g,
         config.pitch_um));
   }
-  std::vector<DpOutcome> dp_runs(g_n * net_n * tgt_n);
-  parallel_for_indexed(dp_runs.size(), config.jobs, [&](std::size_t k) {
+  const auto dp_mine =
+      shard_case_indices(g_n * net_n * tgt_n, shard_index, shard_count);
+  shard.dp.resize(dp_mine.size());
+  parallel_for_indexed(dp_mine.size(), config.jobs, [&](std::size_t j) {
+    const std::size_t k = dp_mine[j];
     const std::size_t gi = k / (net_n * tgt_n);
     const std::size_t ni = (k / tgt_n) % net_n;
     const std::size_t ti = k % tgt_n;
     WallTimer timer;
     const auto dp = core::run_baseline(workload[ni].net, tech.device(),
                                        all_targets[ni][ti], baselines[gi]);
-    DpOutcome oc;
+    TimedSolveOutcome oc;
     oc.runtime_s = timer.seconds();
     oc.feasible = dp.status == dp::Status::kOptimal;
     oc.width_u = dp.total_width_u;
-    dp_runs[k] = oc;
+    shard.dp[j] = oc;
   });
+  return shard;
+}
+
+Table2Result merge_table2_shards(const Table2Config& config,
+                                 std::span<const Table2Shard> shards) {
+  RIP_REQUIRE(!shards.empty(), "merge needs at least one shard");
+  const int shard_count = shards.front().shard_count;
+  RIP_REQUIRE(static_cast<int>(shards.size()) == shard_count,
+              "merge needs every shard of the split");
+
+  const std::size_t net_n = shards.front().net_names.size();
+  const std::size_t tgt_n = static_cast<std::size_t>(config.targets_per_net);
+  const std::size_t g_n = config.granularities_u.size();
+
+  std::vector<TimedSolveOutcome> rip_runs(net_n * tgt_n);
+  std::vector<TimedSolveOutcome> dp_runs(g_n * net_n * tgt_n);
+  std::vector<bool> seen(static_cast<std::size_t>(shard_count), false);
+  for (const Table2Shard& shard : shards) {
+    RIP_REQUIRE(shard.shard_count == shard_count,
+                "shards come from different splits");
+    RIP_REQUIRE(shard.shard_index >= 0 && shard.shard_index < shard_count,
+                "shard index out of range");
+    RIP_REQUIRE(!seen[static_cast<std::size_t>(shard.shard_index)],
+                "duplicate shard " + std::to_string(shard.shard_index));
+    seen[static_cast<std::size_t>(shard.shard_index)] = true;
+    RIP_REQUIRE(shard.net_names == shards.front().net_names,
+                "shards disagree on the workload");
+    const auto rip_mine = shard_case_indices(
+        rip_runs.size(), shard.shard_index, shard_count);
+    RIP_REQUIRE(shard.rip.size() == rip_mine.size(),
+                "shard RIP case count mismatch");
+    for (std::size_t j = 0; j < rip_mine.size(); ++j) {
+      rip_runs[rip_mine[j]] = shard.rip[j];
+    }
+    const auto dp_mine =
+        shard_case_indices(dp_runs.size(), shard.shard_index, shard_count);
+    RIP_REQUIRE(shard.dp.size() == dp_mine.size(),
+                "shard DP case count mismatch");
+    for (std::size_t j = 0; j < dp_mine.size(); ++j) {
+      dp_runs[dp_mine[j]] = shard.dp[j];
+    }
+  }
+
+  RunningStats rip_time;
+  for (const auto& oc : rip_runs) rip_time.add(oc.runtime_s);
 
   Table2Result result;
   for (std::size_t gi = 0; gi < g_n; ++gi) {
@@ -337,6 +389,12 @@ Table2Result run_table2(const tech::Technology& tech,
   return result;
 }
 
+Table2Result run_table2(const tech::Technology& tech,
+                        const Table2Config& config) {
+  const Table2Shard shard = run_table2_shard(tech, config, 0, 1);
+  return merge_table2_shards(config, {&shard, 1});
+}
+
 Table to_table(const Table2Result& result) {
   Table table({"g_DP(u)", "delta%", "T_DP(s)", "T_RIP(s)", "Speedup"});
   for (const auto& row : result.rows) {
@@ -349,24 +407,38 @@ Table to_table(const Table2Result& result) {
 
 // ------------------------------------------------------------------ Fig. 7
 
-Fig7Result run_fig7(const tech::Technology& tech, const Fig7Config& config) {
+// Sharded like the tables: RIP flat space = the target sweep, DP flat
+// space granularity x target (granularity-major), both round-robin;
+// the reduction lives only in merge_fig7_shards.
+
+Fig7Shard run_fig7_shard(const tech::Technology& tech,
+                         const Fig7Config& config, int shard_index,
+                         int shard_count) {
+  RIP_REQUIRE(!config.granularities_u.empty(),
+              "fig 7 needs at least one granularity");
   const auto workload =
       make_paper_workload(tech, config.net_index + 1, config.seed, {},
                           {10.0, 400.0, 10.0, 200.0}, config.jobs);
   const auto& wn = workload.back();
 
-  Fig7Result result;
-  result.net_name = wn.net.name();
-  result.tau_min_fs = wn.tau_min_fs;
+  Fig7Shard shard;
+  shard.shard_index = shard_index;
+  shard.shard_count = shard_count;
+  shard.net_name = wn.net.name();
+  shard.tau_min_fs = wn.tau_min_fs;
+
   const auto targets = timing_targets_fs(wn.tau_min_fs, config.points);
   const std::size_t tgt_n = targets.size();
   const std::size_t g_n = config.granularities_u.size();
 
   // RIP once per target; both series reuse it.
-  std::vector<core::RipResult> rip_runs(tgt_n);
-  parallel_for_indexed(tgt_n, config.jobs, [&](std::size_t ti) {
-    rip_runs[ti] =
-        core::rip_insert(wn.net, tech.device(), targets[ti], config.rip);
+  const auto rip_mine = shard_case_indices(tgt_n, shard_index, shard_count);
+  shard.rip.resize(rip_mine.size());
+  parallel_for_indexed(rip_mine.size(), config.jobs, [&](std::size_t j) {
+    const auto rip = core::rip_insert(wn.net, tech.device(),
+                                      targets[rip_mine[j]], config.rip);
+    shard.rip[j] =
+        SolveOutcome{rip.status == dp::Status::kOptimal, rip.total_width_u};
   });
 
   std::vector<core::BaselineOptions> baselines;
@@ -376,14 +448,66 @@ Fig7Result run_fig7(const tech::Technology& tech, const Fig7Config& config) {
         config.baseline_min_width_u, g, config.baseline_library_size,
         config.pitch_um));
   }
-  std::vector<dp::ChainDpResult> dp_runs(g_n * tgt_n);
-  parallel_for_indexed(dp_runs.size(), config.jobs, [&](std::size_t k) {
+  const auto dp_mine =
+      shard_case_indices(g_n * tgt_n, shard_index, shard_count);
+  shard.dp.resize(dp_mine.size());
+  parallel_for_indexed(dp_mine.size(), config.jobs, [&](std::size_t j) {
+    const std::size_t k = dp_mine[j];
     const std::size_t gi = k / tgt_n;
     const std::size_t ti = k % tgt_n;
-    dp_runs[k] = core::run_baseline(wn.net, tech.device(), targets[ti],
-                                    baselines[gi]);
+    const auto dp = core::run_baseline(wn.net, tech.device(), targets[ti],
+                                       baselines[gi]);
+    shard.dp[j] =
+        SolveOutcome{dp.status == dp::Status::kOptimal, dp.total_width_u};
   });
+  return shard;
+}
 
+Fig7Result merge_fig7_shards(const Fig7Config& config,
+                             std::span<const Fig7Shard> shards) {
+  RIP_REQUIRE(!shards.empty(), "merge needs at least one shard");
+  const int shard_count = shards.front().shard_count;
+  RIP_REQUIRE(static_cast<int>(shards.size()) == shard_count,
+              "merge needs every shard of the split");
+
+  const double tau_min_fs = shards.front().tau_min_fs;
+  const auto targets = timing_targets_fs(tau_min_fs, config.points);
+  const std::size_t tgt_n = targets.size();
+  const std::size_t g_n = config.granularities_u.size();
+
+  std::vector<SolveOutcome> rip_runs(tgt_n);
+  std::vector<SolveOutcome> dp_runs(g_n * tgt_n);
+  std::vector<bool> seen(static_cast<std::size_t>(shard_count), false);
+  for (const Fig7Shard& shard : shards) {
+    RIP_REQUIRE(shard.shard_count == shard_count,
+                "shards come from different splits");
+    RIP_REQUIRE(shard.shard_index >= 0 && shard.shard_index < shard_count,
+                "shard index out of range");
+    RIP_REQUIRE(!seen[static_cast<std::size_t>(shard.shard_index)],
+                "duplicate shard " + std::to_string(shard.shard_index));
+    seen[static_cast<std::size_t>(shard.shard_index)] = true;
+    RIP_REQUIRE(shard.net_name == shards.front().net_name &&
+                    shard.tau_min_fs == tau_min_fs,
+                "shards disagree on the swept net");
+    const auto rip_mine = shard_case_indices(
+        rip_runs.size(), shard.shard_index, shard_count);
+    RIP_REQUIRE(shard.rip.size() == rip_mine.size(),
+                "shard RIP case count mismatch");
+    for (std::size_t j = 0; j < rip_mine.size(); ++j) {
+      rip_runs[rip_mine[j]] = shard.rip[j];
+    }
+    const auto dp_mine =
+        shard_case_indices(dp_runs.size(), shard.shard_index, shard_count);
+    RIP_REQUIRE(shard.dp.size() == dp_mine.size(),
+                "shard DP case count mismatch");
+    for (std::size_t j = 0; j < dp_mine.size(); ++j) {
+      dp_runs[dp_mine[j]] = shard.dp[j];
+    }
+  }
+
+  Fig7Result result;
+  result.net_name = shards.front().net_name;
+  result.tau_min_fs = tau_min_fs;
   for (std::size_t gi = 0; gi < g_n; ++gi) {
     Fig7Series series;
     series.granularity_u = config.granularities_u[gi];
@@ -392,18 +516,22 @@ Fig7Result run_fig7(const tech::Technology& tech, const Fig7Config& config) {
       const auto& rip = rip_runs[ti];
       Fig7Point point;
       point.tau_t_fs = targets[ti];
-      point.tau_t_over_tau_min = targets[ti] / wn.tau_min_fs;
-      point.dp_feasible = dp.status == dp::Status::kOptimal;
-      if (point.dp_feasible && rip.status == dp::Status::kOptimal &&
-          dp.total_width_u > 0) {
-        point.improvement_pct = (dp.total_width_u - rip.total_width_u) /
-                                dp.total_width_u * 100.0;
+      point.tau_t_over_tau_min = targets[ti] / tau_min_fs;
+      point.dp_feasible = dp.feasible;
+      if (point.dp_feasible && rip.feasible && dp.width_u > 0) {
+        point.improvement_pct =
+            (dp.width_u - rip.width_u) / dp.width_u * 100.0;
       }
       series.points.push_back(point);
     }
     result.series.push_back(std::move(series));
   }
   return result;
+}
+
+Fig7Result run_fig7(const tech::Technology& tech, const Fig7Config& config) {
+  const Fig7Shard shard = run_fig7_shard(tech, config, 0, 1);
+  return merge_fig7_shards(config, {&shard, 1});
 }
 
 Table to_table(const Fig7Result& result) {

@@ -161,6 +161,49 @@ Table2Result run_table2(const tech::Technology& tech,
 
 Table to_table(const Table2Result& result);
 
+// ------------------------------------------------- Table 2 sharding
+
+/// The per-solve record Table 2's aggregation needs: feasibility and
+/// width for the quality columns, plus the per-task wall clock for the
+/// runtime/speedup columns (measured inside the worker, so it survives
+/// sharding and parallelism).
+struct TimedSolveOutcome {
+  bool feasible = false;
+  double width_u = 0;
+  double runtime_s = 0;
+};
+
+/// One shard of the Table 2 sweep — the same round-robin split Table 1
+/// got: the RIP flat case space is net x target, the DP space
+/// granularity x net x target (granularity-major, matching the
+/// unsharded runner's loop order); flat index k belongs to shard
+/// k % shard_count.
+struct Table2Shard {
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Full workload net names (identical in every shard — the workload
+  /// is regenerated deterministically per process).
+  std::vector<std::string> net_names;
+  std::vector<TimedSolveOutcome> rip;  ///< this shard's net x target cases
+  std::vector<TimedSolveOutcome> dp;   ///< this shard's g x net x target cases
+};
+
+/// Solve only this shard's slice of the Table 2 sweep. Workload
+/// generation (cheap, deterministic) runs in every shard; the solves
+/// are split. run_table2(config) is exactly run_table2_shard(0, 1) +
+/// merge_table2_shards, so a sharded run merged over all shards is
+/// bit-identical to the unsharded table (runtime columns are wall
+/// clock, but remain genuine per-task measurements).
+Table2Shard run_table2_shard(const tech::Technology& tech,
+                             const Table2Config& config, int shard_index,
+                             int shard_count);
+
+/// Reassemble every shard (any order; all shards of one split must be
+/// present) and run the serial input-order reduction — the same code
+/// path, and therefore the same bits, as the unsharded runner.
+Table2Result merge_table2_shards(const Table2Config& config,
+                                 std::span<const Table2Shard> shards);
+
 // ---------------------------------------------------------------- Fig. 7
 
 /// Configuration for Fig. 7 (improvement vs. timing constraint).
@@ -201,5 +244,31 @@ struct Fig7Result {
 Fig7Result run_fig7(const tech::Technology& tech, const Fig7Config& config);
 
 Table to_table(const Fig7Result& result);
+
+// -------------------------------------------------- Fig. 7 sharding
+
+/// One shard of the Fig. 7 sweep. The RIP flat case space is the
+/// target sweep, the DP space granularity x target (granularity-major,
+/// matching the unsharded runner); both split round-robin.
+struct Fig7Shard {
+  int shard_index = 0;
+  int shard_count = 1;
+  /// Swept net and its minimum delay (identical in every shard).
+  std::string net_name;
+  double tau_min_fs = 0;
+  std::vector<SolveOutcome> rip;  ///< this shard's target cases
+  std::vector<SolveOutcome> dp;   ///< this shard's g x target cases
+};
+
+/// Solve only this shard's slice of the Fig. 7 sweep. run_fig7(config)
+/// is exactly run_fig7_shard(0, 1) + merge_fig7_shards.
+Fig7Shard run_fig7_shard(const tech::Technology& tech,
+                         const Fig7Config& config, int shard_index,
+                         int shard_count);
+
+/// Reassemble every shard and run the serial reduction — bit-identical
+/// to the unsharded figure.
+Fig7Result merge_fig7_shards(const Fig7Config& config,
+                             std::span<const Fig7Shard> shards);
 
 }  // namespace rip::eval

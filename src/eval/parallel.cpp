@@ -1,5 +1,6 @@
 #include "eval/parallel.hpp"
 
+#include "eval/service.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,17 +35,26 @@ std::vector<CaseResult> run_cases(const tech::Technology& tech,
   }
   const auto mine = shard_case_indices(cases.size(), options.shard_index,
                                        options.shard_count);
-  std::vector<CaseResult> results(mine.size());
-  parallel_for_indexed(mine.size(), options.jobs, options.chunk,
-                       [&](std::size_t j) {
-                         const Case& c = cases[mine[j]];
-                         // run_case starts its WallTimers inside this
-                         // worker, so the per-case runtime columns
-                         // measure the task, not the batch.
-                         results[j] = run_case(*c.net, tech, c.tau_t_fs,
-                                               c.rip, c.baseline);
-                       });
-  return results;
+  // The blocking engine is a thin wrapper over the async EvalService:
+  // submit this shard's cases as one batch and wait — there is exactly
+  // one execution path for batch evaluation. The service evaluates each
+  // case with run_case (whose WallTimers start inside the worker, so
+  // the per-case runtime columns measure the task, not the batch) and
+  // results() returns them in submission == input order. Like the
+  // pre-service engine, a failure aborts the batch early (remaining
+  // cases are skipped via cancel-on-failure) and the lowest failing
+  // index's exception is rethrown here.
+  ServiceOptions service_options;
+  service_options.jobs = options.jobs;
+  service_options.chunk = options.chunk;
+  EvalService service(tech, service_options);
+  std::vector<Case> shard_cases;
+  shard_cases.reserve(mine.size());
+  for (const std::size_t i : mine) shard_cases.push_back(cases[i]);
+  return service
+      .submit_batch(shard_cases, Priority::kNormal, {},
+                    /*cancel_remaining_on_failure=*/true)
+      .results();
 }
 
 std::vector<CaseResult> merge_shards(

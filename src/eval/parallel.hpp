@@ -16,6 +16,11 @@
 /// vector bit-identical to an unsharded run. eval::run_table1/
 /// run_table2/run_fig7, rip_cli (`sweep`/`compare` `--shard I/N`) and
 /// the bench binaries all sit on top of this via `--jobs`/`--shard`.
+///
+/// run_cases itself is a thin blocking wrapper over the asynchronous
+/// eval::EvalService (eval/service.hpp): it submits the shard's cases
+/// as one batch and waits, so the blocking and async front-ends share
+/// one execution path.
 
 #include <cstddef>
 #include <span>

@@ -1,0 +1,418 @@
+#include "eval/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <iterator>
+#include <mutex>
+#include <utility>
+
+namespace rip::eval {
+namespace detail {
+
+/// Shared state of one batch (or one single submission). Kept alive by
+/// the BatchHandle, the queued entries, and any in-flight round, so it
+/// outlives the service when handles do.
+struct BatchState {
+  std::vector<std::promise<CaseResult>> promises;
+  /// Populated for submit_batch only; single submissions hand their
+  /// plain future straight to the caller and never build a handle.
+  std::vector<std::shared_future<CaseResult>> futures;
+
+  std::atomic<std::size_t> settled{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> cancelled{0};
+
+  std::function<void()> on_complete;
+  std::shared_ptr<ServiceState> service;  ///< for cancel(); may outlive it
+  /// Once a case of this batch fails, settle the batch's remaining
+  /// not-yet-run cases as cancelled instead of evaluating them — the
+  /// early-abort discipline the blocking engine (run_cases) wants.
+  bool cancel_on_failure = false;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool all_done = false;  ///< settled == size and on_complete returned
+};
+
+/// One queued evaluation: a thunk plus its slot in a batch. The queue
+/// is FIFO; a dispatch round stable-sorts its snapshot by priority, so
+/// FIFO order is preserved within each priority class.
+struct QueueEntry {
+  std::function<CaseResult()> solve;
+  std::shared_ptr<BatchState> batch;
+  std::size_t slot = 0;
+  Priority priority = Priority::kNormal;
+};
+
+/// The queue and dispatch flags shared by the service, its dispatcher
+/// thread, scheduler completion callbacks, and outstanding handles.
+struct ServiceState {
+  mutable std::mutex mutex;
+  std::condition_variable work_cv;   ///< wakes the dispatcher
+  std::condition_variable space_cv;  ///< wakes backpressure-blocked submits
+  std::deque<QueueEntry> queue;      ///< pending (accepted, not started)
+  bool paused = false;
+  bool stopping = false;
+  bool round_in_flight = false;
+};
+
+namespace {
+
+/// The batch is fully settled: run the completion callback (exceptions
+/// from it are swallowed — it runs on a service thread with nowhere to
+/// propagate), then release wait_all().
+void complete_batch(BatchState& batch) {
+  if (batch.on_complete) {
+    try {
+      batch.on_complete();
+    } catch (...) {
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(batch.mutex);
+    batch.all_done = true;
+  }
+  batch.done_cv.notify_all();
+}
+
+/// Count one settled case; the last one completes the batch.
+void finish_slot(BatchState& batch) {
+  if (batch.settled.fetch_add(1) + 1 == batch.promises.size()) {
+    complete_batch(batch);
+  }
+}
+
+/// Evaluate one queue entry and settle its promise. Never throws: the
+/// thunk's exception becomes the future's exception and nothing else —
+/// which is what keeps one failing case from touching its neighbours.
+void settle(QueueEntry& entry) {
+  BatchState& batch = *entry.batch;
+  if (batch.cancel_on_failure && batch.failed.load() > 0) {
+    // A sibling already failed: cooperative skip, like the scheduler
+    // cancelling a region's unclaimed chunks after a failure.
+    {
+      std::promise<CaseResult> promise =
+          std::move(batch.promises[entry.slot]);
+      promise.set_exception(std::make_exception_ptr(CancelledError()));
+    }
+    batch.cancelled.fetch_add(1);
+    finish_slot(batch);
+    return;
+  }
+  {
+    // Move the promise out and let it die here, on the settling
+    // thread: once the result is set, the consumer's future must hold
+    // the last reference to the shared state, so a stored exception is
+    // destroyed on the thread that read it — never concurrently with
+    // that read (the same exception-lifetime discipline the
+    // scheduler's blocking path uses when it moves the region error
+    // out before rethrowing).
+    std::promise<CaseResult> promise =
+        std::move(batch.promises[entry.slot]);
+    try {
+      promise.set_value(entry.solve());
+      batch.completed.fetch_add(1);
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      batch.failed.fetch_add(1);
+    }
+  }
+  finish_slot(batch);
+}
+
+/// Remove queued entries (all of them, or only `only`'s) and fail their
+/// futures with CancelledError. Promises are settled outside the
+/// service lock — batch callbacks may run arbitrary user code.
+std::size_t cancel_queued(ServiceState& service, const BatchState* only) {
+  std::vector<QueueEntry> removed;
+  {
+    std::lock_guard<std::mutex> lock(service.mutex);
+    auto& queue = service.queue;
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (only == nullptr || it->batch.get() == only) {
+        removed.push_back(std::move(*it));
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (removed.empty()) return 0;
+  // The queue shrank (backpressure space) and may have emptied (a
+  // draining destructor could be waiting on that).
+  service.space_cv.notify_all();
+  service.work_cv.notify_all();
+  for (QueueEntry& entry : removed) {
+    {
+      // Same promise-dies-on-the-settling-thread rule as settle().
+      std::promise<CaseResult> promise =
+          std::move(entry.batch->promises[entry.slot]);
+      promise.set_exception(std::make_exception_ptr(CancelledError()));
+    }
+    entry.batch->cancelled.fetch_add(1);
+    finish_slot(*entry.batch);
+  }
+  return removed.size();
+}
+
+std::shared_ptr<BatchState> make_batch_state(
+    std::size_t size, std::function<void()> on_complete,
+    std::shared_ptr<ServiceState> service) {
+  auto batch = std::make_shared<BatchState>();
+  batch->promises.resize(size);
+  batch->futures.reserve(size);
+  for (auto& promise : batch->promises) {
+    batch->futures.push_back(promise.get_future().share());
+  }
+  batch->on_complete = std::move(on_complete);
+  batch->service = std::move(service);
+  return batch;
+}
+
+}  // namespace
+}  // namespace detail
+
+// ------------------------------------------------------------ BatchHandle
+
+std::size_t BatchHandle::size() const {
+  return state_ ? state_->promises.size() : 0;
+}
+
+std::shared_future<CaseResult> BatchHandle::future(std::size_t i) const {
+  RIP_REQUIRE(state_ != nullptr && i < state_->futures.size(),
+              "batch future index out of range");
+  return state_->futures[i];
+}
+
+std::size_t BatchHandle::settled() const {
+  return state_ ? state_->settled.load() : 0;
+}
+std::size_t BatchHandle::completed() const {
+  return state_ ? state_->completed.load() : 0;
+}
+std::size_t BatchHandle::failed() const {
+  return state_ ? state_->failed.load() : 0;
+}
+std::size_t BatchHandle::cancelled() const {
+  return state_ ? state_->cancelled.load() : 0;
+}
+
+void BatchHandle::wait_all() const {
+  if (!state_) return;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->done_cv.wait(lock, [&] { return state_->all_done; });
+}
+
+std::vector<CaseResult> BatchHandle::results() const {
+  wait_all();
+  std::vector<CaseResult> out;
+  out.reserve(size());
+  // Ascending order; a real failure outranks cancellations (which may
+  // themselves be fallout of that failure under cancel-on-failure), so
+  // remember the first CancelledError and keep scanning for a failure.
+  std::exception_ptr first_cancelled;
+  for (std::size_t i = 0; i < size(); ++i) {
+    try {
+      out.push_back(future(i).get());
+    } catch (const CancelledError&) {
+      if (!first_cancelled) first_cancelled = std::current_exception();
+    }
+  }
+  if (first_cancelled) std::rethrow_exception(first_cancelled);
+  return out;
+}
+
+std::size_t BatchHandle::cancel() {
+  if (!state_ || !state_->service) return 0;
+  return detail::cancel_queued(*state_->service, state_.get());
+}
+
+// ------------------------------------------------------------ EvalService
+
+EvalService::EvalService(const tech::Technology& tech,
+                         const ServiceOptions& options)
+    : tech_(&tech),
+      options_(options),
+      state_(std::make_shared<detail::ServiceState>()) {
+  state_->paused = options.start_paused;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+EvalService::~EvalService() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stopping = true;
+    state_->paused = false;  // a paused service still drains
+  }
+  state_->work_cv.notify_all();
+  state_->space_cv.notify_all();
+  dispatcher_.join();
+}
+
+void EvalService::enqueue(std::function<CaseResult()> solve,
+                          const std::shared_ptr<detail::BatchState>& batch,
+                          std::size_t slot, Priority priority) {
+  // Local copies: keep the state (and the bound we wait on) alive
+  // through the blocking wait even if the service object is
+  // (erroneously) destroyed mid-submit — the predicate must not read
+  // through `this` once we may have been woken by a destructor.
+  const std::shared_ptr<detail::ServiceState> state = state_;
+  const std::size_t max_pending = options_.max_pending;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    RIP_REQUIRE(!state->stopping, "submit on a destructing EvalService");
+    if (max_pending > 0) {
+      state->space_cv.wait(lock, [&] {
+        return state->queue.size() < max_pending || state->stopping;
+      });
+      RIP_REQUIRE(!state->stopping,
+                  "EvalService destroyed while a submit was blocked");
+    }
+    detail::QueueEntry entry;
+    entry.solve = std::move(solve);
+    entry.batch = batch;
+    entry.slot = slot;
+    entry.priority = priority;
+    state->queue.push_back(std::move(entry));
+  }
+  state->work_cv.notify_all();
+}
+
+std::future<CaseResult> EvalService::submit_fn(
+    std::function<CaseResult()> fn, Priority priority) {
+  RIP_REQUIRE(static_cast<bool>(fn), "submit_fn needs a callable");
+  auto batch = std::make_shared<detail::BatchState>();
+  batch->promises.resize(1);
+  batch->service = state_;
+  std::future<CaseResult> future = batch->promises[0].get_future();
+  enqueue(std::move(fn), batch, 0, priority);
+  return future;
+}
+
+std::future<CaseResult> EvalService::submit(const Case& c,
+                                            Priority priority) {
+  RIP_REQUIRE(c.net != nullptr, "submitted case without a net");
+  const tech::Technology& tech = *tech_;
+  return submit_fn(
+      [c, &tech] {
+        return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline);
+      },
+      priority);
+}
+
+BatchHandle EvalService::submit_batch(const std::vector<Case>& cases,
+                                      Priority priority,
+                                      std::function<void()> on_complete,
+                                      bool cancel_remaining_on_failure) {
+  for (const Case& c : cases) {
+    RIP_REQUIRE(c.net != nullptr, "batch case without a net");
+  }
+  auto batch = detail::make_batch_state(cases.size(), std::move(on_complete),
+                                        state_);
+  batch->cancel_on_failure = cancel_remaining_on_failure;
+  if (cases.empty()) {
+    // Nothing will ever settle it: complete (callback included) now,
+    // synchronously on the submitting thread.
+    detail::complete_batch(*batch);
+    return BatchHandle(batch);
+  }
+  const tech::Technology& tech = *tech_;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case c = cases[i];
+    enqueue(
+        [c, &tech] {
+          return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline);
+        },
+        batch, i, priority);
+  }
+  return BatchHandle(batch);
+}
+
+void EvalService::pause() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->paused = true;
+}
+
+void EvalService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->paused = false;
+  }
+  state_->work_cv.notify_all();
+}
+
+std::size_t EvalService::pending_count() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->queue.size();
+}
+
+bool EvalService::round_in_flight() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->round_in_flight;
+}
+
+std::size_t EvalService::cancel_pending() {
+  return detail::cancel_queued(*state_, nullptr);
+}
+
+void EvalService::dispatcher_loop() {
+  detail::ServiceState& s = *state_;
+  const int jobs = resolve_jobs(options_.jobs);
+  for (;;) {
+    std::vector<detail::QueueEntry> round;
+    {
+      std::unique_lock<std::mutex> lock(s.mutex);
+      s.work_cv.wait(lock, [&] {
+        if (s.round_in_flight) return false;  // one round at a time
+        if (!s.queue.empty() && (!s.paused || s.stopping)) return true;
+        return s.stopping && s.queue.empty();
+      });
+      if (s.queue.empty()) return;  // stopping, fully drained
+      round.assign(std::make_move_iterator(s.queue.begin()),
+                   std::make_move_iterator(s.queue.end()));
+      s.queue.clear();
+      // High priority first; stable keeps FIFO within each priority.
+      std::stable_sort(round.begin(), round.end(),
+                       [](const detail::QueueEntry& a,
+                          const detail::QueueEntry& b) {
+                         return static_cast<int>(a.priority) >
+                                static_cast<int>(b.priority);
+                       });
+      s.round_in_flight = true;
+    }
+    s.space_cv.notify_all();  // the queue just emptied
+
+    auto tasks =
+        std::make_shared<std::vector<detail::QueueEntry>>(std::move(round));
+    if (jobs <= 1 || tasks->size() == 1) {
+      // Serial rounds run right here and never touch (or create) the
+      // scheduler — the service-side mirror of the jobs=1 bypass rule.
+      for (detail::QueueEntry& entry : *tasks) detail::settle(entry);
+      {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.round_in_flight = false;
+      }
+    } else {
+      // Hand the round to pool workers and go back to accepting
+      // submissions; the completion hook reopens dispatch. settle()
+      // never throws, so the region error is always null.
+      const std::shared_ptr<detail::ServiceState> state = state_;
+      Scheduler::global().submit_region(
+          tasks->size(), jobs,
+          [tasks](std::size_t i) { detail::settle((*tasks)[i]); },
+          [state, tasks](std::exception_ptr) {
+            {
+              std::lock_guard<std::mutex> lock(state->mutex);
+              state->round_in_flight = false;
+            }
+            state->work_cv.notify_all();
+          },
+          options_.chunk);
+    }
+  }
+}
+
+}  // namespace rip::eval

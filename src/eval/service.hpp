@@ -1,0 +1,222 @@
+#pragma once
+
+/// @file service.hpp
+/// The asynchronous batch-evaluation service: a submit/future front-end
+/// over the persistent work-stealing scheduler (util/thread_pool.hpp).
+/// Where eval::run_cases blocks the caller for the whole batch, an
+/// EvalService accepts cases one at a time or in batches, returns a
+/// future per case, and evaluates them in the background — the shape an
+/// iterative optimization loop (resubmit, refine, resubmit) or a
+/// network front-end needs. run_cases itself is now a thin blocking
+/// wrapper over this service, so there is exactly one execution path.
+///
+/// Scheduling model:
+///   - Pending cases sit in one bounded queue (ServiceOptions::
+///     max_pending; submit blocks when it is full — backpressure).
+///   - A single dispatcher thread drains the queue in rounds: all
+///     currently queued cases, ordered by priority (high first) and
+///     FIFO within a priority, become one scheduler region. While a
+///     round is in flight new submissions queue up for the next round,
+///     so a high-priority case submitted mid-round runs before every
+///     lower-priority case that is still queued.
+///   - jobs == 1 evaluates the round serially on the dispatcher thread
+///     and never creates the scheduler (the same bypass rule as
+///     parallel_for_indexed); jobs > 1 hands the round to pool workers
+///     via Scheduler::submit_region and the dispatcher keeps accepting.
+///   - Queued (not yet started) cases can be cancelled cooperatively:
+///     their futures fail with CancelledError. Started cases always run
+///     to completion.
+///   - Destruction drains: every accepted case is evaluated (or was
+///     cancelled) and every future is ready before the destructor
+///     returns. Call cancel_pending() first for a fast shutdown.
+///
+/// Determinism: a case's result depends only on the Case itself — the
+/// service adds no shared state to the evaluation — so any submission
+/// order, job count, chunk policy, priority mix, or round split yields
+/// results bit-identical to the serial loop, exactly like the
+/// index-addressed-slot discipline of the blocking engine. The RNG
+/// splits that build workloads happen before cases are submitted, so
+/// the seed-2005 golden pins hold through the service.
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "eval/experiments.hpp"
+#include "eval/parallel.hpp"
+#include "tech/technology.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rip::eval {
+
+/// Scheduling priority of a submission. Priorities order queued cases
+/// between dispatch rounds; within one priority, submission (FIFO)
+/// order is kept.
+enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+/// Knobs of the async service.
+struct ServiceOptions {
+  /// Worker threads per dispatch round: 1 = evaluate serially on the
+  /// dispatcher thread (never creates the scheduler), 0 = one per
+  /// hardware thread.
+  int jobs = 1;
+  /// Chunking/stealing policy for rounds run on the scheduler. Any
+  /// policy yields bit-identical results; it only changes load balance.
+  ChunkPolicy chunk;
+  /// Bounded-queue backpressure: submit blocks while this many cases
+  /// are already queued (not yet started). 0 = unbounded.
+  std::size_t max_pending = 0;
+  /// Construct with dispatch paused (submissions queue up but nothing
+  /// runs until resume()) — for tests and staged startup.
+  bool start_paused = false;
+};
+
+/// Thrown through the future of a case that was cancelled before it
+/// started (BatchHandle::cancel / EvalService::cancel_pending).
+class CancelledError : public Error {
+ public:
+  CancelledError() : Error("evaluation case cancelled before it started") {}
+};
+
+namespace detail {
+struct BatchState;
+struct ServiceState;
+}  // namespace detail
+
+/// One submitted batch: per-case futures, progress counters, and
+/// cooperative cancellation. Handles are cheap shared references to the
+/// batch's state and stay valid after the service is destroyed.
+class BatchHandle {
+ public:
+  BatchHandle() = default;
+
+  /// Cases in the batch (0 for a default-constructed handle).
+  std::size_t size() const;
+
+  /// The future of case `i` (batch submission order). shared_future, so
+  /// it can be read repeatedly and by multiple threads. Throws the
+  /// case's exception on get(): the evaluation failure, or
+  /// CancelledError if the case was cancelled before it started.
+  std::shared_future<CaseResult> future(std::size_t i) const;
+
+  /// Progress counters. settled == completed + failed + cancelled;
+  /// the batch is done when settled() == size().
+  std::size_t settled() const;
+  std::size_t completed() const;  ///< evaluated successfully
+  std::size_t failed() const;     ///< evaluation threw
+  std::size_t cancelled() const;  ///< cancelled before starting
+
+  /// Block until every case is settled AND the batch completion
+  /// callback (if any) has returned.
+  void wait_all() const;
+
+  /// wait_all, then collect the results in submission order. If any
+  /// case failed, rethrows the exception of the lowest failed index —
+  /// the same lowest-failing-index discipline as the blocking engine
+  /// (cancellations, which may be fallout of that failure under
+  /// cancel-on-failure, never mask it). If cases were only cancelled,
+  /// rethrows the lowest one's CancelledError.
+  std::vector<CaseResult> results() const;
+
+  /// Cooperatively cancel every case of this batch that has not yet
+  /// started; their futures fail with CancelledError. Cases already
+  /// dispatched run to completion. Returns how many were cancelled.
+  /// Safe to call at any time, including after the service is gone.
+  std::size_t cancel();
+
+ private:
+  friend class EvalService;
+  explicit BatchHandle(std::shared_ptr<detail::BatchState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::BatchState> state_;
+};
+
+/// The asynchronous batch-evaluation service. One instance owns one
+/// dispatcher thread and serves any number of submitters concurrently;
+/// all public methods are thread-safe. The Technology (and every
+/// submitted Case's net) must outlive the service.
+///
+/// Reentrancy rule: evaluation thunks and batch completion callbacks
+/// run on service threads (the dispatcher, or a pool worker of the
+/// in-flight round). They may submit follow-up work, but on a service
+/// with a bounded queue (max_pending > 0) such a submit can block on
+/// backpressure that only the very thread doing the submitting would
+/// relieve — a deadlock the destructor then inherits. A driver loop
+/// that resubmits from callbacks must use an unbounded queue or hand
+/// the follow-up submission to a consumer thread.
+class EvalService {
+ public:
+  explicit EvalService(const tech::Technology& tech,
+                       const ServiceOptions& options = {});
+  /// Drains: blocks until every accepted case is settled, then joins
+  /// the dispatcher. Every future handed out is ready afterwards.
+  ~EvalService();
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Submit one case (RIP + DP baseline, eval::run_case). Blocks while
+  /// the pending queue is full. The returned future yields the
+  /// CaseResult or rethrows the evaluation's exception.
+  std::future<CaseResult> submit(const Case& c,
+                                 Priority priority = Priority::kNormal);
+
+  /// Submit an arbitrary evaluation thunk on the same queue — the
+  /// escape hatch for RIP-only sweeps (rip_cli sweep --async) and for
+  /// tests that need gates or failure injection. The thunk runs exactly
+  /// once on a service thread; its return value (or exception) settles
+  /// the future. Side-effect-only thunks may return CaseResult{}.
+  std::future<CaseResult> submit_fn(std::function<CaseResult()> fn,
+                                    Priority priority = Priority::kNormal);
+
+  /// Submit a batch of cases (one queue entry each, FIFO within the
+  /// batch). `on_complete`, if given, runs exactly once after the last
+  /// case of the batch settles — every future is ready by then — and
+  /// before wait_all() returns; it runs on a service thread (or on the
+  /// submitting thread for an empty batch). Blocks while the pending
+  /// queue is full; earlier cases of the batch may already be running
+  /// while later ones are still being enqueued. With
+  /// `cancel_remaining_on_failure`, a failing case makes the batch's
+  /// remaining not-yet-run cases settle as cancelled instead of being
+  /// evaluated — the early-abort behavior run_cases relies on.
+  BatchHandle submit_batch(const std::vector<Case>& cases,
+                           Priority priority = Priority::kNormal,
+                           std::function<void()> on_complete = {},
+                           bool cancel_remaining_on_failure = false);
+
+  /// Pause/resume dispatch. While paused, submissions are accepted (and
+  /// backpressure still applies) but no new round starts; a round
+  /// already in flight finishes. Destruction resumes automatically.
+  void pause();
+  void resume();
+
+  /// Cases queued but not yet dispatched (the backpressure quantity).
+  std::size_t pending_count() const;
+
+  /// True while a dispatch round is being evaluated.
+  bool round_in_flight() const;
+
+  /// Cancel every queued (not yet started) case across all batches;
+  /// their futures fail with CancelledError. Returns how many were
+  /// cancelled.
+  std::size_t cancel_pending();
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void dispatcher_loop();
+  void enqueue(std::function<CaseResult()> solve,
+               const std::shared_ptr<detail::BatchState>& batch,
+               std::size_t slot, Priority priority);
+
+  const tech::Technology* tech_;
+  ServiceOptions options_;
+  std::shared_ptr<detail::ServiceState> state_;
+  std::thread dispatcher_;
+};
+
+}  // namespace rip::eval

@@ -1,0 +1,411 @@
+// Lifecycle contract of the asynchronous evaluation service
+// (eval/service.hpp): submit/wait/callback ordering, priority over
+// FIFO between dispatch rounds, cooperative cancellation of queued
+// cases, bounded-queue backpressure, and drain-on-destruction. Timing
+// control comes from pause()/resume() and gate thunks (submit_fn), so
+// every ordering assertion is deterministic, not sleep-and-hope.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "eval/parallel.hpp"
+#include "eval/service.hpp"
+#include "eval/workload.hpp"
+#include "tech/technology.hpp"
+#include "util/error.hpp"
+
+namespace rip::eval {
+namespace {
+
+const tech::Technology& technology() {
+  static const tech::Technology tech = tech::make_tech180();
+  return tech;
+}
+
+/// A thunk result that carries its identity, so future<->submission
+/// wiring can be checked without running a solver.
+CaseResult tagged(double tag) {
+  CaseResult r;
+  r.tau_t_fs = tag;
+  return r;
+}
+
+TEST(ServiceLifecycle, SubmitReturnsTheCaseResultThroughTheFuture) {
+  const auto& tech = technology();
+  const auto workload = make_paper_workload(tech, 1, 2005);
+  const auto baseline =
+      core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  const Case c{&workload[0].net, 1.25 * workload[0].tau_min_fs,
+               core::RipOptions{}, baseline};
+  const CaseResult expected =
+      run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline);
+
+  EvalService service(tech);
+  std::future<CaseResult> future = service.submit(c);
+  const CaseResult got = future.get();
+  // Bit-identical to the direct call (and to the golden_test pins for
+  // this exact case: net_1 at 1.25x tau_min).
+  EXPECT_EQ(got.rip_feasible, expected.rip_feasible);
+  EXPECT_EQ(got.dp_feasible, expected.dp_feasible);
+  EXPECT_EQ(got.rip_width_u, expected.rip_width_u);
+  EXPECT_EQ(got.dp_width_u, expected.dp_width_u);
+  EXPECT_EQ(got.improvement_pct, expected.improvement_pct);
+  EXPECT_NEAR(got.rip_width_u, 280.0, 1e-9);
+  EXPECT_GT(got.rip_runtime_s, 0.0);
+}
+
+TEST(ServiceLifecycle, BatchResultsMatchTheSerialLoopInOrder) {
+  const auto& tech = technology();
+  const auto workload = make_paper_workload(tech, 1, 2005);
+  const auto baseline =
+      core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  std::vector<Case> cases;
+  for (const double tau_t :
+       timing_targets_fs(workload[0].tau_min_fs, 4)) {
+    cases.push_back(Case{&workload[0].net, tau_t, core::RipOptions{},
+                         baseline});
+  }
+  std::vector<CaseResult> serial;
+  for (const Case& c : cases) {
+    serial.push_back(run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline));
+  }
+
+  ServiceOptions options;
+  options.jobs = 4;
+  EvalService service(tech, options);
+  BatchHandle batch = service.submit_batch(cases);
+  const auto results = batch.results();
+  ASSERT_EQ(results.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(results[i].tau_t_fs, serial[i].tau_t_fs) << "case " << i;
+    EXPECT_EQ(results[i].rip_width_u, serial[i].rip_width_u) << "case " << i;
+    EXPECT_EQ(results[i].dp_width_u, serial[i].dp_width_u) << "case " << i;
+    EXPECT_EQ(results[i].improvement_pct, serial[i].improvement_pct);
+  }
+  EXPECT_EQ(batch.settled(), cases.size());
+  EXPECT_EQ(batch.completed(), cases.size());
+  EXPECT_EQ(batch.failed(), 0u);
+  EXPECT_EQ(batch.cancelled(), 0u);
+}
+
+TEST(ServiceLifecycle, CallbackFiresOnceAfterEveryFutureAndBeforeWaitAll) {
+  const auto& tech = technology();
+  ServiceOptions options;
+  options.jobs = 2;
+  EvalService service(tech, options);
+
+  // A batch of real (tiny-workload) cases with a completion callback.
+  const auto workload = make_paper_workload(tech, 1, 2005);
+  const auto baseline =
+      core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  std::vector<Case> cases(
+      3, Case{&workload[0].net, 1.5 * workload[0].tau_min_fs,
+              core::RipOptions{}, baseline});
+
+  std::atomic<int> callback_runs{0};
+  BatchHandle batch = service.submit_batch(
+      cases, Priority::kNormal, [&] { callback_runs.fetch_add(1); });
+  batch.wait_all();
+  // wait_all returns only after the callback finished...
+  EXPECT_EQ(callback_runs.load(), 1);
+  // ...and by then every future is ready.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch.future(i).wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "future " << i;
+  }
+  batch.wait_all();  // idempotent
+  EXPECT_EQ(callback_runs.load(), 1) << "callback must fire exactly once";
+}
+
+TEST(ServiceLifecycle, EmptyBatchCompletesImmediatelyWithCallback) {
+  bool callback_ran = false;
+  EvalService service(technology());
+  BatchHandle batch = service.submit_batch(
+      {}, Priority::kNormal, [&] { callback_ran = true; });
+  EXPECT_TRUE(callback_ran);
+  EXPECT_EQ(batch.size(), 0u);
+  batch.wait_all();
+  EXPECT_TRUE(batch.results().empty());
+}
+
+TEST(ServiceLifecycle, HighPriorityRunsBeforeQueuedLowerPriorities) {
+  // jobs=1 + start_paused: everything queues, then one dispatch round
+  // runs strictly in priority order on the dispatcher thread — the
+  // classic priority-inversion check, fully deterministic.
+  ServiceOptions options;
+  options.jobs = 1;
+  options.start_paused = true;
+  EvalService service(technology(), options);
+
+  std::mutex mutex;
+  std::vector<int> order;
+  auto record = [&](int id) {
+    return [&, id] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(id);
+      return tagged(id);
+    };
+  };
+  std::vector<std::future<CaseResult>> futures;
+  futures.push_back(service.submit_fn(record(0), Priority::kLow));
+  futures.push_back(service.submit_fn(record(1), Priority::kNormal));
+  futures.push_back(service.submit_fn(record(2), Priority::kLow));
+  futures.push_back(service.submit_fn(record(3), Priority::kHigh));
+  futures.push_back(service.submit_fn(record(4), Priority::kNormal));
+  futures.push_back(service.submit_fn(record(5), Priority::kHigh));
+  EXPECT_EQ(service.pending_count(), 6u);
+  service.resume();
+  for (auto& future : futures) future.get();
+  // High first, then normal, then low — FIFO within each class.
+  EXPECT_EQ(order, (std::vector<int>{3, 5, 1, 4, 0, 2}));
+}
+
+TEST(ServiceLifecycle, MidFlightSubmissionsRunInTheNextRoundByPriority) {
+  // A gate case holds round 1 open; everything submitted meanwhile
+  // lands in round 2 in priority order, even though the low-priority
+  // case was submitted first.
+  ServiceOptions options;
+  options.jobs = 1;
+  EvalService service(technology(), options);
+
+  std::promise<void> gate_entered;
+  std::promise<void> gate_release;
+  std::shared_future<void> release = gate_release.get_future().share();
+  std::future<CaseResult> gate = service.submit_fn([&] {
+    gate_entered.set_value();
+    release.wait();
+    return tagged(-1);
+  });
+  gate_entered.get_future().wait();  // round 1 is now in flight
+
+  std::mutex mutex;
+  std::vector<int> order;
+  auto record = [&](int id) {
+    return [&, id] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(id);
+      return tagged(id);
+    };
+  };
+  auto low = service.submit_fn(record(0), Priority::kLow);
+  auto high = service.submit_fn(record(1), Priority::kHigh);
+  EXPECT_EQ(service.pending_count(), 2u);
+  gate_release.set_value();
+  gate.get();
+  low.get();
+  high.get();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}))
+      << "the high-priority case must overtake the queued low one";
+}
+
+TEST(ServiceLifecycle, CancelFailsQueuedFuturesAndSparesOtherBatches) {
+  ServiceOptions options;
+  options.jobs = 1;
+  options.start_paused = true;
+  EvalService service(technology(), options);
+
+  const auto workload = make_paper_workload(technology(), 1, 2005);
+  const auto baseline =
+      core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  const std::vector<Case> cases(
+      2, Case{&workload[0].net, 1.5 * workload[0].tau_min_fs,
+              core::RipOptions{}, baseline});
+
+  bool doomed_callback = false;
+  BatchHandle doomed = service.submit_batch(cases, Priority::kNormal,
+                                            [&] { doomed_callback = true; });
+  BatchHandle kept = service.submit_batch(cases);
+  EXPECT_EQ(service.pending_count(), 4u);
+
+  EXPECT_EQ(doomed.cancel(), 2u);
+  EXPECT_EQ(doomed.cancel(), 0u) << "second cancel finds nothing queued";
+  EXPECT_EQ(service.pending_count(), 2u);
+  // A cancelled batch is settled: wait_all returns, the callback ran,
+  // and every future throws CancelledError.
+  doomed.wait_all();
+  EXPECT_TRUE(doomed_callback);
+  EXPECT_EQ(doomed.cancelled(), 2u);
+  EXPECT_EQ(doomed.completed(), 0u);
+  for (std::size_t i = 0; i < doomed.size(); ++i) {
+    EXPECT_THROW(doomed.future(i).get(), CancelledError) << "future " << i;
+  }
+  EXPECT_THROW(doomed.results(), CancelledError);
+
+  service.resume();
+  const auto results = kept.results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(kept.completed(), 2u) << "the other batch must be untouched";
+}
+
+TEST(ServiceLifecycle, CancelPendingSparesTheStartedCase) {
+  ServiceOptions options;
+  options.jobs = 1;
+  EvalService service(technology(), options);
+
+  std::promise<void> gate_entered;
+  std::promise<void> gate_release;
+  std::shared_future<void> release = gate_release.get_future().share();
+  std::atomic<bool> gate_finished{false};
+  std::future<CaseResult> gate = service.submit_fn([&] {
+    gate_entered.set_value();
+    release.wait();
+    gate_finished = true;
+    return tagged(-1);
+  });
+  gate_entered.get_future().wait();  // the gate case has started
+
+  auto queued = service.submit_fn([] { return tagged(0); });
+  EXPECT_EQ(service.cancel_pending(), 1u)
+      << "only the queued case is cancellable";
+  gate_release.set_value();
+  // The started case runs to completion — cancellation is cooperative.
+  EXPECT_EQ(gate.get().tau_t_fs, -1.0);
+  EXPECT_TRUE(gate_finished.load());
+  EXPECT_THROW(queued.get(), CancelledError);
+}
+
+TEST(ServiceLifecycle, BackpressureBlocksSubmitUntilTheQueueDrains) {
+  ServiceOptions options;
+  options.jobs = 1;
+  options.max_pending = 2;
+  options.start_paused = true;
+  EvalService service(technology(), options);
+
+  std::atomic<int> submitted{0};
+  std::thread submitter([&] {
+    for (int i = 0; i < 5; ++i) {
+      service.submit_fn([i] { return tagged(i); });
+      submitted.fetch_add(1);
+    }
+  });
+  // The first two submissions fill the bounded queue...
+  while (service.pending_count() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(submitted.load(), 2)
+      << "submit #3 must block while the queue is full";
+  EXPECT_EQ(service.pending_count(), 2u);
+  // ...and resume() lets rounds drain the queue, unblocking the rest.
+  service.resume();
+  submitter.join();
+  EXPECT_EQ(submitted.load(), 5);
+}
+
+TEST(ServiceLifecycle, DestructionDrainsEveryPendingCase) {
+  std::vector<std::future<CaseResult>> futures;
+  std::atomic<int> executed{0};
+  {
+    ServiceOptions options;
+    options.jobs = 2;
+    options.start_paused = true;  // nothing may even start before ~
+    EvalService service(technology(), options);
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(service.submit_fn([&, i] {
+        executed.fetch_add(1);
+        return tagged(i);
+      }));
+    }
+    EXPECT_EQ(service.pending_count(), 8u);
+  }
+  // The destructor ran every accepted case; all futures are ready.
+  EXPECT_EQ(executed.load(), 8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(futures[static_cast<std::size_t>(i)].wait_for(
+                  std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "future " << i;
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().tau_t_fs,
+              static_cast<double>(i));
+  }
+}
+
+TEST(ServiceLifecycle, ExceptionSettlesExactlyItsOwnFuture) {
+  ServiceOptions options;
+  options.jobs = 2;
+  EvalService service(technology(), options);
+  auto good = service.submit_fn([] { return tagged(1); });
+  auto bad = service.submit_fn(
+      []() -> CaseResult { throw std::runtime_error("case blew up"); });
+  auto also_good = service.submit_fn([] { return tagged(2); });
+  EXPECT_EQ(good.get().tau_t_fs, 1.0);
+  EXPECT_EQ(also_good.get().tau_t_fs, 2.0);
+  try {
+    bad.get();
+    FAIL() << "expected the thunk's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "case blew up");
+  }
+}
+
+TEST(ServiceLifecycle, FailureCancelsTheRestOfTheBatchWhenRequested) {
+  const auto& tech = technology();
+  const auto workload = make_paper_workload(tech, 1, 2005);
+  const auto baseline =
+      core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  const Case good{&workload[0].net, 1.5 * workload[0].tau_min_fs,
+                  core::RipOptions{}, baseline};
+  // rip_insert rejects a non-positive target, so this case throws.
+  const Case bad{&workload[0].net, -1.0, core::RipOptions{}, baseline};
+
+  ServiceOptions options;
+  options.jobs = 1;  // strict submission order -> deterministic abort
+  EvalService service(tech, options);
+  const std::vector<Case> cases{good, bad, good, good};
+  BatchHandle batch = service.submit_batch(
+      cases, Priority::kNormal, {}, /*cancel_remaining_on_failure=*/true);
+  batch.wait_all();
+  EXPECT_EQ(batch.completed(), 1u) << "only the case before the failure ran";
+  EXPECT_EQ(batch.failed(), 1u);
+  EXPECT_EQ(batch.cancelled(), 2u)
+      << "cases after the failure must be skipped, not evaluated";
+  // results() reports the real failure, not the fallout cancellations.
+  EXPECT_THROW(batch.results(), Error);
+  try {
+    batch.results();
+  } catch (const CancelledError&) {
+    FAIL() << "the failure must outrank its fallout cancellations";
+  } catch (const Error&) {
+  }
+
+  // run_cases inherits the early abort and the real exception.
+  EXPECT_THROW(run_cases(tech, cases, BatchOptions{}), Error);
+
+  // Without the flag, neighbours still run to completion.
+  BatchHandle tolerant = service.submit_batch(cases);
+  tolerant.wait_all();
+  EXPECT_EQ(tolerant.completed(), 3u);
+  EXPECT_EQ(tolerant.failed(), 1u);
+  EXPECT_EQ(tolerant.cancelled(), 0u);
+}
+
+TEST(ServiceLifecycle, RejectsInvalidSubmissions) {
+  EvalService service(technology());
+  const auto baseline =
+      core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  const Case no_net{nullptr, 1.0, core::RipOptions{}, baseline};
+  EXPECT_THROW(service.submit(no_net), Error);
+  EXPECT_THROW(service.submit_fn(nullptr), Error);
+  EXPECT_THROW(service.submit_batch(std::vector<Case>{no_net}), Error);
+}
+
+TEST(ServiceLifecycle, BatchHandleDefaultConstructedIsInert) {
+  BatchHandle handle;
+  EXPECT_EQ(handle.size(), 0u);
+  EXPECT_EQ(handle.settled(), 0u);
+  EXPECT_EQ(handle.cancel(), 0u);
+  handle.wait_all();  // no-op, must not hang
+  EXPECT_TRUE(handle.results().empty());
+  EXPECT_THROW(handle.future(0), Error);
+}
+
+}  // namespace
+}  // namespace rip::eval

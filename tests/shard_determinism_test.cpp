@@ -182,6 +182,97 @@ TEST(ShardDeterminism, Table1ShardsMergeToSerialAndGoldenValues) {
   }
 }
 
+TEST(ShardDeterminism, Table2ShardsMergeToSerialQualityColumns) {
+  // The parallel_determinism_test Table 2 configuration, now sharded.
+  Table2Config config;
+  config.net_count = 2;
+  config.targets_per_net = 3;
+  config.granularities_u = {40.0, 20.0};
+
+  config.jobs = 1;
+  const auto serial = run_table2(technology(), config);
+
+  for (const auto& [shard_count, jobs] :
+       std::vector<std::pair<int, int>>{{2, 1}, {3, 8}}) {
+    config.jobs = jobs;
+    std::vector<Table2Shard> shards;
+    for (int s = 0; s < shard_count; ++s) {
+      shards.push_back(
+          run_table2_shard(technology(), config, s, shard_count));
+    }
+    const auto merged = merge_table2_shards(config, shards);
+
+    ASSERT_EQ(merged.rows.size(), serial.rows.size())
+        << "shards " << shard_count << " jobs " << jobs;
+    for (std::size_t r = 0; r < serial.rows.size(); ++r) {
+      EXPECT_EQ(merged.rows[r].granularity_u, serial.rows[r].granularity_u);
+      // Quality columns bit-identical; runtime columns are wall clock
+      // but must be genuine per-task measurements in every shard.
+      EXPECT_EQ(merged.rows[r].delta_mean_pct, serial.rows[r].delta_mean_pct)
+          << "row " << r << " shards " << shard_count << " jobs " << jobs;
+      EXPECT_EQ(merged.rows[r].compared, serial.rows[r].compared)
+          << "row " << r;
+      EXPECT_GT(merged.rows[r].dp_runtime_s, 0.0);
+      EXPECT_GT(merged.rows[r].rip_runtime_s, 0.0);
+      EXPECT_GT(merged.rows[r].speedup, 0.0);
+    }
+  }
+}
+
+TEST(ShardDeterminism, Fig7ShardsMergeToSerial) {
+  Fig7Config config;
+  config.points = 7;
+
+  config.jobs = 1;
+  const auto serial = run_fig7(technology(), config);
+
+  for (const auto& [shard_count, jobs] :
+       std::vector<std::pair<int, int>>{{2, 1}, {3, 8}}) {
+    config.jobs = jobs;
+    std::vector<Fig7Shard> shards;
+    for (int s = 0; s < shard_count; ++s) {
+      shards.push_back(run_fig7_shard(technology(), config, s, shard_count));
+    }
+    const auto merged = merge_fig7_shards(config, shards);
+
+    EXPECT_EQ(merged.net_name, serial.net_name)
+        << "shards " << shard_count << " jobs " << jobs;
+    EXPECT_EQ(merged.tau_min_fs, serial.tau_min_fs);
+    ASSERT_EQ(merged.series.size(), serial.series.size());
+    for (std::size_t s = 0; s < serial.series.size(); ++s) {
+      ASSERT_EQ(merged.series[s].points.size(),
+                serial.series[s].points.size());
+      for (std::size_t p = 0; p < serial.series[s].points.size(); ++p) {
+        const auto& sp = serial.series[s].points[p];
+        const auto& mp = merged.series[s].points[p];
+        // Bit-identical, not just close.
+        EXPECT_EQ(mp.tau_t_fs, sp.tau_t_fs)
+            << "series " << s << " pt " << p << " shards " << shard_count;
+        EXPECT_EQ(mp.tau_t_over_tau_min, sp.tau_t_over_tau_min);
+        EXPECT_EQ(mp.dp_feasible, sp.dp_feasible);
+        EXPECT_EQ(mp.improvement_pct, sp.improvement_pct)
+            << "series " << s << " pt " << p;
+      }
+    }
+  }
+}
+
+TEST(ShardDeterminism, Table2AndFig7MergeRejectIncompleteSplits) {
+  Table2Config t2;
+  t2.net_count = 1;
+  t2.targets_per_net = 2;
+  t2.granularities_u = {40.0};
+  const auto t2_shard = run_table2_shard(technology(), t2, 0, 2);
+  // One shard of a 2-way split is not a mergeable set.
+  EXPECT_THROW(merge_table2_shards(t2, {&t2_shard, 1}), Error);
+
+  Fig7Config f7;
+  f7.points = 3;
+  f7.granularities_u = {40.0};
+  const auto f7_shard = run_fig7_shard(technology(), f7, 1, 2);
+  EXPECT_THROW(merge_fig7_shards(f7, {&f7_shard, 1}), Error);
+}
+
 TEST(ShardDeterminism, MergeAcceptsShardsInAnyOrder) {
   Table1Config config;
   config.net_count = 2;
