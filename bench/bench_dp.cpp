@@ -1,0 +1,278 @@
+// Microbenchmark of the chain-DP kernel: single-solve latency, label
+// throughput, and steady-state allocations on a reused dp::Workspace.
+//
+// Paper-workload nets (Section 6 population) are solved in kMinPower
+// mode across several (library size, granularity, candidate pitch)
+// configurations — the axes the pseudo-polynomial DP cost grows along.
+// Per configuration the bench reports mean us/solve, labels/second,
+// prune ratio, arena peaks, and (at --jobs 1) the per-solve heap
+// allocation count after warm-up, measured by the counting operator new
+// in bench_env.hpp. Steady-state solves on a reused workspace must
+// allocate nothing: the bench exits non-zero if any warmed-up kernel
+// solve allocates (this is the regression gate for the zero-allocation
+// SoA kernel).
+//
+// Environment: RIP_BENCH_NETS / RIP_BENCH_TARGETS / RIP_BENCH_JOBS, with
+// --nets / --targets / --jobs overrides, like every other bench. Extra
+// knobs: --repeats R measured passes (default 3), --json PATH writes a
+// machine-readable summary (CI uploads it as BENCH_dp.json), --shard I/N
+// solves only shard I of each configuration's round-robin case split.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_env.hpp"
+#include "dp/chain_dp.hpp"
+#include "dp/library.hpp"
+#include "dp/workspace.hpp"
+#include "eval/parallel.hpp"
+#include "eval/workload.hpp"
+#include "net/candidates.hpp"
+#include "tech/technology.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct KernelConfig {
+  std::string name;
+  double min_width_u;
+  double granularity_u;
+  int library_size;
+  double pitch_um;
+};
+
+struct ConfigReport {
+  KernelConfig config;
+  std::size_t solves = 0;
+  double mean_us_per_solve = 0;
+  double labels_per_sec = 0;
+  double labels_per_solve = 0;
+  double prune_ratio = 0;
+  std::size_t labels_peak = 0;
+  std::size_t arena_peak = 0;
+  /// Max heap allocations in any single warmed-up kernel solve
+  /// (reconstruction off); only measured at jobs == 1, else -1.
+  long long steady_allocs_per_solve = -1;
+  /// Mean allocations of a full solve (reconstruction on), after
+  /// warm-up; only measured at jobs == 1, else -1.
+  double full_solve_allocs = -1;
+};
+
+struct CaseRef {
+  const rip::net::Net* net;
+  const std::vector<double>* candidates;
+  double tau_t_fs;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace rip;
+  const CliArgs args = CliArgs::parse(argc, argv);
+  const tech::Technology tech = tech::make_tech180();
+
+  const int nets = bench::net_count(args, 4);
+  const int targets = bench::targets_per_net(args, 10);
+  const int repeats = args.get_int_or("repeats", 3);
+  const int jobs = bench::jobs(args);
+  const ShardSpec shard = bench::shard(args);
+  const ChunkPolicy policy = bench::chunk_policy(args);
+  const std::string json_path = args.get_or("json", "");
+  RIP_REQUIRE(repeats >= 1, "--repeats must be >= 1");
+
+  std::cout << "=== chain-DP kernel bench (" << nets << " nets x " << targets
+            << " targets, " << repeats << " repeats, jobs " << jobs;
+  if (shard.count > 1)
+    std::cout << ", shard " << shard.index << "/" << shard.count;
+  std::cout << ") ===\n";
+
+  const auto workload = eval::make_paper_workload(tech, nets, 2005, {},
+                                                  {10.0, 400.0, 10.0, 200.0},
+                                                  jobs);
+
+  const std::vector<KernelConfig> configs = {
+      {"table1-g10-lib10-p200", 10.0, 10.0, 10, 200.0},
+      {"table1-g40-lib10-p200", 10.0, 40.0, 10, 200.0},
+      {"rip-coarse-g80-lib5-p200", 80.0, 80.0, 5, 200.0},
+      {"dense-g10-lib20-p100", 10.0, 10.0, 20, 100.0},
+  };
+
+  std::vector<ConfigReport> reports;
+  bool steady_state_clean = true;
+
+  for (const KernelConfig& cfg : configs) {
+    const dp::RepeaterLibrary library = dp::RepeaterLibrary::uniform(
+        cfg.min_width_u, cfg.granularity_u, cfg.library_size);
+
+    // Candidate lists per net (one allocation each, outside the
+    // measured region) and the flat sharded case list.
+    std::vector<std::vector<double>> candidates;
+    candidates.reserve(workload.size());
+    for (const auto& wn : workload)
+      candidates.push_back(net::uniform_candidates(wn.net, cfg.pitch_um));
+    std::vector<CaseRef> cases;
+    const auto flat = eval::shard_case_indices(
+        workload.size() * static_cast<std::size_t>(targets), shard.index,
+        shard.count);
+    cases.reserve(flat.size());
+    for (const std::size_t k : flat) {
+      const std::size_t ni = k / static_cast<std::size_t>(targets);
+      const auto ti = static_cast<int>(k % static_cast<std::size_t>(targets));
+      const auto t = eval::timing_targets_fs(workload[ni].tau_min_fs, targets);
+      cases.push_back(CaseRef{&workload[ni].net, &candidates[ni], t[
+          static_cast<std::size_t>(ti)]});
+    }
+
+    dp::ChainDpOptions kernel_options;
+    kernel_options.mode = dp::Mode::kMinPower;
+    kernel_options.reconstruct_solutions = false;
+
+    ConfigReport report;
+    report.config = cfg;
+    report.solves = cases.size() * static_cast<std::size_t>(repeats);
+
+    // Warm-up pass: grow every arena of every participating workspace to
+    // the configuration's peak shape. Not timed, not alloc-counted.
+    auto solve_case = [&](std::size_t i, dp::ChainDpOptions options) {
+      options.timing_target_fs = cases[i].tau_t_fs;
+      return dp::run_chain_dp(*cases[i].net, tech.device(), library,
+                              *cases[i].candidates, options);
+    };
+    parallel_for_indexed(cases.size(), jobs, policy,
+                         [&](std::size_t i) { solve_case(i, kernel_options); });
+
+    // Measured passes.
+    std::size_t labels_created = 0;
+    std::size_t labels_pruned = 0;
+    long long max_allocs = -1;
+    double total_s = 0;
+    if (jobs == 1) {
+      // Serial: per-solve latency and the steady-state allocation gate.
+      max_allocs = 0;
+      for (int rep = 0; rep < repeats; ++rep) {
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+          const bench::AllocSample sample;
+          WallTimer timer;
+          const auto r = solve_case(i, kernel_options);
+          total_s += timer.seconds();
+          const auto allocs = static_cast<long long>(sample.delta());
+          max_allocs = std::max(max_allocs, allocs);
+          labels_created += r.stats.labels_created;
+          labels_pruned += r.stats.labels_pruned;
+          report.labels_peak = std::max(report.labels_peak,
+                                        r.stats.labels_peak);
+          report.arena_peak = std::max(report.arena_peak,
+                                       r.stats.arena_peak);
+        }
+      }
+      report.steady_allocs_per_solve = max_allocs;
+      if (max_allocs != 0) steady_state_clean = false;
+
+      // Full solves (reconstruction on) for the informational
+      // allocations-per-complete-solve figure.
+      dp::ChainDpOptions full_options = kernel_options;
+      full_options.reconstruct_solutions = true;
+      const bench::AllocSample full_sample;
+      for (std::size_t i = 0; i < cases.size(); ++i)
+        solve_case(i, full_options);
+      report.full_solve_allocs =
+          static_cast<double>(full_sample.delta()) /
+          static_cast<double>(std::max<std::size_t>(cases.size(), 1));
+    } else {
+      // Parallel: wall-clock throughput over the fanned-out case list;
+      // per-case stats are gathered into index-addressed slots.
+      std::vector<dp::DpStats> stats(cases.size());
+      WallTimer timer;
+      for (int rep = 0; rep < repeats; ++rep) {
+        parallel_for_indexed(cases.size(), jobs, policy, [&](std::size_t i) {
+          stats[i] = solve_case(i, kernel_options).stats;
+        });
+      }
+      total_s = timer.seconds();
+      for (const auto& s : stats) {
+        labels_created += s.labels_created * static_cast<std::size_t>(repeats);
+        labels_pruned += s.labels_pruned * static_cast<std::size_t>(repeats);
+        report.labels_peak = std::max(report.labels_peak, s.labels_peak);
+        report.arena_peak = std::max(report.arena_peak, s.arena_peak);
+      }
+    }
+
+    report.mean_us_per_solve =
+        report.solves == 0 ? 0
+                           : total_s / static_cast<double>(report.solves) * 1e6;
+    report.labels_per_sec =
+        total_s == 0 ? 0 : static_cast<double>(labels_created) / total_s;
+    report.labels_per_solve =
+        report.solves == 0
+            ? 0
+            : static_cast<double>(labels_created) /
+                  static_cast<double>(report.solves);
+    report.prune_ratio =
+        labels_created == 0
+            ? 0
+            : static_cast<double>(labels_pruned) /
+                  static_cast<double>(labels_created);
+    reports.push_back(report);
+
+    std::cout << "  " << cfg.name << ": " << report.solves << " solves, "
+              << fmt_f(report.mean_us_per_solve, 1) << " us/solve, "
+              << fmt_f(report.labels_per_sec / 1e6, 2) << " Mlabels/s, "
+              << fmt_f(report.labels_per_solve, 0) << " labels/solve, "
+              << "prune " << fmt_f(report.prune_ratio * 100, 1) << "%, "
+              << "peak " << report.labels_peak << " labels / "
+              << report.arena_peak << " arena";
+    if (report.steady_allocs_per_solve >= 0) {
+      std::cout << ", steady allocs/solve " << report.steady_allocs_per_solve
+                << ", full-solve allocs "
+                << fmt_f(report.full_solve_allocs, 1);
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "process heap: " << bench::alloc_count() << " allocations, "
+            << fmt_f(static_cast<double>(bench::alloc_bytes()) / 1e6, 1)
+            << " MB requested\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    RIP_REQUIRE(out.good(), "cannot open --json output file " + json_path);
+    out << "{\n  \"workload\": {\"nets\": " << nets
+        << ", \"targets_per_net\": " << targets << ", \"repeats\": "
+        << repeats << ", \"jobs\": " << jobs << ", \"shard_index\": "
+        << shard.index << ", \"shard_count\": " << shard.count
+        << ", \"seed\": 2005},\n  \"configs\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const ConfigReport& r = reports[i];
+      out << "    {\"name\": \"" << r.config.name << "\", \"library_size\": "
+          << r.config.library_size << ", \"granularity_u\": "
+          << r.config.granularity_u << ", \"pitch_um\": " << r.config.pitch_um
+          << ", \"solves\": " << r.solves << ", \"ns_per_solve\": "
+          << r.mean_us_per_solve * 1e3 << ", \"labels_per_sec\": "
+          << r.labels_per_sec << ", \"labels_per_solve\": "
+          << r.labels_per_solve << ", \"prune_ratio\": " << r.prune_ratio
+          << ", \"labels_peak\": " << r.labels_peak << ", \"arena_peak\": "
+          << r.arena_peak << ", \"steady_allocs_per_solve\": "
+          << r.steady_allocs_per_solve << ", \"full_solve_allocs\": "
+          << r.full_solve_allocs << "}" << (i + 1 < reports.size() ? "," : "")
+          << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  bench::warn_unused(args);
+  if (jobs == 1 && !steady_state_clean) {
+    std::cerr << "FAIL: a warmed-up kernel solve allocated on a reused "
+                 "workspace (steady_allocs_per_solve above must be 0)\n";
+    return 3;
+  }
+  return 0;
+} catch (const rip::Error& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
+}

@@ -12,13 +12,120 @@
 ///                / --grain G          scheduler chunk size (0 = auto)
 ///                / --mode M           chunking mode: static|dynamic|guided
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <new>
 #include <string>
 
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
+
+// ---------------------------------------------------- allocation counting
+//
+// Every bench binary replaces the global operator new/delete with a
+// counting malloc shim, so zero-steady-state-allocation claims (the DP
+// workspace, bench_dp's per-solve assertion) are *measured*, not
+// eyeballed. The hook lives here in the bench — the library itself stays
+// untouched — and is safe because each bench executable consists of
+// exactly one translation unit that includes this header (replacement
+// allocation functions must be defined once per program and must not be
+// inline).
+
+namespace rip::bench {
+namespace alloc_detail {
+inline std::atomic<std::uint64_t> count{0};
+inline std::atomic<std::uint64_t> bytes{0};
+
+inline void* counted_alloc(std::size_t size) noexcept {
+  count.fetch_add(1, std::memory_order_relaxed);
+  bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+inline void* counted_aligned_alloc(std::size_t size,
+                                   std::size_t align) noexcept {
+  count.fetch_add(1, std::memory_order_relaxed);
+  bytes.fetch_add(size, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded != 0 ? rounded : align);
+}
+}  // namespace alloc_detail
+
+/// Heap allocations (any thread) since process start.
+inline std::uint64_t alloc_count() {
+  return alloc_detail::count.load(std::memory_order_relaxed);
+}
+
+/// Bytes requested from the heap since process start.
+inline std::uint64_t alloc_bytes() {
+  return alloc_detail::bytes.load(std::memory_order_relaxed);
+}
+
+/// Scoped sample: allocations between construction and delta().
+class AllocSample {
+ public:
+  AllocSample() : start_(alloc_count()) {}
+  std::uint64_t delta() const { return alloc_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace rip::bench
+
+void* operator new(std::size_t size) {
+  if (void* p = rip::bench::alloc_detail::counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return rip::bench::alloc_detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return rip::bench::alloc_detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = rip::bench::alloc_detail::counted_aligned_alloc(
+          size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return rip::bench::alloc_detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return rip::bench::alloc_detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace rip::bench {
 

@@ -1,5 +1,6 @@
 #include "core/baseline.hpp"
 
+#include "dp/workspace.hpp"
 #include "net/candidates.hpp"
 
 namespace rip::core {
@@ -27,12 +28,20 @@ dp::ChainDpResult run_baseline(const net::Net& net,
                                const tech::RepeaterDevice& device,
                                double tau_t_fs,
                                const BaselineOptions& options) {
+  return run_baseline(net, device, tau_t_fs, options,
+                      dp::Workspace::local());
+}
+
+dp::ChainDpResult run_baseline(const net::Net& net,
+                               const tech::RepeaterDevice& device,
+                               double tau_t_fs, const BaselineOptions& options,
+                               dp::Workspace& workspace) {
   const auto candidates = net::uniform_candidates(net, options.pitch_um);
   dp::ChainDpOptions dp_options;
   dp_options.mode = dp::Mode::kMinPower;
   dp_options.timing_target_fs = tau_t_fs;
   return dp::run_chain_dp(net, device, options.library, candidates,
-                          dp_options);
+                          dp_options, workspace);
 }
 
 }  // namespace rip::core

@@ -12,6 +12,10 @@
 #include "net/net.hpp"
 #include "tech/technology.hpp"
 
+namespace rip::dp {
+class Workspace;
+}  // namespace rip::dp
+
 namespace rip::core {
 
 /// Baseline configuration.
@@ -33,10 +37,17 @@ struct BaselineOptions {
                                        double pitch_um = 200.0);
 };
 
-/// Run the baseline DP for a timing target.
+/// Run the baseline DP for a timing target. The first overload solves
+/// on this thread's dp::Workspace::local(); the second reuses the
+/// caller's workspace arenas across solves.
 dp::ChainDpResult run_baseline(const net::Net& net,
                                const tech::RepeaterDevice& device,
                                double tau_t_fs,
                                const BaselineOptions& options);
+dp::ChainDpResult run_baseline(const net::Net& net,
+                               const tech::RepeaterDevice& device,
+                               double tau_t_fs,
+                               const BaselineOptions& options,
+                               dp::Workspace& workspace);
 
 }  // namespace rip::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dp/library.hpp"
+#include "dp/workspace.hpp"
 #include "net/candidates.hpp"
 #include "rc/buffered_chain.hpp"
 #include "util/error.hpp"
@@ -13,6 +14,12 @@ namespace rip::core {
 
 RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
                      double tau_t_fs, const RipOptions& options) {
+  return rip_insert(net, device, tau_t_fs, options, dp::Workspace::local());
+}
+
+RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
+                     double tau_t_fs, const RipOptions& options,
+                     dp::Workspace& workspace) {
   RIP_REQUIRE(tau_t_fs > 0, "timing target must be positive");
   RIP_REQUIRE(options.refine_repeats >= 1, "need at least one REFINE pass");
   WallTimer total_timer;
@@ -29,7 +36,7 @@ RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
   dp_options.mode = dp::Mode::kMinPower;
   dp_options.timing_target_fs = tau_t_fs;
   result.coarse = dp::run_chain_dp(net, device, coarse_library,
-                                   coarse_candidates, dp_options);
+                                   coarse_candidates, dp_options, workspace);
   result.coarse_s = stage_timer.seconds();
 
   if (result.coarse.status != dp::Status::kOptimal) {
@@ -130,7 +137,8 @@ RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
   dp::ChainDpOptions final_options = dp_options;
   final_options.allowed_buffers = &allowed;
   result.final_dp = dp::run_chain_dp(net, device, fine_library,
-                                     fine_candidates, final_options);
+                                     fine_candidates, final_options,
+                                     workspace);
   result.final_s = stage_timer.seconds();
 
   // Best feasible of {stage 3, stage 1}: RIP never loses to its own

@@ -22,6 +22,10 @@
 #include "net/solution.hpp"
 #include "tech/technology.hpp"
 
+namespace rip::dp {
+class Workspace;
+}  // namespace rip::dp
+
 namespace rip::core {
 
 /// All RIP knobs; defaults reproduce Section 6 of the paper.
@@ -65,8 +69,14 @@ struct RipResult {
   double final_s = 0;          ///< stage 3 wall clock
 };
 
-/// Run Algorithm RIP on a net with timing target `tau_t_fs`.
+/// Run Algorithm RIP on a net with timing target `tau_t_fs`. The first
+/// overload runs its DP stages on this thread's dp::Workspace::local();
+/// the second reuses the caller's workspace arenas across stages and
+/// calls.
 RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
                      double tau_t_fs, const RipOptions& options = {});
+RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
+                     double tau_t_fs, const RipOptions& options,
+                     dp::Workspace& workspace);
 
 }  // namespace rip::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dp/library.hpp"
+#include "dp/workspace.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -13,6 +14,15 @@ TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
                                     const tech::RepeaterDevice& device,
                                     double driver_width_u, double tau_t_fs,
                                     const TreeHybridOptions& options) {
+  return tree_hybrid_insert(tree, device, driver_width_u, tau_t_fs, options,
+                            dp::Workspace::local());
+}
+
+TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
+                                    const tech::RepeaterDevice& device,
+                                    double driver_width_u, double tau_t_fs,
+                                    const TreeHybridOptions& options,
+                                    dp::Workspace& workspace) {
   RIP_REQUIRE(tau_t_fs > 0, "timing target must be positive");
   WallTimer timer;
   TreeHybridResult result;
@@ -26,7 +36,7 @@ TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
       options.coarse_min_width_u, options.coarse_granularity_u,
       options.coarse_library_size);
   result.coarse = dp::run_tree_dp(tree, device, driver_width_u,
-                                  coarse_library, dp_options);
+                                  coarse_library, dp_options, workspace);
   if (result.coarse.status != dp::Status::kOptimal) {
     result.status = dp::Status::kInfeasible;
     result.solution = result.coarse.min_delay_solution;
@@ -50,8 +60,8 @@ TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
       // one; take the cheapest feasible option.
       dp::TreeSolution trial = greedy;
       trial.width_u[node] = 0;
-      if (dp::tree_delay_fs(tree, device, driver_width_u, trial) <=
-          tau_t_fs) {
+      if (dp::tree_delay_fs(tree, device, driver_width_u, trial,
+                            workspace) <= tau_t_fs) {
         greedy = trial;
         improved = true;
         ++result.greedy_moves;
@@ -60,8 +70,8 @@ TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
       for (const double w : fine_library.widths_u()) {
         if (w >= current) break;
         trial.width_u[node] = w;
-        if (dp::tree_delay_fs(tree, device, driver_width_u, trial) <=
-            tau_t_fs) {
+        if (dp::tree_delay_fs(tree, device, driver_width_u, trial,
+                              workspace) <= tau_t_fs) {
           greedy = trial;
           improved = true;
           ++result.greedy_moves;
@@ -124,13 +134,13 @@ TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
     dp::ChainDpOptions final_options = dp_options;
     final_options.allowed_buffers = &allowed;
     final_dp = dp::run_tree_dp(tree, device, driver_width_u, concise,
-                               final_options);
+                               final_options, workspace);
   }
   result.final_dp = final_dp;
 
   // Best feasible of {stage 3, greedy, stage 1}.
   const double greedy_delay =
-      dp::tree_delay_fs(tree, device, driver_width_u, greedy);
+      dp::tree_delay_fs(tree, device, driver_width_u, greedy, workspace);
   result.status = dp::Status::kOptimal;
   if (final_dp.status == dp::Status::kOptimal &&
       final_dp.total_width_u <= greedy.total_width_u()) {

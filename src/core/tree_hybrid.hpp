@@ -51,9 +51,16 @@ struct TreeHybridResult {
 };
 
 /// Run the tree hybrid with a driver of `driver_width_u` at the root.
+/// The first overload runs its DP and greedy stages on this thread's
+/// dp::Workspace::local(); the second reuses the caller's workspace.
 TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
                                     const tech::RepeaterDevice& device,
                                     double driver_width_u, double tau_t_fs,
                                     const TreeHybridOptions& options = {});
+TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
+                                    const tech::RepeaterDevice& device,
+                                    double driver_width_u, double tau_t_fs,
+                                    const TreeHybridOptions& options,
+                                    dp::Workspace& workspace);
 
 }  // namespace rip::core

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "dp/workspace.hpp"
 #include "rc/buffered_chain.hpp"
 #include "util/error.hpp"
 
@@ -14,6 +15,16 @@ BruteForceResult brute_force(const net::Net& net,
                              const std::vector<double>& candidates_um,
                              double timing_target_fs,
                              std::size_t max_assignments) {
+  return brute_force(net, device, library, candidates_um, timing_target_fs,
+                     max_assignments, Workspace::local());
+}
+
+BruteForceResult brute_force(const net::Net& net,
+                             const tech::RepeaterDevice& device,
+                             const RepeaterLibrary& library,
+                             const std::vector<double>& candidates_um,
+                             double timing_target_fs,
+                             std::size_t max_assignments, Workspace& ws) {
   const std::size_t choices = library.size() + 1;  // widths or "no repeater"
   double estimate = 1.0;
   for (std::size_t i = 0; i < candidates_um.size(); ++i)
@@ -27,17 +38,19 @@ BruteForceResult brute_force(const net::Net& net,
   double best_delay_at_width = std::numeric_limits<double>::infinity();
 
   // Mixed-radix counter over candidates; digit 0 = no repeater, digit k
-  // = library width k-1.
+  // = library width k-1. The expansion buffer lives in the workspace so
+  // the enumeration loop reuses one capacity across assignments.
   std::vector<std::size_t> digits(candidates_um.size(), 0);
+  ws.repeaters.reserve(candidates_um.size());
   while (true) {
-    std::vector<net::Repeater> repeaters;
+    ws.repeaters.clear();
     for (std::size_t i = 0; i < digits.size(); ++i) {
       if (digits[i] > 0) {
-        repeaters.push_back(net::Repeater{
+        ws.repeaters.push_back(net::Repeater{
             candidates_um[i], library.widths_u()[digits[i] - 1]});
       }
     }
-    net::RepeaterSolution solution(std::move(repeaters));
+    net::RepeaterSolution solution(ws.repeaters);
     const double delay = rc::elmore_delay_fs(net, solution, device);
     const double width = solution.total_width_u();
     ++result.assignments;

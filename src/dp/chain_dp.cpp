@@ -5,45 +5,144 @@
 #include <limits>
 
 #include "dp/pareto.hpp"
+#include "dp/workspace.hpp"
 #include "util/error.hpp"
 
 namespace rip::dp {
 
 namespace {
 
-/// Propagate a label upstream across a run of wire pieces (ordered
-/// upstream->downstream): the signal still has to traverse the wire, so
-/// q decreases by the wire's Elmore delay into the current C, and C grows
-/// by the wire capacitance.
-void propagate_wire(Label& label, const std::vector<net::WirePiece>& pieces) {
+/// Affine coefficients of wire propagation across one candidate interval.
+/// Carrying a label upstream over the interval's pieces applies, piece by
+/// piece, q -= r*(C + c/2); C += c. Composed over the whole interval that
+/// is exactly
+///   q -= R_tot * C + K;   C += C_tot
+/// with K = sum_k r_k * (c_0 + ... + c_{k-1} + 0.5*c_k) over pieces
+/// ordered downstream->upstream. The coefficients depend only on the
+/// interval, so they are computed once and applied to every alive label —
+/// two fused multiply-adds per label instead of a loop over pieces.
+struct WireAffine {
+  double r_tot = 0;  ///< total interval resistance [Ohm]
+  double c_tot = 0;  ///< total interval capacitance [fF]
+  double k = 0;      ///< label-independent Elmore term [fs]
+};
+
+WireAffine interval_affine(const std::vector<net::WirePiece>& pieces) {
+  WireAffine a;
+  // pieces are ordered upstream->downstream; accumulate from the
+  // downstream end, mirroring the label's traversal order.
   for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
     const double r = it->r_ohm_per_um * it->length_um;
     const double c = it->c_ff_per_um * it->length_um;
-    label.q_fs -= r * (label.cap_ff + 0.5 * c);
-    label.cap_ff += c;
+    a.k += r * (a.c_tot + 0.5 * c);
+    a.r_tot += r;
+    a.c_tot += c;
+  }
+  return a;
+}
+
+/// Apply the interval map to the whole frontier (contiguous SoA arrays).
+void propagate_frontier(ChainFrontier& front, const WireAffine& wire) {
+  if (wire.r_tot == 0 && wire.c_tot == 0) return;
+  double* cap = front.cap_ff.data();
+  double* q = front.q_fs.data();
+  const std::size_t n = front.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] -= wire.r_tot * cap[i] + wire.k;
+    cap[i] += wire.c_tot;
   }
 }
 
-/// Delay through a repeater (or the driver) of width `w` into downstream
-/// capacitance `cap`: R_s C_p + (R_s / w) * cap.
-double gate_delay_fs(const tech::RepeaterDevice& device, double w,
-                     double cap_ff) {
-  return device.rs_ohm * device.cp_ff + device.rs_ohm / w * cap_ff;
+/// Build the buffer-insertion labels of one candidate into ws.expanded,
+/// already dominance-filtered *within* each buffer group and ordered so
+/// that ws.expanded is sorted by (C asc, q desc, w asc).
+///
+/// The structural shortcut the whole kernel leans on: every label of
+/// group b shares the same downstream capacitance (the buffer's input
+/// load co*w_b), and the allowed buffer list is width-ascending, so the
+/// groups concatenate into a sorted run without any global sort. Within
+/// a group, equal C reduces dominance to the (q, w) staircase: sort the
+/// group (24-byte entries, cache-resident) by (q desc, w asc) and keep
+/// the strictly-falling-width prefix sweep. In delay mode (no width
+/// dimension) the staircase collapses to the single max-q label, found
+/// by a linear scan — no sort at all.
+void expand_candidate(Workspace& ws, const ChainFrontier& front,
+                      const std::vector<std::int16_t>& allowed,
+                      const std::vector<double>& widths, double intrinsic_fs,
+                      bool use_width) {
+  const std::size_t fn = front.size();
+  ws.expanded.clear();
+  // Lower-bound reserve only: the retained workspace capacity converges
+  // to the true survivor watermark after warm-up, which is far below
+  // the fn * |allowed| worst case — reserving that would pin megabytes
+  // of never-used arena per thread.
+  ws.expanded.reserve(fn + allowed.size());
+  const double* cap = front.cap_ff.data();
+  const double* q = front.q_fs.data();
+  const double* w = front.width_u.data();
+  for (const std::int16_t b : allowed) {
+    const auto bi = static_cast<std::size_t>(b);
+    const double load = ws.lib_load_ff[bi];
+    const double rs_over_w = ws.lib_rs_over_w[bi];
+    const double wb = widths[bi];
+    if (!use_width) {
+      // Delay mode: only the group's best q can survive (ties: the
+      // smallest width, matching the (q desc, w asc) sort order).
+      double best_q = -std::numeric_limits<double>::infinity();
+      double best_w = std::numeric_limits<double>::infinity();
+      std::int32_t best_i = -1;
+      for (std::size_t i = 0; i < fn; ++i) {
+        const double up_q = q[i] - (intrinsic_fs + rs_over_w * cap[i]);
+        const double up_w = w[i] + wb;
+        if (up_q > best_q || (up_q == best_q && up_w < best_w)) {
+          best_q = up_q;
+          best_w = up_w;
+          best_i = static_cast<std::int32_t>(i);
+        }
+      }
+      ws.expanded.push_back(ExpandLabel{load, best_q, best_w, best_i, b});
+      continue;
+    }
+    ws.group.clear();
+    ws.group.reserve(fn);
+    for (std::size_t i = 0; i < fn; ++i) {
+      ws.group.push_back(
+          GroupEntry{q[i] - (intrinsic_fs + rs_over_w * cap[i]), w[i] + wb,
+                     static_cast<std::int32_t>(i)});
+    }
+    std::sort(ws.group.begin(), ws.group.end(),
+              [](const GroupEntry& a, const GroupEntry& c) {
+                if (a.q_fs != c.q_fs) return a.q_fs > c.q_fs;
+                return a.width_u < c.width_u;
+              });
+    // Sweeping q descending, a label survives the group staircase iff
+    // its width strictly undercuts everything seen.
+    double min_w = std::numeric_limits<double>::infinity();
+    for (const GroupEntry& e : ws.group) {
+      if (e.width_u < min_w) {
+        min_w = e.width_u;
+        ws.expanded.push_back(
+            ExpandLabel{load, e.q_fs, e.width_u, e.origin, b});
+      }
+    }
+  }
 }
 
-/// Reconstruct the repeater list from a winning label's parent chain.
-net::RepeaterSolution reconstruct(const std::vector<Label>& arena,
-                                  std::int32_t winner,
+/// Reconstruct the repeater list from a winning label's parent chain
+/// through the reconstruction arena. `count` is the label's repeater
+/// count, so the output vector is reserved exactly once.
+net::RepeaterSolution reconstruct(const Workspace& ws, std::int32_t node,
+                                  std::int16_t count,
                                   const RepeaterLibrary& library,
                                   const std::vector<double>& candidates_um) {
   std::vector<net::Repeater> repeaters;
-  for (std::int32_t idx = winner; idx >= 0; idx = arena[idx].parent) {
-    const Label& l = arena[idx];
-    if (l.buffer >= 0) {
-      repeaters.push_back(net::Repeater{
-          candidates_um[static_cast<std::size_t>(l.pos)],
-          library.widths_u()[static_cast<std::size_t>(l.buffer)]});
-    }
+  repeaters.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t idx = node; idx >= 0;
+       idx = ws.a_parent[static_cast<std::size_t>(idx)]) {
+    const auto i = static_cast<std::size_t>(idx);
+    repeaters.push_back(net::Repeater{
+        candidates_um[static_cast<std::size_t>(ws.a_pos[i])],
+        library.widths_u()[static_cast<std::size_t>(ws.a_buffer[i])]});
   }
   return net::RepeaterSolution(std::move(repeaters));
 }
@@ -55,6 +154,15 @@ ChainDpResult run_chain_dp(const net::Net& net,
                            const RepeaterLibrary& library,
                            const std::vector<double>& candidates_um,
                            const ChainDpOptions& options) {
+  return run_chain_dp(net, device, library, candidates_um, options,
+                      Workspace::local());
+}
+
+ChainDpResult run_chain_dp(const net::Net& net,
+                           const tech::RepeaterDevice& device,
+                           const RepeaterLibrary& library,
+                           const std::vector<double>& candidates_um,
+                           const ChainDpOptions& options, Workspace& ws) {
   const double total_um = net.total_length_um();
   RIP_REQUIRE(std::is_sorted(candidates_um.begin(), candidates_um.end()),
               "candidate positions must be sorted");
@@ -70,6 +178,8 @@ ChainDpResult run_chain_dp(const net::Net& net,
     RIP_REQUIRE(options.allowed_buffers->size() == candidates_um.size(),
                 "allowed_buffers must parallel the candidate list");
     for (const auto& allowed : *options.allowed_buffers) {
+      RIP_REQUIRE(std::is_sorted(allowed.begin(), allowed.end()),
+                  "allowed_buffers lists must be sorted ascending");
       for (const auto b : allowed) {
         RIP_REQUIRE(b >= 0 && static_cast<std::size_t>(b) < library.size(),
                     "allowed buffer index out of library range");
@@ -80,89 +190,131 @@ ChainDpResult run_chain_dp(const net::Net& net,
   const bool power_mode = (options.mode == Mode::kMinPower);
   ChainDpResult result;
   result.stats.positions = candidates_um.size();
+  result.stats.workspace_reuses = ws.stats_.solves();
 
-  // The arena owns every label ever created; the working set holds arena
-  // indices of the currently-alive frontier. Wire propagation mutates
-  // arena entries in place (parent links are only used for reconstruction,
-  // which reads buffer/pos, so mutation is safe).
-  std::vector<Label> arena;
-  arena.reserve(1024);
-  std::vector<std::int32_t> alive;
+  // Per-solve precompute: the library's input loads (co*w) and driving
+  // resistances (rs/w), and the width-independent intrinsic gate delay.
+  library.fill_device_terms(device, ws.lib_load_ff, ws.lib_rs_over_w);
+  const double intrinsic_fs = device.rs_ohm * device.cp_ff;
+  const std::size_t lib_n = library.size();
+  ws.all_buffers.resize(lib_n);
+  for (std::size_t b = 0; b < lib_n; ++b)
+    ws.all_buffers[b] = static_cast<std::int16_t>(b);
+  const std::vector<double>& widths = library.widths_u();
+
+  // Reset the chain arenas; capacity is retained from prior solves.
+  ChainFrontier* front = &ws.chain_front;
+  ChainFrontier* back = &ws.chain_back;
+  front->clear();
+  back->clear();
+  ws.a_parent.clear();
+  ws.a_pos.clear();
+  ws.a_buffer.clear();
 
   // Seed at the receiver: C = C_o * w_r; q = timing target (0 in delay
-  // mode, where q is the negated accumulated delay); p = 0.
-  Label seed;
-  seed.cap_ff = device.co_ff * net.receiver_width_u();
-  seed.q_fs = power_mode ? options.timing_target_fs : 0.0;
-  arena.push_back(seed);
-  alive.push_back(0);
+  // mode, where q is the negated accumulated delay); p = 0. The seed has
+  // no arena entry (node -1 terminates reconstruction).
+  front->push(device.co_ff * net.receiver_width_u(),
+              power_mode ? options.timing_target_fs : 0.0, 0.0, 0, -1);
   ++result.stats.labels_created;
 
   // Sweep candidates from the last (closest to receiver) to the first.
-  std::vector<std::int16_t> all_indices(library.size());
-  for (std::size_t b = 0; b < library.size(); ++b)
-    all_indices[b] = static_cast<std::int16_t>(b);
+  // Invariant entering each step: the frontier is sorted by
+  // (C asc, q desc, w asc). Wire propagation preserves it: C order
+  // survives adding one constant (IEEE addition is monotone) and labels
+  // at equal C receive the exact same q shift. (If two distinct C
+  // values round to the same sum, their q tie-order can locally relax —
+  // the staircase sweep below only needs C to be non-decreasing, so the
+  // survivor set stays correct; at worst a dominated FP-twin lives one
+  // extra round.) The merge below emits the next frontier in the same
+  // order.
   double downstream_pos = total_um;
-  std::vector<Label> scratch;
   for (std::size_t ci = candidates_um.size(); ci-- > 0;) {
     const double pos = candidates_um[ci];
-    const auto pieces = net.pieces_between(pos, downstream_pos);
-    for (const std::int32_t idx : alive) propagate_wire(arena[idx], pieces);
+    net.pieces_between(pos, downstream_pos, ws.pieces);
+    propagate_frontier(*front, interval_affine(ws.pieces));
     downstream_pos = pos;
 
-    // Option A: pass through (labels keep their identity). Option B: for
-    // each library width, insert a repeater here.
-    scratch.clear();
-    for (const std::int32_t idx : alive) {
-      scratch.push_back(arena[idx]);
-      // Remember where this copy came from so we can map back.
-      scratch.back().parent = idx;
-      scratch.back().buffer = -1;
-      scratch.back().pos = -1;
-    }
     // Library indices that may be inserted at this candidate.
-    const std::vector<std::int16_t>* allowed =
-        options.allowed_buffers != nullptr ? &(*options.allowed_buffers)[ci]
-                                           : &all_indices;
-    for (const std::int32_t idx : alive) {
-      const Label& down = arena[idx];
-      for (const std::int16_t b : *allowed) {
-        const double w = library.widths_u()[static_cast<std::size_t>(b)];
-        Label up;
-        up.cap_ff = device.co_ff * w;
-        up.q_fs = down.q_fs - gate_delay_fs(device, w, down.cap_ff);
-        up.width_u = down.width_u + w;
-        up.parent = idx;
-        up.pos = static_cast<std::int32_t>(ci);
-        up.buffer = b;
-        up.count = static_cast<std::int16_t>(down.count + 1);
-        scratch.push_back(up);
-      }
-    }
-    result.stats.labels_created += allowed->size() * alive.size();
-    prune_dominated(scratch, power_mode);
-    result.stats.labels_peak = std::max(result.stats.labels_peak,
-                                        scratch.size());
+    const std::vector<std::int16_t>& allowed =
+        options.allowed_buffers != nullptr ? (*options.allowed_buffers)[ci]
+                                           : ws.all_buffers;
 
-    // Materialize the pruned set back into the arena. Pass-through labels
-    // (buffer == -1) reuse their existing arena slot; new repeater labels
-    // are appended.
-    alive.clear();
-    for (Label& l : scratch) {
-      if (l.buffer < 0) {
-        alive.push_back(l.parent);  // parent field held the original index
+    // Option B labels (insert a repeater here), built per buffer group,
+    // pre-filtered within each group, concatenated in sorted run order.
+    expand_candidate(ws, *front, allowed, widths, intrinsic_fs, power_mode);
+    const std::size_t fn = front->size();
+    const std::size_t gn = ws.expanded.size();
+    result.stats.labels_created += allowed.size() * fn;
+
+    // Merge the pass-through run (the frontier itself — option A labels
+    // are never copied) with the expansion run, sweeping the global
+    // dominance filter over the combined sorted order and materializing
+    // survivors straight into the back frontier. Surviving repeater
+    // labels append their reconstruction-arena entry here; pass-throughs
+    // keep their node.
+    back->clear();
+    back->reserve(fn + gn);
+    ws.frontier.clear();
+    double best_q = -std::numeric_limits<double>::infinity();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < fn || j < gn) {
+      bool from_front;
+      if (j >= gn) {
+        from_front = true;
+      } else if (i >= fn) {
+        from_front = false;
       } else {
-        arena.push_back(l);
-        alive.push_back(static_cast<std::int32_t>(arena.size() - 1));
+        // (C asc, q desc, w asc); exact ties take the pass-through.
+        const ExpandLabel& g = ws.expanded[j];
+        if (front->cap_ff[i] != g.cap_ff) {
+          from_front = front->cap_ff[i] < g.cap_ff;
+        } else if (front->q_fs[i] != g.q_fs) {
+          from_front = front->q_fs[i] > g.q_fs;
+        } else {
+          from_front = front->width_u[i] <= g.width_u;
+        }
+      }
+      if (from_front) {
+        const double q = front->q_fs[i];
+        const double w = front->width_u[i];
+        const bool survives = power_mode
+                                  ? ws.frontier.try_insert(q, w)
+                                  : q > best_q;
+        if (survives) {
+          best_q = q;
+          back->push(front->cap_ff[i], q, w, front->count[i],
+                     front->node[i]);
+        }
+        ++i;
+      } else {
+        const ExpandLabel& g = ws.expanded[j];
+        const bool survives = power_mode
+                                  ? ws.frontier.try_insert(g.q_fs, g.width_u)
+                                  : g.q_fs > best_q;
+        if (survives) {
+          best_q = g.q_fs;
+          const auto origin = static_cast<std::size_t>(g.origin);
+          ws.a_parent.push_back(front->node[origin]);
+          ws.a_pos.push_back(static_cast<std::int32_t>(ci));
+          ws.a_buffer.push_back(g.buffer);
+          back->push(g.cap_ff, g.q_fs, g.width_u,
+                     static_cast<std::int16_t>(front->count[origin] + 1),
+                     static_cast<std::int32_t>(ws.a_parent.size() - 1));
+        }
+        ++j;
       }
     }
+    result.stats.labels_pruned += fn * (1 + allowed.size()) - back->size();
+    result.stats.labels_peak =
+        std::max(result.stats.labels_peak, back->size());
+    std::swap(front, back);
   }
 
   // Final wire run up to the driver, then the driver itself.
-  {
-    const auto pieces = net.pieces_between(0.0, downstream_pos);
-    for (const std::int32_t idx : alive) propagate_wire(arena[idx], pieces);
-  }
+  net.pieces_between(0.0, downstream_pos, ws.pieces);
+  propagate_frontier(*front, interval_affine(ws.pieces));
 
   std::int32_t best = -1;          // min width among feasible (power mode)
   std::int32_t best_delay = -1;    // max q_final overall
@@ -170,41 +322,52 @@ ChainDpResult run_chain_dp(const net::Net& net,
   int best_count = 0;
   double best_q = -std::numeric_limits<double>::infinity();
   double best_delay_q = -std::numeric_limits<double>::infinity();
-  for (const std::int32_t idx : alive) {
-    Label& l = arena[idx];
+  const double driver_rs_over_w = device.rs_ohm / net.driver_width_u();
+  for (std::size_t i = 0; i < front->size(); ++i) {
     const double q_final =
-        l.q_fs - gate_delay_fs(device, net.driver_width_u(), l.cap_ff);
+        front->q_fs[i] - (intrinsic_fs + driver_rs_over_w * front->cap_ff[i]);
     if (q_final > best_delay_q) {
       best_delay_q = q_final;
-      best_delay = idx;
+      best_delay = static_cast<std::int32_t>(i);
     }
     if (power_mode && q_final >= -options.slack_tolerance_fs) {
       // Selection order: total width, then repeater count, then slack.
       const bool better =
-          l.width_u < best_width ||
-          (l.width_u == best_width &&
-           (l.count < best_count ||
-            (l.count == best_count && q_final > best_q)));
+          front->width_u[i] < best_width ||
+          (front->width_u[i] == best_width &&
+           (front->count[i] < best_count ||
+            (front->count[i] == best_count && q_final > best_q)));
       if (better) {
-        best_width = l.width_u;
-        best_count = l.count;
+        best_width = front->width_u[i];
+        best_count = front->count[i];
         best_q = q_final;
-        best = idx;
+        best = static_cast<std::int32_t>(i);
       }
     }
   }
   RIP_ASSERT(best_delay >= 0, "DP lost all labels");
 
+  result.stats.arena_peak = ws.a_parent.size();
+
   const double target = power_mode ? options.timing_target_fs : 0.0;
-  result.min_delay_solution =
-      reconstruct(arena, best_delay, library, candidates_um);
+  const auto delay_i = static_cast<std::size_t>(best_delay);
+  if (options.reconstruct_solutions) {
+    result.min_delay_solution =
+        reconstruct(ws, front->node[delay_i], front->count[delay_i], library,
+                    candidates_um);
+  }
   result.min_delay_fs = target - best_delay_q;
 
   if (power_mode) {
     if (best >= 0) {
+      const auto best_i = static_cast<std::size_t>(best);
       result.status = Status::kOptimal;
-      result.solution = reconstruct(arena, best, library, candidates_um);
-      result.total_width_u = arena[best].width_u;
+      if (options.reconstruct_solutions) {
+        result.solution = reconstruct(ws, front->node[best_i],
+                                      front->count[best_i], library,
+                                      candidates_um);
+      }
+      result.total_width_u = front->width_u[best_i];
       result.delay_fs = target - best_q;
     } else {
       result.status = Status::kInfeasible;
@@ -213,10 +376,18 @@ ChainDpResult run_chain_dp(const net::Net& net,
     }
   } else {
     result.status = Status::kOptimal;
-    result.solution = result.min_delay_solution;
-    result.total_width_u = result.solution.total_width_u();
+    if (options.reconstruct_solutions) result.solution = result.min_delay_solution;
+    result.total_width_u = front->width_u[delay_i];
     result.delay_fs = result.min_delay_fs;
   }
+
+  ++ws.stats_.chain_solves;
+  ws.stats_.labels_created += result.stats.labels_created;
+  ws.stats_.labels_pruned += result.stats.labels_pruned;
+  ws.stats_.peak_frontier_labels =
+      std::max(ws.stats_.peak_frontier_labels, result.stats.labels_peak);
+  ws.stats_.peak_arena_labels =
+      std::max(ws.stats_.peak_arena_labels, result.stats.arena_peak);
   return result;
 }
 

@@ -17,6 +17,12 @@
 ///    hybrid scheme attacks.
 ///  - kMinDelay: classic van Ginneken maximum-slack recursion, used to
 ///    compute tau_min for setting timing targets.
+///
+/// The kernel is allocation-free in steady state: all label storage is
+/// structure-of-arrays inside a reusable dp::Workspace (workspace.hpp),
+/// wire propagation across a candidate interval is a precomputed affine
+/// map `q -= R_tot*C + K; C += C_tot` applied to the contiguous frontier,
+/// and dominance pruning runs over a sorted flat-vector Pareto staircase.
 
 #include <cstddef>
 #include <vector>
@@ -27,6 +33,8 @@
 #include "tech/technology.hpp"
 
 namespace rip::dp {
+
+class Workspace;
 
 /// Optimization objective.
 enum class Mode {
@@ -48,20 +56,44 @@ struct ChainDpOptions {
   /// are accepted (guards against float round-off at the boundary).
   double slack_tolerance_fs = 1e-6;
   /// Optional per-candidate restriction: allowed_buffers[i] lists the
-  /// library indices that may be inserted at candidate i. Empty list =
-  /// no repeater allowed there; nullptr = the whole library everywhere.
+  /// library indices that may be inserted at candidate i, sorted
+  /// ascending (the kernel concatenates the per-buffer label groups
+  /// into a capacitance-sorted run, which is only a sorted run when the
+  /// indices — and therefore the widths and input loads — ascend;
+  /// run_chain_dp rejects unsorted lists). Empty list = no repeater
+  /// allowed there; nullptr = the whole library everywhere.
   /// RIP's stage 3 uses this to tie each REFINE repeater's bracketed
   /// widths to its own location window, which collapses the
   /// pseudo-polynomial width lattice the final DP would otherwise
   /// explore.
   const std::vector<std::vector<std::int16_t>>* allowed_buffers = nullptr;
+  /// Skip building the RepeaterSolution outputs; status, widths, delays,
+  /// and stats are still filled. Stat-only sweeps and the kernel bench
+  /// use this so steady-state solves on a reused workspace perform zero
+  /// heap allocations.
+  bool reconstruct_solutions = true;
 };
 
-/// Label-count statistics (for the scaling benchmarks).
+/// Label-count statistics (for the scaling benchmarks and the kernel
+/// bench). All fields are a deterministic function of the solver inputs
+/// except `workspace_reuses`, which reports how warm the workspace was.
 struct DpStats {
   std::size_t labels_created = 0;   ///< labels materialized over the sweep
   std::size_t labels_peak = 0;      ///< largest pruned set at any position
   std::size_t positions = 0;        ///< candidate count
+  std::size_t labels_pruned = 0;    ///< labels removed by dominance pruning
+  std::size_t arena_peak = 0;       ///< reconstruction-arena entries kept
+  /// Solves this workspace had already served before this one (the
+  /// arena-reuse observability counter; 0 = cold workspace).
+  std::size_t workspace_reuses = 0;
+
+  /// Fraction of created labels that pruning discarded.
+  double prune_ratio() const {
+    return labels_created == 0
+               ? 0.0
+               : static_cast<double>(labels_pruned) /
+                     static_cast<double>(labels_created);
+  }
 };
 
 /// Result of a DP run.
@@ -84,10 +116,19 @@ struct ChainDpResult {
 /// strictly inside (0, L); illegal positions (inside forbidden zones) are
 /// rejected with rip::Error — generate candidates with
 /// net::uniform_candidates / net::window_candidates.
+///
+/// The first overload solves on this thread's Workspace::local(); the
+/// second reuses the caller's workspace (its prior contents never affect
+/// the result — only how much memory is already warm).
 ChainDpResult run_chain_dp(const net::Net& net,
                            const tech::RepeaterDevice& device,
                            const RepeaterLibrary& library,
                            const std::vector<double>& candidates_um,
                            const ChainDpOptions& options);
+ChainDpResult run_chain_dp(const net::Net& net,
+                           const tech::RepeaterDevice& device,
+                           const RepeaterLibrary& library,
+                           const std::vector<double>& candidates_um,
+                           const ChainDpOptions& options, Workspace& ws);
 
 }  // namespace rip::dp

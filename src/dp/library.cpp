@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tech/technology.hpp"
 #include "util/error.hpp"
 
 namespace rip::dp {
@@ -28,6 +29,18 @@ double RepeaterLibrary::round_to_library(double w) const {
   const double hi = *it;
   const double lo = *(it - 1);
   return (w - lo < hi - w) ? lo : hi;
+}
+
+void RepeaterLibrary::fill_device_terms(const tech::RepeaterDevice& device,
+                                        std::vector<double>& load_ff,
+                                        std::vector<double>& rs_over_w) const {
+  const std::size_t n = widths_u_.size();
+  load_ff.resize(n);
+  rs_over_w.resize(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    load_ff[b] = device.co_ff * widths_u_[b];
+    rs_over_w[b] = device.rs_ohm / widths_u_[b];
+  }
 }
 
 RepeaterLibrary RepeaterLibrary::uniform(double min_width_u,

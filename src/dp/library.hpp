@@ -12,6 +12,10 @@
 
 #include <vector>
 
+namespace rip::tech {
+struct RepeaterDevice;
+}  // namespace rip::tech
+
 namespace rip::dp {
 
 /// An immutable sorted set of allowed repeater widths (in units of u).
@@ -28,6 +32,16 @@ class RepeaterLibrary {
 
   /// The library width closest to `w` (ties round up).
   double round_to_library(double w) const;
+
+  /// Per-width device terms the DP gate-delay recurrence needs: the
+  /// input load C_o * w_b and the driving resistance R_s / w_b, one
+  /// entry per library width. The kernels fill these once per solve
+  /// into workspace-owned buffers (resized, capacity reused) instead of
+  /// dividing per label — the division is the expensive part of the
+  /// inner loop. Both vectors are fully overwritten.
+  void fill_device_terms(const tech::RepeaterDevice& device,
+                         std::vector<double>& load_ff,
+                         std::vector<double>& rs_over_w) const;
 
   /// Library of `count` widths starting at `min_width` with uniform
   /// `granularity` spacing — the baseline DP library of Table 1.

@@ -29,9 +29,14 @@ struct MinDelayResult {
   double unbuffered_delay_fs = 0;    ///< delay with no repeaters at all
 };
 
-/// Compute tau_min by running the DP in kMinDelay mode.
+/// Compute tau_min by running the DP in kMinDelay mode. The first
+/// overload solves on this thread's Workspace::local(); the second
+/// reuses the caller's workspace arenas.
 MinDelayResult min_delay(const net::Net& net,
                          const tech::RepeaterDevice& device,
                          const MinDelayOptions& options = {});
+MinDelayResult min_delay(const net::Net& net,
+                         const tech::RepeaterDevice& device,
+                         const MinDelayOptions& options, Workspace& ws);
 
 }  // namespace rip::dp

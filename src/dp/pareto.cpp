@@ -1,7 +1,6 @@
 #include "dp/pareto.hpp"
 
 #include <algorithm>
-#include <map>
 
 namespace rip::dp {
 
@@ -12,7 +11,45 @@ bool dominates(const Label& a, const Label& b, bool use_width) {
   return true;
 }
 
+bool FlatFrontier::try_insert(double q_fs, double width_u) {
+  // First staircase point with q' >= q; if its width is no larger, the
+  // candidate is dominated.
+  const std::size_t pos = static_cast<std::size_t>(
+      std::lower_bound(q_.begin(), q_.end(), q_fs) - q_.begin());
+  if (pos < q_.size() && w_[pos] <= width_u) return false;
+
+  // The new point dominates the points with q' <= q and width' >= width.
+  // Widths ascend with q, so those are exactly the contiguous run
+  // [lo, pos) — plus an exact-q entry at pos (its width must be larger,
+  // or we would have pruned above).
+  std::size_t hi = pos;
+  if (hi < q_.size() && q_[hi] == q_fs) ++hi;
+  const std::size_t lo = static_cast<std::size_t>(
+      std::lower_bound(w_.begin(), w_.begin() + static_cast<std::ptrdiff_t>(pos),
+                       width_u) -
+      w_.begin());
+  if (lo < hi) {
+    // Overwrite the first evicted slot, splice out the rest.
+    q_[lo] = q_fs;
+    w_[lo] = width_u;
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+             q_.begin() + static_cast<std::ptrdiff_t>(hi));
+    w_.erase(w_.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+             w_.begin() + static_cast<std::ptrdiff_t>(hi));
+  } else {
+    q_.insert(q_.begin() + static_cast<std::ptrdiff_t>(lo), q_fs);
+    w_.insert(w_.begin() + static_cast<std::ptrdiff_t>(lo), width_u);
+  }
+  return true;
+}
+
 void prune_dominated(std::vector<Label>& labels, bool use_width) {
+  thread_local FlatFrontier frontier;
+  prune_dominated(labels, use_width, frontier);
+}
+
+void prune_dominated(std::vector<Label>& labels, bool use_width,
+                     FlatFrontier& frontier) {
   if (labels.size() <= 1) return;
   // Sort by C ascending; ties by q descending, then width ascending.
   // After this, a label can only be dominated by one that precedes it.
@@ -22,49 +59,32 @@ void prune_dominated(std::vector<Label>& labels, bool use_width) {
     return a.width_u < b.width_u;
   });
 
-  std::vector<Label> kept;
-  kept.reserve(labels.size());
-
+  // Compact survivors toward the front in place; kept <= i always, so
+  // the write never clobbers an unread label.
+  std::size_t kept = 0;
   if (!use_width) {
     // 2-D: keep a label iff its q strictly exceeds the best q seen.
     double best_q = -1e300;
-    for (const Label& l : labels) {
-      if (l.q_fs > best_q) {
-        kept.push_back(l);
-        best_q = l.q_fs;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i].q_fs > best_q) {
+        best_q = labels[i].q_fs;
+        if (kept != i) labels[kept] = labels[i];
+        ++kept;
       }
     }
   } else {
-    // 3-D: maintain the staircase frontier of (q, width) over all labels
-    // seen so far (all of which have C <= current C). A new label is
-    // dominated iff some seen label has q' >= q and width' <= width.
-    // The frontier keeps only points not dominated by another seen point,
-    // so ordered by q ascending the widths are strictly ascending.
-    std::map<double, double> frontier;  // q -> width
-    for (const Label& l : labels) {
-      auto it = frontier.lower_bound(l.q_fs);  // first q' >= q
-      if (it != frontier.end() && it->second <= l.width_u) {
-        continue;  // dominated
+    // 3-D: a label survives iff the (q, width) staircase over all labels
+    // seen so far (all of which have C <= current C) does not dominate it.
+    frontier.clear();
+    frontier.reserve(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (frontier.try_insert(labels[i].q_fs, labels[i].width_u)) {
+        if (kept != i) labels[kept] = labels[i];
+        ++kept;
       }
-      kept.push_back(l);
-      // Insert (q, width); drop frontier points with q' <= q and
-      // width' >= width, which the new point dominates. That includes an
-      // exact-q entry (its width must be larger, or we'd have pruned).
-      if (it != frontier.end() && it->first == l.q_fs) {
-        it = frontier.erase(it);
-      }
-      while (it != frontier.begin()) {
-        auto prev = std::prev(it);
-        if (prev->second >= l.width_u) {
-          it = frontier.erase(prev);
-        } else {
-          break;
-        }
-      }
-      frontier.emplace(l.q_fs, l.width_u);
     }
   }
-  labels = std::move(kept);
+  labels.resize(kept);
 }
 
 }  // namespace rip::dp

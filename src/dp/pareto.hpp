@@ -8,6 +8,12 @@
 /// required arrival time, and no-larger total repeater width (Lillis'
 /// power-aware generalization of van Ginneken pruning). Delay mode prunes
 /// in 2-D (C, q), ignoring p.
+///
+/// The frontier itself is a sorted flat vector pair (FlatFrontier), not a
+/// node-based tree: staircase queries are binary searches over contiguous
+/// doubles and updates are single splices, so pruning allocates nothing
+/// once the vectors have warmed up — the property the zero-allocation DP
+/// workspace (dp/workspace.hpp) is built on.
 
 #include <cstdint>
 #include <vector>
@@ -29,10 +35,41 @@ struct Label {
   std::int16_t count = 0;
 };
 
-/// Remove dominated labels from `labels`, in place. If `use_width` is
-/// false the width field is ignored (pure delay mode). Exactly one of any
-/// set of mutually identical labels is kept. O(n log n).
+/// The (q, width) staircase over every label seen so far during a 3-D
+/// prune: only points not dominated by another seen point are kept, so
+/// ordered by q ascending the widths are strictly ascending too. Stored
+/// as two parallel sorted flat vectors; clear() keeps the capacity, so a
+/// reused frontier allocates nothing in steady state.
+class FlatFrontier {
+ public:
+  void clear() {
+    q_.clear();
+    w_.clear();
+  }
+  void reserve(std::size_t n) {
+    q_.reserve(n);
+    w_.reserve(n);
+  }
+  std::size_t size() const { return q_.size(); }
+
+  /// If some seen point has q' >= q and width' <= width, the candidate
+  /// is dominated: return false and leave the staircase unchanged.
+  /// Otherwise insert it, evict the points it dominates, return true.
+  bool try_insert(double q_fs, double width_u);
+
+ private:
+  std::vector<double> q_;  ///< ascending
+  std::vector<double> w_;  ///< parallel to q_, ascending
+};
+
+/// Remove dominated labels from `labels`, in place (compaction, no side
+/// copy). If `use_width` is false the width field is ignored (pure delay
+/// mode). Exactly one of any set of mutually identical labels is kept.
+/// O(n log n). The two-argument overload uses a thread-local frontier;
+/// the three-argument one reuses the caller's (dp::Workspace::frontier).
 void prune_dominated(std::vector<Label>& labels, bool use_width);
+void prune_dominated(std::vector<Label>& labels, bool use_width,
+                     FlatFrontier& frontier);
 
 /// True if `a` dominates `b` (a at least as good in every tracked
 /// dimension). Identical labels dominate each other.

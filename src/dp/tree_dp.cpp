@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dp/pareto.hpp"
+#include "dp/workspace.hpp"
 #include "util/error.hpp"
 
 namespace rip::dp {
@@ -49,18 +50,6 @@ std::size_t TreeSolution::repeater_count() const {
 
 namespace {
 
-/// Tree labels form a DAG: merged labels have two parents.
-struct TreeLabel {
-  double cap_ff = 0;
-  double q_fs = 0;
-  double width_u = 0;
-  std::int32_t left = -1;    ///< arena index (child branch / downstream)
-  std::int32_t right = -1;   ///< arena index (second branch on a merge)
-  std::int32_t node = -1;    ///< node where a repeater was inserted
-  std::int16_t buffer = -1;  ///< library index of that repeater
-  std::int16_t count = 0;    ///< downstream repeater count (tie-breaks)
-};
-
 Label to_flat(const TreeLabel& t) {
   Label l;
   l.cap_ff = t.cap_ff;
@@ -69,36 +58,35 @@ Label to_flat(const TreeLabel& t) {
   return l;
 }
 
-double gate_delay_fs(const tech::RepeaterDevice& device, double w,
-                     double cap_ff) {
-  return device.rs_ohm * device.cp_ff + device.rs_ohm / w * cap_ff;
-}
-
-/// Prune a set of tree labels via the flat-label pruner, preserving the
-/// surviving tree labels.
-void prune_tree_labels(std::vector<TreeLabel>& labels, bool use_width,
-                       std::vector<Label>& flat_scratch) {
-  if (labels.size() <= 1) return;
-  flat_scratch.clear();
-  flat_scratch.reserve(labels.size());
+/// Prune a set of tree labels via the flat-label pruner, compacting the
+/// survivors through the workspace's kept buffer (capacity reused).
+/// Returns how many labels were pruned away.
+std::size_t prune_tree_labels(std::vector<TreeLabel>& labels, bool use_width,
+                              Workspace& ws) {
+  if (labels.size() <= 1) return 0;
+  const std::size_t before = labels.size();
+  ws.tree_flat.clear();
+  ws.tree_flat.reserve(labels.size());
   for (std::size_t i = 0; i < labels.size(); ++i) {
     Label f = to_flat(labels[i]);
     f.parent = static_cast<std::int32_t>(i);  // remember origin
-    flat_scratch.push_back(f);
+    ws.tree_flat.push_back(f);
   }
-  prune_dominated(flat_scratch, use_width);
-  std::vector<TreeLabel> kept;
-  kept.reserve(flat_scratch.size());
-  for (const Label& f : flat_scratch)
-    kept.push_back(labels[static_cast<std::size_t>(f.parent)]);
-  labels = std::move(kept);
+  prune_dominated(ws.tree_flat, use_width, ws.frontier);
+  ws.tree_kept.clear();
+  ws.tree_kept.reserve(ws.tree_flat.size());
+  for (const Label& f : ws.tree_flat)
+    ws.tree_kept.push_back(labels[static_cast<std::size_t>(f.parent)]);
+  labels.swap(ws.tree_kept);
+  return before - labels.size();
 }
 
 void collect_buffers(const std::vector<TreeLabel>& arena, std::int32_t idx,
-                     TreeSolution& solution,
-                     const RepeaterLibrary& library) {
+                     TreeSolution& solution, const RepeaterLibrary& library,
+                     std::vector<std::int32_t>& stack) {
   // Iterative DFS over the label DAG.
-  std::vector<std::int32_t> stack{idx};
+  stack.clear();
+  stack.push_back(idx);
   while (!stack.empty()) {
     const std::int32_t cur = stack.back();
     stack.pop_back();
@@ -120,6 +108,15 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
                          double driver_width_u,
                          const RepeaterLibrary& library,
                          const ChainDpOptions& options) {
+  return run_tree_dp(tree, device, driver_width_u, library, options,
+                     Workspace::local());
+}
+
+TreeDpResult run_tree_dp(const BufferTree& tree,
+                         const tech::RepeaterDevice& device,
+                         double driver_width_u,
+                         const RepeaterLibrary& library,
+                         const ChainDpOptions& options, Workspace& ws) {
   const auto& nodes = tree.nodes();
   RIP_REQUIRE(driver_width_u > 0, "driver width must be positive");
   RIP_REQUIRE(tree.sink_count() > 0, "tree has no sinks");
@@ -139,23 +136,35 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
       }
     }
   }
-  std::vector<std::int16_t> all_indices(library.size());
+
+  // Per-solve precompute, shared with the chain kernel: input loads and
+  // driving resistances per library width, plus the intrinsic delay.
+  library.fill_device_terms(device, ws.lib_load_ff, ws.lib_rs_over_w);
+  const double intrinsic_fs = device.rs_ohm * device.cp_ff;
+  const std::vector<double>& widths = library.widths_u();
+  ws.all_buffers.resize(library.size());
   for (std::size_t b = 0; b < library.size(); ++b)
-    all_indices[b] = static_cast<std::int16_t>(b);
+    ws.all_buffers[b] = static_cast<std::int16_t>(b);
 
   TreeDpResult result;
   result.stats.positions = nodes.size();
+  result.stats.workspace_reuses = ws.stats_.solves();
 
-  std::vector<TreeLabel> arena;
-  std::vector<std::vector<TreeLabel>> node_labels(nodes.size());
-  std::vector<Label> flat_scratch;
+  ws.tree_arena.clear();
+  // The per-node label pool: vectors keep their capacity across solves
+  // and circulate between slots by swap, so a steady-state solve of the
+  // same topology reuses every buffer.
+  ws.tree_node_labels.resize(nodes.size());
+  auto& arena = ws.tree_arena;
+  auto& node_labels = ws.tree_node_labels;
 
   // Children have larger indices than parents (enforced by add_node), so
   // a reverse index sweep is a bottom-up traversal.
   for (std::size_t ni = nodes.size(); ni-- > 0;) {
     const auto& node = nodes[ni];
     const auto& kids = tree.children()[ni];
-    std::vector<TreeLabel> labels;
+    std::vector<TreeLabel>& labels = node_labels[ni];
+    labels.clear();
 
     if (kids.empty()) {
       RIP_REQUIRE(node.is_sink, "leaf node is not a sink");
@@ -163,27 +172,28 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
       seed.cap_ff = node.sink_cap_ff;
       seed.q_fs = power_mode ? options.timing_target_fs : 0.0;
       labels.push_back(seed);
+      ++result.stats.labels_created;
     } else {
       // Merge children branch sets: C adds, q takes the min, p adds.
-      labels = std::move(node_labels[static_cast<std::size_t>(kids[0])]);
+      labels.swap(node_labels[static_cast<std::size_t>(kids[0])]);
       for (std::size_t k = 1; k < kids.size(); ++k) {
         auto& other = node_labels[static_cast<std::size_t>(kids[k])];
         // Materialize the operands in the arena once, so merged labels
         // can reference them for reconstruction.
-        std::vector<std::int32_t> a_idx;
-        std::vector<std::int32_t> b_idx;
-        a_idx.reserve(labels.size());
-        b_idx.reserve(other.size());
+        ws.tree_aidx.clear();
+        ws.tree_bidx.clear();
+        ws.tree_aidx.reserve(labels.size());
+        ws.tree_bidx.reserve(other.size());
         for (const TreeLabel& a : labels) {
           arena.push_back(a);
-          a_idx.push_back(static_cast<std::int32_t>(arena.size() - 1));
+          ws.tree_aidx.push_back(static_cast<std::int32_t>(arena.size() - 1));
         }
         for (const TreeLabel& b : other) {
           arena.push_back(b);
-          b_idx.push_back(static_cast<std::int32_t>(arena.size() - 1));
+          ws.tree_bidx.push_back(static_cast<std::int32_t>(arena.size() - 1));
         }
-        std::vector<TreeLabel> merged;
-        merged.reserve(labels.size() * other.size());
+        ws.tree_build.clear();
+        ws.tree_build.reserve(labels.size() * other.size());
         for (std::size_t i = 0; i < labels.size(); ++i) {
           for (std::size_t j = 0; j < other.size(); ++j) {
             const TreeLabel& a = labels[i];
@@ -193,16 +203,16 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
             m.q_fs = std::min(a.q_fs, b.q_fs);
             m.width_u = a.width_u + b.width_u;
             m.count = static_cast<std::int16_t>(a.count + b.count);
-            m.left = a_idx[i];
-            m.right = b_idx[j];
-            merged.push_back(m);
+            m.left = ws.tree_aidx[i];
+            m.right = ws.tree_bidx[j];
+            ws.tree_build.push_back(m);
           }
         }
-        result.stats.labels_created += merged.size();
-        prune_tree_labels(merged, power_mode, flat_scratch);
-        labels = std::move(merged);
+        result.stats.labels_created += ws.tree_build.size();
+        result.stats.labels_pruned +=
+            prune_tree_labels(ws.tree_build, power_mode, ws);
+        labels.swap(ws.tree_build);
         other.clear();
-        other.shrink_to_fit();
       }
       // A sink can also be an internal tap: add its pin cap.
       if (node.is_sink) {
@@ -211,21 +221,23 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
     }
 
     // Optional repeater at this node.
-    const std::vector<std::int16_t>* allowed =
-        options.allowed_buffers != nullptr ? &(*options.allowed_buffers)[ni]
-                                           : &all_indices;
-    if (node.candidate && !allowed->empty()) {
+    const std::vector<std::int16_t>& allowed =
+        options.allowed_buffers != nullptr ? (*options.allowed_buffers)[ni]
+                                           : ws.all_buffers;
+    if (node.candidate && !allowed.empty()) {
       const std::size_t base = labels.size();
+      labels.reserve(base * (1 + allowed.size()));
       for (std::size_t i = 0; i < base; ++i) {
         const TreeLabel down = labels[i];
         arena.push_back(down);
         const auto down_idx = static_cast<std::int32_t>(arena.size() - 1);
-        for (const std::int16_t b : *allowed) {
-          const double w = library.widths_u()[static_cast<std::size_t>(b)];
+        for (const std::int16_t b : allowed) {
+          const auto bi = static_cast<std::size_t>(b);
           TreeLabel up;
-          up.cap_ff = device.co_ff * w;
-          up.q_fs = down.q_fs - gate_delay_fs(device, w, down.cap_ff);
-          up.width_u = down.width_u + w;
+          up.cap_ff = ws.lib_load_ff[bi];
+          up.q_fs =
+              down.q_fs - (intrinsic_fs + ws.lib_rs_over_w[bi] * down.cap_ff);
+          up.width_u = down.width_u + widths[bi];
           up.left = down_idx;
           up.node = static_cast<std::int32_t>(ni);
           up.buffer = b;
@@ -233,8 +245,8 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
           labels.push_back(up);
         }
       }
-      result.stats.labels_created += allowed->size() * base;
-      prune_tree_labels(labels, power_mode, flat_scratch);
+      result.stats.labels_created += allowed.size() * base;
+      result.stats.labels_pruned += prune_tree_labels(labels, power_mode, ws);
     }
 
     // Traverse the edge to the parent (lumped pi: half the edge cap on
@@ -247,7 +259,6 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
     }
     result.stats.labels_peak =
         std::max(result.stats.labels_peak, labels.size());
-    node_labels[ni] = std::move(labels);
   }
 
   // Driver at the root.
@@ -260,9 +271,10 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
   int best_count = 0;
   double best_q = -std::numeric_limits<double>::infinity();
   double best_delay_q = -std::numeric_limits<double>::infinity();
+  const double driver_rs_over_w = device.rs_ohm / driver_width_u;
   for (const TreeLabel& l : root_labels) {
     const double q_final =
-        l.q_fs - gate_delay_fs(device, driver_width_u, l.cap_ff);
+        l.q_fs - (intrinsic_fs + driver_rs_over_w * l.cap_ff);
     if (q_final > best_delay_q) {
       best_delay_q = q_final;
       best_delay = &l;
@@ -282,6 +294,8 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
     }
   }
 
+  result.stats.arena_peak = arena.size();
+
   auto reconstruct = [&](const TreeLabel& l) {
     TreeSolution s;
     s.width_u.assign(nodes.size(), 0.0);
@@ -289,17 +303,19 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
       s.width_u[static_cast<std::size_t>(l.node)] =
           library.widths_u()[static_cast<std::size_t>(l.buffer)];
     }
-    collect_buffers(arena, l.left, s, library);
-    collect_buffers(arena, l.right, s, library);
+    collect_buffers(arena, l.left, s, library, ws.tree_stack);
+    collect_buffers(arena, l.right, s, library, ws.tree_stack);
     return s;
   };
 
   result.min_delay_fs = target - best_delay_q;
-  result.min_delay_solution = reconstruct(*best_delay);
+  if (options.reconstruct_solutions) {
+    result.min_delay_solution = reconstruct(*best_delay);
+  }
   if (power_mode) {
     if (best != nullptr) {
       result.status = Status::kOptimal;
-      result.solution = reconstruct(*best);
+      if (options.reconstruct_solutions) result.solution = reconstruct(*best);
       result.total_width_u = best->width_u;
       result.delay_fs = target - best_q;
     } else {
@@ -308,24 +324,42 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
     }
   } else {
     result.status = Status::kOptimal;
-    result.solution = result.min_delay_solution;
-    result.total_width_u = result.solution.total_width_u();
+    if (options.reconstruct_solutions) result.solution = result.min_delay_solution;
+    result.total_width_u = best_delay->width_u;
     result.delay_fs = result.min_delay_fs;
   }
+
+  ++ws.stats_.tree_solves;
+  ws.stats_.labels_created += result.stats.labels_created;
+  ws.stats_.labels_pruned += result.stats.labels_pruned;
+  ws.stats_.peak_frontier_labels =
+      std::max(ws.stats_.peak_frontier_labels, result.stats.labels_peak);
+  ws.stats_.peak_arena_labels =
+      std::max(ws.stats_.peak_arena_labels, result.stats.arena_peak);
   return result;
 }
 
 double tree_delay_fs(const BufferTree& tree,
                      const tech::RepeaterDevice& device,
                      double driver_width_u, const TreeSolution& solution) {
+  return tree_delay_fs(tree, device, driver_width_u, solution,
+                       Workspace::local());
+}
+
+double tree_delay_fs(const BufferTree& tree,
+                     const tech::RepeaterDevice& device,
+                     double driver_width_u, const TreeSolution& solution,
+                     Workspace& ws) {
   const auto& nodes = tree.nodes();
   RIP_REQUIRE(solution.width_u.size() == nodes.size(),
               "solution size does not match tree");
   // Bottom-up evaluation mirroring the DP but over a fixed assignment:
   // carry (C, d_worst) per node where d_worst is the worst delay from
   // this node down to any sink below it.
-  std::vector<double> cap(nodes.size(), 0.0);
-  std::vector<double> delay(nodes.size(), 0.0);
+  ws.tree_cap.assign(nodes.size(), 0.0);
+  ws.tree_delay.assign(nodes.size(), 0.0);
+  std::vector<double>& cap = ws.tree_cap;
+  std::vector<double>& delay = ws.tree_delay;
   for (std::size_t ni = nodes.size(); ni-- > 0;) {
     const auto& node = nodes[ni];
     double c = node.is_sink ? node.sink_cap_ff : 0.0;

@@ -1,0 +1,16 @@
+#include "dp/workspace.hpp"
+
+namespace rip::dp {
+
+Workspace& Workspace::local() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+void Workspace::release_memory() {
+  const WorkspaceStats kept = stats_;
+  *this = Workspace();
+  stats_ = kept;
+}
+
+}  // namespace rip::dp

@@ -1,0 +1,190 @@
+#pragma once
+
+/// @file workspace.hpp
+/// Reusable solver state for the DP kernels.
+///
+/// The chain and tree DPs are the hot path of every experiment: a sweep
+/// evaluates millions of (net, target, library) cases and each case runs
+/// one or more DP solves. A Workspace owns every piece of dynamic memory
+/// those solves need — structure-of-arrays label arenas, dominance-prune
+/// scratch, the flat Pareto frontier, per-solve library terms, wire-piece
+/// buffers — and hands it back, capacity intact, solve after solve. After
+/// a warm-up solve per shape, steady-state solves perform zero heap
+/// allocations in the kernel (bench_dp asserts this with a counting
+/// operator new).
+///
+/// Threading model: a Workspace is single-threaded state. Every solver
+/// entry point takes an optional `Workspace&`; the parameterless
+/// overloads use `Workspace::local()`, one workspace per thread, so each
+/// participant of the persistent scheduler (eval/parallel.hpp,
+/// eval/service.hpp) reuses its own arenas across the cases it steals.
+/// Solver results are a pure function of the solver inputs — never of
+/// the workspace's prior contents — which tests/pareto_property_test.cpp
+/// proves by bit-comparing fresh-workspace and reused-workspace solves.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dp/pareto.hpp"
+#include "net/net.hpp"
+#include "net/solution.hpp"
+
+namespace rip::dp {
+
+/// Tree labels form a DAG: merged labels have two parents. Owned by the
+/// tree-DP kernel (tree_dp.cpp); declared here so the workspace can pool
+/// its arenas.
+struct TreeLabel {
+  double cap_ff = 0;
+  double q_fs = 0;
+  double width_u = 0;
+  std::int32_t left = -1;    ///< arena index (child branch / downstream)
+  std::int32_t right = -1;   ///< arena index (second branch on a merge)
+  std::int32_t node = -1;    ///< node where a repeater was inserted
+  std::int16_t buffer = -1;  ///< library index of that repeater
+  std::int16_t count = 0;    ///< downstream repeater count (tie-breaks)
+};
+
+/// The chain DP's alive label set, structure-of-arrays. The value
+/// fields (cap/q/width) are contiguous so affine wire propagation is a
+/// straight vectorizable loop; count rides along for the final
+/// tie-break; node points into the reconstruction arena. The kernel
+/// keeps two of these and ping-pongs between them each candidate step.
+struct ChainFrontier {
+  std::vector<double> cap_ff;
+  std::vector<double> q_fs;
+  std::vector<double> width_u;
+  std::vector<std::int16_t> count;
+  std::vector<std::int32_t> node;
+
+  std::size_t size() const { return cap_ff.size(); }
+  void clear() {
+    cap_ff.clear();
+    q_fs.clear();
+    width_u.clear();
+    count.clear();
+    node.clear();
+  }
+  void reserve(std::size_t n) {
+    cap_ff.reserve(n);
+    q_fs.reserve(n);
+    width_u.reserve(n);
+    count.reserve(n);
+    node.reserve(n);
+  }
+  void push(double cap, double q, double width, std::int16_t cnt,
+            std::int32_t nd) {
+    cap_ff.push_back(cap);
+    q_fs.push_back(q);
+    width_u.push_back(width);
+    count.push_back(cnt);
+    node.push_back(nd);
+  }
+};
+
+/// One candidate label of a single buffer-insertion group during the
+/// chain DP's candidate step. Every label of group b shares the same
+/// downstream capacitance (the buffer's input load), so only (q, width,
+/// origin) vary — 24 bytes, sorted cache-resident per group.
+struct GroupEntry {
+  double q_fs;
+  double width_u;
+  std::int32_t origin;  ///< index into the old frontier
+};
+
+/// A group survivor after the within-group dominance filter, tagged
+/// with its buffer for arena materialization.
+struct ExpandLabel {
+  double cap_ff;
+  double q_fs;
+  double width_u;
+  std::int32_t origin;
+  std::int16_t buffer;
+};
+
+/// Cumulative counters of one workspace, across every solve it served.
+/// (Per-solve, input-deterministic counters live in DpStats instead.)
+struct WorkspaceStats {
+  std::size_t chain_solves = 0;  ///< chain DP solves served
+  std::size_t tree_solves = 0;   ///< tree DP solves served
+  std::size_t labels_created = 0;     ///< labels materialized, cumulative
+  std::size_t labels_pruned = 0;      ///< labels dominance-pruned, cumulative
+  std::size_t peak_frontier_labels = 0;  ///< largest pruned frontier ever
+  std::size_t peak_arena_labels = 0;     ///< largest reconstruction arena ever
+
+  std::size_t solves() const { return chain_solves + tree_solves; }
+};
+
+/// Bump-style arena bundle for the DP kernels. All buffer members are
+/// internal solver state — public so the kernels (chain_dp.cpp,
+/// tree_dp.cpp, brute_force.cpp) can use them without indirection, but
+/// not part of the stable API; outside callers should only construct
+/// workspaces, pass them to solvers, and read stats().
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// This thread's workspace (thread_local). The parameterless solver
+  /// overloads use it, so scheduler workers automatically reuse one
+  /// arena set per thread.
+  static Workspace& local();
+
+  const WorkspaceStats& stats() const { return stats_; }
+
+  /// Drop every arena's memory (capacity included). Only useful for
+  /// memory-pressure tests; steady-state callers never need it.
+  void release_memory();
+
+  // ---- chain DP: the alive frontier double-buffer (current and next),
+  // the per-group expansion scratch, and the concatenated group
+  // survivors the merge step consumes.
+  ChainFrontier chain_front;
+  ChainFrontier chain_back;
+  std::vector<GroupEntry> group;
+  std::vector<ExpandLabel> expanded;
+
+  // ---- chain DP: append-only reconstruction arena. One entry per
+  // surviving repeater insertion; pass-throughs reuse their node.
+  std::vector<std::int32_t> a_parent;
+  std::vector<std::int32_t> a_pos;
+  std::vector<std::int16_t> a_buffer;
+
+  // ---- dominance pruning: the flat staircase frontier.
+  FlatFrontier frontier;
+
+  // ---- per-solve library terms (filled by RepeaterLibrary::
+  // fill_device_terms): input load co*w and driving rs/w per width.
+  std::vector<double> lib_load_ff;
+  std::vector<double> lib_rs_over_w;
+  std::vector<std::int16_t> all_buffers;  ///< 0..n-1 identity allowed-list
+
+  // ---- wire decomposition buffer (net::Net::pieces_between reuse).
+  std::vector<net::WirePiece> pieces;
+
+  // ---- repeater scratch (brute_force assignment expansion).
+  std::vector<net::Repeater> repeaters;
+
+  // ---- tree DP: label arena, per-node label pool (vectors keep their
+  // capacity across solves and circulate by swap), merge/prune scratch,
+  // and the flat mirror handed to prune_dominated.
+  std::vector<TreeLabel> tree_arena;
+  std::vector<std::vector<TreeLabel>> tree_node_labels;
+  std::vector<TreeLabel> tree_build;
+  std::vector<TreeLabel> tree_kept;
+  std::vector<Label> tree_flat;
+  std::vector<std::int32_t> tree_aidx;
+  std::vector<std::int32_t> tree_bidx;
+  std::vector<std::int32_t> tree_stack;
+  std::vector<double> tree_cap;    ///< tree_delay_fs bottom-up caps
+  std::vector<double> tree_delay;  ///< tree_delay_fs bottom-up delays
+
+  // Cumulative counters; kernels update them alongside DpStats.
+  WorkspaceStats stats_;
+};
+
+}  // namespace rip::dp

@@ -16,6 +16,10 @@
 #include "tech/technology.hpp"
 #include "util/table.hpp"
 
+namespace rip::dp {
+class Workspace;
+}  // namespace rip::dp
+
 namespace rip::eval {
 
 /// One (net, target) comparison of RIP against a DP baseline.
@@ -31,10 +35,15 @@ struct CaseResult {
   double improvement_pct = 0;
 };
 
-/// Run RIP and one baseline on a single (net, target) case.
+/// Run RIP and one baseline on a single (net, target) case. `workspace`
+/// is the DP arena set both solvers reuse; nullptr resolves to the
+/// calling thread's dp::Workspace::local() — the path scheduler workers
+/// take, so every participant of a parallel sweep reuses its own arenas
+/// case after case.
 CaseResult run_case(const net::Net& net, const tech::Technology& tech,
                     double tau_t_fs, const core::RipOptions& rip_options,
-                    const core::BaselineOptions& baseline_options);
+                    const core::BaselineOptions& baseline_options,
+                    dp::Workspace* workspace = nullptr);
 
 // ---------------------------------------------------------------- Table 1
 

@@ -21,6 +21,14 @@
 /// eval::EvalService (eval/service.hpp): it submits the shard's cases
 /// as one batch and waits, so the blocking and async front-ends share
 /// one execution path.
+///
+/// Memory model: every case's DP solves run on the evaluating thread's
+/// own dp::Workspace (the service hands each scheduler participant its
+/// Workspace::local()), so a long sweep performs zero steady-state
+/// allocations in the DP kernel regardless of how cases are stolen
+/// across workers. Workspace state never leaks into results — any
+/// (jobs, chunk, shard) combination stays bit-identical to the serial
+/// loop.
 
 #include <cstddef>
 #include <span>

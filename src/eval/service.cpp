@@ -1,5 +1,7 @@
 #include "eval/service.hpp"
 
+#include "dp/workspace.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -298,7 +300,11 @@ std::future<CaseResult> EvalService::submit(const Case& c,
   const tech::Technology& tech = *tech_;
   return submit_fn(
       [c, &tech] {
-        return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline);
+        // Evaluated on a service thread: hand the solve that thread's
+        // own DP workspace, so each scheduler participant reuses its
+        // arenas across every case it runs or steals.
+        return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline,
+                        &dp::Workspace::local());
       },
       priority);
 }
@@ -324,7 +330,9 @@ BatchHandle EvalService::submit_batch(const std::vector<Case>& cases,
     const Case c = cases[i];
     enqueue(
         [c, &tech] {
-          return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline);
+          // Same per-participant workspace hand-off as submit().
+          return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline,
+                          &dp::Workspace::local());
         },
         batch, i, priority);
   }

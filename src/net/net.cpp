@@ -119,24 +119,30 @@ double Net::capacitance_between_ff(double a_um, double b_um) const {
 }
 
 std::vector<WirePiece> Net::pieces_between(double a_um, double b_um) const {
+  std::vector<WirePiece> pieces;
+  pieces_between(a_um, b_um, pieces);
+  return pieces;
+}
+
+void Net::pieces_between(double a_um, double b_um,
+                         std::vector<WirePiece>& out) const {
   RIP_REQUIRE(a_um >= 0 && b_um <= total_length_um() && a_um <= b_um,
               "span out of range in net " + name_);
-  std::vector<WirePiece> pieces;
-  if (a_um == b_um) return pieces;
+  out.clear();
+  if (a_um == b_um) return;
   std::size_t seg = segment_index_at(a_um, Side::kDownstream);
   double pos = a_um;
   while (pos < b_um && seg < segments_.size()) {
     const double seg_end = prefix_len_[seg + 1];
     const double piece_end = std::min(seg_end, b_um);
     if (piece_end > pos) {
-      pieces.push_back(WirePiece{piece_end - pos,
-                                 segments_[seg].r_ohm_per_um,
-                                 segments_[seg].c_ff_per_um});
+      out.push_back(WirePiece{piece_end - pos,
+                              segments_[seg].r_ohm_per_um,
+                              segments_[seg].c_ff_per_um});
     }
     pos = piece_end;
     ++seg;
   }
-  return pieces;
 }
 
 bool Net::in_forbidden_zone(double pos_um) const {

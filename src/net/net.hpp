@@ -101,6 +101,13 @@ class Net {
   /// Zero-length output pieces are suppressed.
   std::vector<WirePiece> pieces_between(double a_um, double b_um) const;
 
+  /// Same decomposition into a caller-owned buffer (cleared first,
+  /// capacity reused). The DP kernels call this once per candidate
+  /// interval with a workspace buffer, so steady-state solves do not
+  /// allocate a pieces vector per interval.
+  void pieces_between(double a_um, double b_um,
+                      std::vector<WirePiece>& out) const;
+
   /// True if `pos` lies strictly inside any forbidden zone.
   bool in_forbidden_zone(double pos_um) const;
 
