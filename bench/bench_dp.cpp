@@ -10,7 +10,9 @@
 // in bench_env.hpp. Steady-state solves on a reused workspace must
 // allocate nothing: the bench exits non-zero if any warmed-up kernel
 // solve allocates (this is the regression gate for the zero-allocation
-// SoA kernel).
+// SoA kernel). A second parity pass reruns the same gate at jobs=8
+// using per-thread allocation counters — the parallel counts must
+// match the serial gate exactly (0), at any job count.
 //
 // Environment: RIP_BENCH_NETS / RIP_BENCH_TARGETS / RIP_BENCH_JOBS, with
 // --nets / --targets / --jobs overrides, like every other bench. Extra
@@ -58,6 +60,12 @@ struct ConfigReport {
   /// Max heap allocations in any single warmed-up kernel solve
   /// (reconstruction off); only measured at jobs == 1, else -1.
   long long steady_allocs_per_solve = -1;
+  /// Same gate measured under 8-way parallelism with per-thread
+  /// counters: each worker warms its own workspace on a case, then
+  /// samples its own thread-local allocation counter around a repeat of
+  /// that exact solve. Must equal the jobs=1 figure (0) — concurrency
+  /// may not change the allocation count.
+  long long steady_allocs_jobs8 = -1;
   /// Mean allocations of a full solve (reconstruction on), after
   /// warm-up; only measured at jobs == 1, else -1.
   double full_solve_allocs = -1;
@@ -104,6 +112,7 @@ int main(int argc, char** argv) try {
 
   std::vector<ConfigReport> reports;
   bool steady_state_clean = true;
+  bool alloc_parity_clean = true;
 
   for (const KernelConfig& cfg : configs) {
     const dp::RepeaterLibrary library = dp::RepeaterLibrary::uniform(
@@ -202,6 +211,28 @@ int main(int argc, char** argv) try {
       }
     }
 
+    // Allocation-parity pass: rerun the steady-state gate under 8-way
+    // parallelism. Each worker warms its own thread-local workspace on
+    // case i, then samples *its own* allocation counter around a repeat
+    // of that exact solve — ThreadAllocSample cannot absorb a
+    // neighbour's traffic the way a process-wide sample would, so the
+    // count is exact and the gate stays the strict zero of the serial
+    // pass. Runs regardless of --jobs (it is its own fixed-width pass).
+    {
+      std::vector<long long> parity_allocs(cases.size(), 0);
+      parallel_for_indexed(cases.size(), 8, policy, [&](std::size_t i) {
+        solve_case(i, kernel_options);  // warm this worker's workspace
+        const bench::ThreadAllocSample sample;
+        solve_case(i, kernel_options);
+        parity_allocs[i] = static_cast<long long>(sample.delta());
+      });
+      report.steady_allocs_jobs8 =
+          parity_allocs.empty()
+              ? 0
+              : *std::max_element(parity_allocs.begin(), parity_allocs.end());
+      if (report.steady_allocs_jobs8 != 0) alloc_parity_clean = false;
+    }
+
     report.mean_us_per_solve =
         report.solves == 0 ? 0
                            : total_s / static_cast<double>(report.solves) * 1e6;
@@ -231,7 +262,7 @@ int main(int argc, char** argv) try {
                 << ", full-solve allocs "
                 << fmt_f(report.full_solve_allocs, 1);
     }
-    std::cout << "\n";
+    std::cout << ", jobs8 allocs " << report.steady_allocs_jobs8 << "\n";
   }
 
   std::cout << "process heap: " << bench::alloc_count() << " allocations, "
@@ -257,7 +288,8 @@ int main(int argc, char** argv) try {
           << r.labels_per_solve << ", \"prune_ratio\": " << r.prune_ratio
           << ", \"labels_peak\": " << r.labels_peak << ", \"arena_peak\": "
           << r.arena_peak << ", \"steady_allocs_per_solve\": "
-          << r.steady_allocs_per_solve << ", \"full_solve_allocs\": "
+          << r.steady_allocs_per_solve << ", \"steady_allocs_jobs8\": "
+          << r.steady_allocs_jobs8 << ", \"full_solve_allocs\": "
           << r.full_solve_allocs << "}" << (i + 1 < reports.size() ? "," : "")
           << "\n";
     }
@@ -270,6 +302,11 @@ int main(int argc, char** argv) try {
     std::cerr << "FAIL: a warmed-up kernel solve allocated on a reused "
                  "workspace (steady_allocs_per_solve above must be 0)\n";
     return 3;
+  }
+  if (!alloc_parity_clean) {
+    std::cerr << "FAIL: a warmed-up kernel solve allocated under jobs=8 "
+                 "(steady_allocs_jobs8 must match the jobs=1 gate of 0)\n";
+    return 4;
   }
   return 0;
 } catch (const rip::Error& e) {

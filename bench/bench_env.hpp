@@ -36,12 +36,25 @@
 
 namespace rip::bench {
 namespace alloc_detail {
+// Process-wide totals. Relaxed fetch_add keeps every increment exact
+// (atomic RMW can never tear or drop a count — relaxed only frees the
+// *ordering* against other memory, which nothing here relies on) at a
+// fraction of the seq_cst cost on the malloc hot path.
 inline std::atomic<std::uint64_t> count{0};
 inline std::atomic<std::uint64_t> bytes{0};
+// Per-thread counters, bumped alongside the globals. These are what
+// make per-solve sampling exact under --jobs > 1: a global sample taken
+// around one worker's solve would also count every allocation its
+// neighbours performed in that window, but a thread can read its own
+// counter free of any cross-thread traffic.
+inline thread_local std::uint64_t thread_count = 0;
+inline thread_local std::uint64_t thread_bytes = 0;
 
 inline void* counted_alloc(std::size_t size) noexcept {
   count.fetch_add(1, std::memory_order_relaxed);
   bytes.fetch_add(size, std::memory_order_relaxed);
+  ++thread_count;
+  thread_bytes += size;
   return std::malloc(size != 0 ? size : 1);
 }
 
@@ -49,6 +62,8 @@ inline void* counted_aligned_alloc(std::size_t size,
                                    std::size_t align) noexcept {
   count.fetch_add(1, std::memory_order_relaxed);
   bytes.fetch_add(size, std::memory_order_relaxed);
+  ++thread_count;
+  thread_bytes += size;
   // aligned_alloc requires the size to be a multiple of the alignment.
   const std::size_t rounded = (size + align - 1) / align * align;
   return std::aligned_alloc(align, rounded != 0 ? rounded : align);
@@ -65,11 +80,30 @@ inline std::uint64_t alloc_bytes() {
   return alloc_detail::bytes.load(std::memory_order_relaxed);
 }
 
+/// Heap allocations performed by the *calling thread* since it started.
+inline std::uint64_t thread_alloc_count() {
+  return alloc_detail::thread_count;
+}
+
 /// Scoped sample: allocations between construction and delta().
+/// Process-wide — only meaningful when nothing else is allocating
+/// concurrently (jobs=1). Use ThreadAllocSample inside parallel workers.
 class AllocSample {
  public:
   AllocSample() : start_(alloc_count()) {}
   std::uint64_t delta() const { return alloc_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Scoped sample of the calling thread's own allocations. Exact at any
+/// job count: construct and read delta() on the same thread that runs
+/// the measured code.
+class ThreadAllocSample {
+ public:
+  ThreadAllocSample() : start_(thread_alloc_count()) {}
+  std::uint64_t delta() const { return thread_alloc_count() - start_; }
 
  private:
   std::uint64_t start_;

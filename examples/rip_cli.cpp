@@ -33,14 +33,17 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "core/baseline.hpp"
 #include "core/rip.hpp"
 #include "dp/min_delay.hpp"
+#include "dp/workspace.hpp"
 #include "eval/parallel.hpp"
 #include "eval/service.hpp"
+#include "eval/solve_cache.hpp"
 #include "eval/workload.hpp"
 #include "net/generator.hpp"
 #include "net/net_io.hpp"
@@ -74,13 +77,18 @@ int usage(int rc = 2) {
       "           [--granularity G] [--lib-size N] [--min-width W]\n"
       "  sweep    --net file.net [--points N] [--csv out.csv] [--jobs N]\n"
       "           [--shard I/N] [--async] [--max-pending N]\n"
+      "           [--cache] [--cache-capacity N]\n"
       "  compare  --net file.net [--points N] [--granularity G]\n"
       "           [--lib-size N] [--min-width W] [--csv out.csv]\n"
       "           [--jobs N] [--shard I/N] [--async] [--max-pending N]\n"
+      "           [--cache] [--cache-capacity N]\n"
       "  check    --net file.net --sol file.sol [--target-ns T]\n"
       "  merge    --in shard0.csv,shard1.csv[,...] --out merged.csv\n"
       "common:    [--tech kit.tech]   (--jobs 0 = all hardware threads;\n"
-      "           --shard I/N = solve shard I of an N-way split)\n";
+      "           --shard I/N = solve shard I of an N-way split;\n"
+      "           --cache = share one Pareto-frontier solve cache across\n"
+      "           the sweep's points — identical output, hit/miss stats\n"
+      "           on stderr)\n";
   return rc;
 }
 
@@ -104,6 +112,33 @@ eval::ServiceOptions async_service_options(const CliArgs& args, int jobs) {
   options.jobs = jobs;
   options.max_pending = static_cast<std::size_t>(max_pending);
   return options;
+}
+
+/// --cache / --cache-capacity: the optional per-invocation frontier
+/// cache shared by every point of a sweep/compare. nullptr = caching
+/// off (the default); results are bit-identical either way.
+std::unique_ptr<eval::SolveCache> make_cache(const CliArgs& args) {
+  if (!args.has("cache")) {
+    RIP_REQUIRE(!args.has("cache-capacity"),
+                "--cache-capacity requires --cache");
+    return nullptr;
+  }
+  const int capacity = args.get_int_or("cache-capacity", 1024);
+  RIP_REQUIRE(capacity >= 1, "--cache-capacity must be >= 1");
+  eval::SolveCacheOptions options;
+  options.capacity = static_cast<std::size_t>(capacity);
+  return std::make_unique<eval::SolveCache>(options);
+}
+
+/// Cache counters go to stderr so CSV/stdout output stays diffable
+/// against cache-off runs.
+void print_cache_stats(const eval::SolveCache* cache) {
+  if (cache == nullptr) return;
+  const auto s = cache->stats();
+  std::cerr << "cache: " << s.hits << " hits, " << s.misses << " misses, "
+            << s.insertions << " insertions, " << s.evictions
+            << " evictions, " << s.entries << " entries, " << s.bytes
+            << " bytes\n";
 }
 
 /// Resolve --target-ns / --target-x (x tau_min) into femtoseconds.
@@ -253,6 +288,15 @@ int cmd_sweep(const CliArgs& args) {
   const auto mine =
       eval::shard_case_indices(factors.size(), shard.index, shard.count);
   std::vector<core::RipResult> runs(mine.size());
+  // With --cache, every point's stage-1 coarse frontier is solved once
+  // and shared (the sweep varies only the target) — on this thread's
+  // local workspace either way, so cache-off stays the plain path.
+  const std::unique_ptr<eval::SolveCache> cache = make_cache(args);
+  const auto solve_point = [&](std::size_t j) {
+    runs[j] = core::rip_insert(n, tech.device(),
+                               factors[mine[j]] * md.tau_min_fs, {},
+                               dp::Workspace::local(), cache.get());
+  };
   if (args.has("async")) {
     // The async service via the submit_fn escape hatch: the sweep is
     // RIP-only, so each point writes its index-addressed slot and uses
@@ -263,18 +307,17 @@ int cmd_sweep(const CliArgs& args) {
     futures.reserve(mine.size());
     for (std::size_t j = 0; j < mine.size(); ++j) {
       futures.push_back(service.submit_fn([&, j] {
-        runs[j] = core::rip_insert(n, tech.device(),
-                                   factors[mine[j]] * md.tau_min_fs);
+        solve_point(j);
         return eval::CaseResult{};
       }));
     }
     for (auto& future : futures) future.get();
   } else {
     parallel_for_indexed(runs.size(), jobs, [&](std::size_t j) {
-      runs[j] = core::rip_insert(n, tech.device(),
-                                 factors[mine[j]] * md.tau_min_fs);
+      solve_point(j);
     });
   }
+  print_cache_stats(cache.get());
 
   Table table({"idx", "tau_t_ns", "tau_over_min", "width_u", "repeaters",
                "delay_ns"});
@@ -324,6 +367,8 @@ int cmd_compare(const CliArgs& args) {
   const ShardSpec shard = shard_option(args);
   batch.shard_index = shard.index;
   batch.shard_count = shard.count;
+  const std::unique_ptr<eval::SolveCache> cache = make_cache(args);
+  batch.cache = cache.get();
   const auto mine =
       eval::shard_case_indices(cases.size(), shard.index, shard.count);
   std::vector<eval::CaseResult> results;
@@ -332,8 +377,10 @@ int cmd_compare(const CliArgs& args) {
     // --max-pending exercises the bounded-queue backpressure. Results
     // are collected in submission order, so the table is identical to
     // the blocking run_cases path (wall-clock columns excepted).
-    eval::EvalService service(tech,
-                              async_service_options(args, batch.jobs));
+    eval::ServiceOptions service_options =
+        async_service_options(args, batch.jobs);
+    service_options.cache = cache.get();
+    eval::EvalService service(tech, service_options);
     std::vector<std::future<eval::CaseResult>> futures;
     futures.reserve(mine.size());
     for (const std::size_t k : mine) futures.push_back(service.submit(cases[k]));
@@ -342,6 +389,7 @@ int cmd_compare(const CliArgs& args) {
   } else {
     results = eval::run_cases(tech, cases, batch);
   }
+  print_cache_stats(cache.get());
 
   Table table({"idx", "tau_t_ns", "tau_over_min", "rip_u", "dp_u", "impr%",
                "rip_ms", "dp_ms"});
@@ -453,7 +501,7 @@ int cmd_check(const CliArgs& args) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args =
-        CliArgs::parse(argc, argv, {"zone-hop", "help", "async"});
+        CliArgs::parse(argc, argv, {"zone-hop", "help", "async", "cache"});
     if (args.has("help")) return usage(0);
     int rc;
     if (args.command() == "gen") rc = cmd_gen(args);

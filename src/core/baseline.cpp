@@ -35,13 +35,14 @@ dp::ChainDpResult run_baseline(const net::Net& net,
 dp::ChainDpResult run_baseline(const net::Net& net,
                                const tech::RepeaterDevice& device,
                                double tau_t_fs, const BaselineOptions& options,
-                               dp::Workspace& workspace) {
+                               dp::Workspace& workspace,
+                               dp::ChainSolveCache* cache) {
   const auto candidates = net::uniform_candidates(net, options.pitch_um);
   dp::ChainDpOptions dp_options;
   dp_options.mode = dp::Mode::kMinPower;
   dp_options.timing_target_fs = tau_t_fs;
-  return dp::run_chain_dp(net, device, options.library, candidates,
-                          dp_options, workspace);
+  return dp::run_chain_dp_cached(net, device, options.library, candidates,
+                                 dp_options, workspace, cache);
 }
 
 }  // namespace rip::core

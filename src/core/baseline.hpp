@@ -39,7 +39,9 @@ struct BaselineOptions {
 
 /// Run the baseline DP for a timing target. The first overload solves
 /// on this thread's dp::Workspace::local(); the second reuses the
-/// caller's workspace arenas across solves.
+/// caller's workspace arenas across solves and may consult a frontier
+/// cache (the baseline solves a fixed library/pitch per net, so across a
+/// target sweep every solve after the first is a cache hit).
 dp::ChainDpResult run_baseline(const net::Net& net,
                                const tech::RepeaterDevice& device,
                                double tau_t_fs,
@@ -48,6 +50,7 @@ dp::ChainDpResult run_baseline(const net::Net& net,
                                const tech::RepeaterDevice& device,
                                double tau_t_fs,
                                const BaselineOptions& options,
-                               dp::Workspace& workspace);
+                               dp::Workspace& workspace,
+                               dp::ChainSolveCache* cache = nullptr);
 
 }  // namespace rip::core

@@ -19,7 +19,7 @@ RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
 
 RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
                      double tau_t_fs, const RipOptions& options,
-                     dp::Workspace& workspace) {
+                     dp::Workspace& workspace, dp::ChainSolveCache* cache) {
   RIP_REQUIRE(tau_t_fs > 0, "timing target must be positive");
   RIP_REQUIRE(options.refine_repeats >= 1, "need at least one REFINE pass");
   WallTimer total_timer;
@@ -35,8 +35,9 @@ RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
   dp::ChainDpOptions dp_options;
   dp_options.mode = dp::Mode::kMinPower;
   dp_options.timing_target_fs = tau_t_fs;
-  result.coarse = dp::run_chain_dp(net, device, coarse_library,
-                                   coarse_candidates, dp_options, workspace);
+  result.coarse =
+      dp::run_chain_dp_cached(net, device, coarse_library, coarse_candidates,
+                              dp_options, workspace, cache);
   result.coarse_s = stage_timer.seconds();
 
   if (result.coarse.status != dp::Status::kOptimal) {

@@ -72,11 +72,17 @@ struct RipResult {
 /// Run Algorithm RIP on a net with timing target `tau_t_fs`. The first
 /// overload runs its DP stages on this thread's dp::Workspace::local();
 /// the second reuses the caller's workspace arenas across stages and
-/// calls.
+/// calls, and may consult a frontier cache for the stage-1 coarse DP
+/// (whose library/candidates are target-independent, so a target sweep
+/// over one net hits after the first solve). The stage-3 fine DP is
+/// never cached: its library and allowed-width windows derive from the
+/// REFINE output, which changes with the target — caching it would only
+/// pollute the cache with single-use entries.
 RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
                      double tau_t_fs, const RipOptions& options = {});
 RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
                      double tau_t_fs, const RipOptions& options,
-                     dp::Workspace& workspace);
+                     dp::Workspace& workspace,
+                     dp::ChainSolveCache* cache = nullptr);
 
 }  // namespace rip::core

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "dp/pareto.hpp"
 #include "dp/workspace.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace rip::dp {
 
@@ -128,49 +130,65 @@ void expand_candidate(Workspace& ws, const ChainFrontier& front,
   }
 }
 
+/// Read-only view over a finished (post-driver) frontier plus its
+/// reconstruction arena. Both the cold path (workspace arrays) and the
+/// cached path (ChainFrontierSolve arrays) select through this view, so
+/// the two paths share one selection code path — bit-identity between a
+/// cold solve and a later cache hit is by construction, not by accident.
+struct FrontierView {
+  const double* q_fs;             ///< target-relative final slack
+  const double* width_u;
+  const std::int16_t* count;
+  const std::int32_t* node;
+  std::size_t size;
+  const std::int32_t* a_parent;
+  const std::int32_t* a_pos;
+  const std::int16_t* a_buffer;
+};
+
+FrontierView view_of(const ChainFrontier& front, const Workspace& ws) {
+  return FrontierView{front.q_fs.data(),    front.width_u.data(),
+                      front.count.data(),   front.node.data(),
+                      front.size(),         ws.a_parent.data(),
+                      ws.a_pos.data(),      ws.a_buffer.data()};
+}
+
+FrontierView view_of(const ChainFrontierSolve& solve) {
+  return FrontierView{solve.q_fs.data(),    solve.width_u.data(),
+                      solve.count.data(),   solve.node.data(),
+                      solve.size(),         solve.a_parent.data(),
+                      solve.a_pos.data(),   solve.a_buffer.data()};
+}
+
 /// Reconstruct the repeater list from a winning label's parent chain
 /// through the reconstruction arena. `count` is the label's repeater
 /// count, so the output vector is reserved exactly once.
-net::RepeaterSolution reconstruct(const Workspace& ws, std::int32_t node,
+net::RepeaterSolution reconstruct(const FrontierView& v, std::int32_t node,
                                   std::int16_t count,
                                   const RepeaterLibrary& library,
                                   const std::vector<double>& candidates_um) {
   std::vector<net::Repeater> repeaters;
   repeaters.reserve(static_cast<std::size_t>(count));
   for (std::int32_t idx = node; idx >= 0;
-       idx = ws.a_parent[static_cast<std::size_t>(idx)]) {
+       idx = v.a_parent[static_cast<std::size_t>(idx)]) {
     const auto i = static_cast<std::size_t>(idx);
     repeaters.push_back(net::Repeater{
-        candidates_um[static_cast<std::size_t>(ws.a_pos[i])],
-        library.widths_u()[static_cast<std::size_t>(ws.a_buffer[i])]});
+        candidates_um[static_cast<std::size_t>(v.a_pos[i])],
+        library.widths_u()[static_cast<std::size_t>(v.a_buffer[i])]});
   }
   return net::RepeaterSolution(std::move(repeaters));
 }
 
-}  // namespace
-
-ChainDpResult run_chain_dp(const net::Net& net,
-                           const tech::RepeaterDevice& device,
-                           const RepeaterLibrary& library,
-                           const std::vector<double>& candidates_um,
-                           const ChainDpOptions& options) {
-  return run_chain_dp(net, device, library, candidates_um, options,
-                      Workspace::local());
-}
-
-ChainDpResult run_chain_dp(const net::Net& net,
-                           const tech::RepeaterDevice& device,
-                           const RepeaterLibrary& library,
-                           const std::vector<double>& candidates_um,
-                           const ChainDpOptions& options, Workspace& ws) {
-  const double total_um = net.total_length_um();
+void validate_inputs(const net::Net& net, const RepeaterLibrary& library,
+                     const std::vector<double>& candidates_um,
+                     const ChainDpOptions& options, bool need_target) {
   RIP_REQUIRE(std::is_sorted(candidates_um.begin(), candidates_um.end()),
               "candidate positions must be sorted");
   for (const double pos : candidates_um) {
     RIP_REQUIRE(net.placement_legal(pos),
                 "candidate position is not a legal repeater location");
   }
-  if (options.mode == Mode::kMinPower) {
+  if (need_target && options.mode == Mode::kMinPower) {
     RIP_REQUIRE(options.timing_target_fs > 0,
                 "kMinPower needs a positive timing target");
   }
@@ -186,54 +204,75 @@ ChainDpResult run_chain_dp(const net::Net& net,
       }
     }
   }
+}
 
-  const bool power_mode = (options.mode == Mode::kMinPower);
-  ChainDpResult result;
-  result.stats.positions = candidates_um.size();
-  result.stats.workspace_reuses = ws.stats_.solves();
+/// Double-buffered sweep state: which SoA frontier is live and where the
+/// sweep currently stands on the chain.
+struct SweepCursor {
+  ChainFrontier* front;
+  ChainFrontier* back;
+  double downstream_pos;
+};
 
-  // Per-solve precompute: the library's input loads (co*w) and driving
-  // resistances (rs/w), and the width-independent intrinsic gate delay.
+/// Fill the per-solve library terms, reset the chain arenas, and seed the
+/// receiver label. q is *target-relative*: it starts at 0 in both modes
+/// and every later update subtracts terms that depend only on C, never on
+/// q itself — so the swept frontier is independent of the timing target,
+/// which enters only at selection time. That target-independence is what
+/// lets one solved frontier answer every target (ChainSolveCache).
+SweepCursor seed_sweep(const net::Net& net, const tech::RepeaterDevice& device,
+                       const RepeaterLibrary& library, Workspace& ws,
+                       DpStats& stats) {
   library.fill_device_terms(device, ws.lib_load_ff, ws.lib_rs_over_w);
-  const double intrinsic_fs = device.rs_ohm * device.cp_ff;
   const std::size_t lib_n = library.size();
   ws.all_buffers.resize(lib_n);
   for (std::size_t b = 0; b < lib_n; ++b)
     ws.all_buffers[b] = static_cast<std::int16_t>(b);
-  const std::vector<double>& widths = library.widths_u();
 
-  // Reset the chain arenas; capacity is retained from prior solves.
-  ChainFrontier* front = &ws.chain_front;
-  ChainFrontier* back = &ws.chain_back;
-  front->clear();
-  back->clear();
+  SweepCursor cur{&ws.chain_front, &ws.chain_back, net.total_length_um()};
+  cur.front->clear();
+  cur.back->clear();
   ws.a_parent.clear();
   ws.a_pos.clear();
   ws.a_buffer.clear();
 
-  // Seed at the receiver: C = C_o * w_r; q = timing target (0 in delay
-  // mode, where q is the negated accumulated delay); p = 0. The seed has
-  // no arena entry (node -1 terminates reconstruction).
-  front->push(device.co_ff * net.receiver_width_u(),
-              power_mode ? options.timing_target_fs : 0.0, 0.0, 0, -1);
-  ++result.stats.labels_created;
+  // Seed at the receiver: C = C_o * w_r; q = 0 (target-relative); p = 0.
+  // The seed has no arena entry (node -1 terminates reconstruction).
+  cur.front->push(device.co_ff * net.receiver_width_u(), 0.0, 0.0, 0, -1);
+  ++stats.labels_created;
+  return cur;
+}
 
-  // Sweep candidates from the last (closest to receiver) to the first.
-  // Invariant entering each step: the frontier is sorted by
-  // (C asc, q desc, w asc). Wire propagation preserves it: C order
-  // survives adding one constant (IEEE addition is monotone) and labels
-  // at equal C receive the exact same q shift. (If two distinct C
-  // values round to the same sum, their q tie-order can locally relax —
-  // the staircase sweep below only needs C to be non-decreasing, so the
-  // survivor set stays correct; at worst a dominated FP-twin lives one
-  // extra round.) The merge below emits the next frontier in the same
-  // order.
-  double downstream_pos = total_um;
-  for (std::size_t ci = candidates_um.size(); ci-- > 0;) {
+/// Sweep candidate indices [stop, start) from the last (closest to the
+/// receiver) down to `stop`. Shared verbatim by the full solve, the
+/// prefix capture, and the resume path — identical arithmetic in all
+/// three is what makes resume bit-identical to a full solve.
+///
+/// Invariant entering each step: the frontier is sorted by
+/// (C asc, q desc, w asc). Wire propagation preserves it: C order
+/// survives adding one constant (IEEE addition is monotone) and labels
+/// at equal C receive the exact same q shift. (If two distinct C
+/// values round to the same sum, their q tie-order can locally relax —
+/// the staircase sweep below only needs C to be non-decreasing, so the
+/// survivor set stays correct; at worst a dominated FP-twin lives one
+/// extra round.) The merge below emits the next frontier in the same
+/// order.
+void sweep_range(const net::Net& net, const tech::RepeaterDevice& device,
+                 const RepeaterLibrary& library,
+                 const std::vector<double>& candidates_um,
+                 const ChainDpOptions& options, Workspace& ws,
+                 SweepCursor& cur, std::size_t start, std::size_t stop,
+                 DpStats& stats) {
+  const bool power_mode = (options.mode == Mode::kMinPower);
+  const double intrinsic_fs = device.rs_ohm * device.cp_ff;
+  const std::vector<double>& widths = library.widths_u();
+  ChainFrontier* front = cur.front;
+  ChainFrontier* back = cur.back;
+  for (std::size_t ci = start; ci-- > stop;) {
     const double pos = candidates_um[ci];
-    net.pieces_between(pos, downstream_pos, ws.pieces);
+    net.pieces_between(pos, cur.downstream_pos, ws.pieces);
     propagate_frontier(*front, interval_affine(ws.pieces));
-    downstream_pos = pos;
+    cur.downstream_pos = pos;
 
     // Library indices that may be inserted at this candidate.
     const std::vector<std::int16_t>& allowed =
@@ -245,7 +284,7 @@ ChainDpResult run_chain_dp(const net::Net& net,
     expand_candidate(ws, *front, allowed, widths, intrinsic_fs, power_mode);
     const std::size_t fn = front->size();
     const std::size_t gn = ws.expanded.size();
-    result.stats.labels_created += allowed.size() * fn;
+    stats.labels_created += allowed.size() * fn;
 
     // Merge the pass-through run (the frontier itself — option A labels
     // are never copied) with the expansion run, sweeping the global
@@ -306,40 +345,66 @@ ChainDpResult run_chain_dp(const net::Net& net,
         ++j;
       }
     }
-    result.stats.labels_pruned += fn * (1 + allowed.size()) - back->size();
-    result.stats.labels_peak =
-        std::max(result.stats.labels_peak, back->size());
+    stats.labels_pruned += fn * (1 + allowed.size()) - back->size();
+    stats.labels_peak = std::max(stats.labels_peak, back->size());
     std::swap(front, back);
   }
+  cur.front = front;
+  cur.back = back;
+}
 
-  // Final wire run up to the driver, then the driver itself.
-  net.pieces_between(0.0, downstream_pos, ws.pieces);
-  propagate_frontier(*front, interval_affine(ws.pieces));
+/// Final wire run up to the driver, then the driver gate applied *in
+/// place*: afterwards front->q_fs[i] holds the label's target-relative
+/// final slack (q_rel; feasibility at a target is q_rel + target >= -tol
+/// and the realized delay is -q_rel). cap_ff is dead past this point.
+void finish_at_driver(const net::Net& net, const tech::RepeaterDevice& device,
+                      Workspace& ws, SweepCursor& cur) {
+  net.pieces_between(0.0, cur.downstream_pos, ws.pieces);
+  propagate_frontier(*cur.front, interval_affine(ws.pieces));
+  const double intrinsic_fs = device.rs_ohm * device.cp_ff;
+  const double driver_rs_over_w = device.rs_ohm / net.driver_width_u();
+  double* q = cur.front->q_fs.data();
+  const double* cap = cur.front->cap_ff.data();
+  const std::size_t n = cur.front->size();
+  for (std::size_t i = 0; i < n; ++i) {
+    q[i] = q[i] - (intrinsic_fs + driver_rs_over_w * cap[i]);
+  }
+}
+
+/// Answer one target from a finished frontier: feasibility scan,
+/// min-width (power) / max-slack (delay) selection, reconstruction.
+ChainDpResult select_result(const FrontierView& v,
+                            const RepeaterLibrary& library,
+                            const std::vector<double>& candidates_um,
+                            const ChainDpOptions& options,
+                            const DpStats& stats) {
+  const bool power_mode = (options.mode == Mode::kMinPower);
+  const double target = power_mode ? options.timing_target_fs : 0.0;
+  ChainDpResult result;
+  result.stats = stats;
 
   std::int32_t best = -1;          // min width among feasible (power mode)
-  std::int32_t best_delay = -1;    // max q_final overall
+  std::int32_t best_delay = -1;    // max final slack overall
   double best_width = std::numeric_limits<double>::infinity();
   int best_count = 0;
   double best_q = -std::numeric_limits<double>::infinity();
   double best_delay_q = -std::numeric_limits<double>::infinity();
-  const double driver_rs_over_w = device.rs_ohm / net.driver_width_u();
-  for (std::size_t i = 0; i < front->size(); ++i) {
-    const double q_final =
-        front->q_fs[i] - (intrinsic_fs + driver_rs_over_w * front->cap_ff[i]);
+  for (std::size_t i = 0; i < v.size; ++i) {
+    const double q_final = v.q_fs[i];  // target-relative, driver applied
     if (q_final > best_delay_q) {
       best_delay_q = q_final;
       best_delay = static_cast<std::int32_t>(i);
     }
-    if (power_mode && q_final >= -options.slack_tolerance_fs) {
+    if (power_mode && q_final + target >= -options.slack_tolerance_fs) {
       // Selection order: total width, then repeater count, then slack.
       const bool better =
-          front->width_u[i] < best_width ||
-          (front->width_u[i] == best_width &&
-           (front->count[i] < best_count ||
-            (front->count[i] == best_count && q_final > best_q)));
+          v.width_u[i] < best_width ||
+          (v.width_u[i] == best_width &&
+           (v.count[i] < best_count ||
+            (v.count[i] == best_count && q_final > best_q)));
       if (better) {
-        best_width = front->width_u[i];
-        best_count = front->count[i];
+        best_width = v.width_u[i];
+        best_count = v.count[i];
         best_q = q_final;
         best = static_cast<std::int32_t>(i);
       }
@@ -347,28 +412,24 @@ ChainDpResult run_chain_dp(const net::Net& net,
   }
   RIP_ASSERT(best_delay >= 0, "DP lost all labels");
 
-  result.stats.arena_peak = ws.a_parent.size();
-
-  const double target = power_mode ? options.timing_target_fs : 0.0;
   const auto delay_i = static_cast<std::size_t>(best_delay);
   if (options.reconstruct_solutions) {
-    result.min_delay_solution =
-        reconstruct(ws, front->node[delay_i], front->count[delay_i], library,
-                    candidates_um);
+    result.min_delay_solution = reconstruct(v, v.node[delay_i],
+                                            v.count[delay_i], library,
+                                            candidates_um);
   }
-  result.min_delay_fs = target - best_delay_q;
+  result.min_delay_fs = -best_delay_q;
 
   if (power_mode) {
     if (best >= 0) {
       const auto best_i = static_cast<std::size_t>(best);
       result.status = Status::kOptimal;
       if (options.reconstruct_solutions) {
-        result.solution = reconstruct(ws, front->node[best_i],
-                                      front->count[best_i], library,
-                                      candidates_um);
+        result.solution = reconstruct(v, v.node[best_i], v.count[best_i],
+                                      library, candidates_um);
       }
-      result.total_width_u = front->width_u[best_i];
-      result.delay_fs = target - best_q;
+      result.total_width_u = v.width_u[best_i];
+      result.delay_fs = -best_q;
     } else {
       result.status = Status::kInfeasible;
       result.total_width_u = 0;
@@ -376,18 +437,294 @@ ChainDpResult run_chain_dp(const net::Net& net,
     }
   } else {
     result.status = Status::kOptimal;
-    if (options.reconstruct_solutions) result.solution = result.min_delay_solution;
-    result.total_width_u = front->width_u[delay_i];
+    if (options.reconstruct_solutions) {
+      result.solution = result.min_delay_solution;
+    }
+    result.total_width_u = v.width_u[delay_i];
     result.delay_fs = result.min_delay_fs;
   }
+  return result;
+}
 
+void bump_ws_stats(Workspace& ws, const DpStats& stats) {
   ++ws.stats_.chain_solves;
-  ws.stats_.labels_created += result.stats.labels_created;
-  ws.stats_.labels_pruned += result.stats.labels_pruned;
+  ws.stats_.labels_created += stats.labels_created;
+  ws.stats_.labels_pruned += stats.labels_pruned;
   ws.stats_.peak_frontier_labels =
-      std::max(ws.stats_.peak_frontier_labels, result.stats.labels_peak);
+      std::max(ws.stats_.peak_frontier_labels, stats.labels_peak);
   ws.stats_.peak_arena_labels =
-      std::max(ws.stats_.peak_arena_labels, result.stats.arena_peak);
+      std::max(ws.stats_.peak_arena_labels, stats.arena_peak);
+}
+
+/// Fingerprint of everything a suffix checkpoint's labels depend on: the
+/// device, library, mode, receiver width, the suffix candidate positions
+/// (and their allowed lists), and the net geometry downstream of the
+/// checkpoint. chain_dp_resume recomputes this against the new query and
+/// refuses a mismatch, so a stale prefix fails loudly.
+std::uint64_t prefix_consistency_key(const net::Net& net,
+                                     const tech::RepeaterDevice& device,
+                                     const RepeaterLibrary& library,
+                                     const std::vector<double>& candidates_um,
+                                     const ChainDpOptions& options,
+                                     std::size_t suffix_candidates) {
+  Hash64 h;
+  h << device.rs_ohm << device.co_ff << device.cp_ff;
+  h << net.receiver_width_u();
+  h << std::span<const double>(library.widths_u());
+  h << static_cast<int>(options.mode);
+  const std::size_t n = candidates_um.size();
+  const std::size_t first = n - suffix_candidates;
+  h << suffix_candidates;
+  for (std::size_t ci = first; ci < n; ++ci) h << candidates_um[ci];
+  // Geometry downstream of the checkpoint (candidate spacing, wire RC,
+  // and — via pieces — any forbidden-zone splits in that range).
+  const double from =
+      suffix_candidates == 0 ? net.total_length_um() : candidates_um[first];
+  std::vector<net::WirePiece> pieces;
+  net.pieces_between(from, net.total_length_um(), pieces);
+  h << pieces.size();
+  for (const auto& p : pieces) {
+    h << p.length_um << p.r_ohm_per_um << p.c_ff_per_um;
+  }
+  h << (options.allowed_buffers != nullptr);
+  if (options.allowed_buffers != nullptr) {
+    for (std::size_t ci = first; ci < n; ++ci) {
+      h << std::span<const std::int16_t>((*options.allowed_buffers)[ci]);
+    }
+  }
+  return h.value();
+}
+
+}  // namespace
+
+std::size_t ChainFrontierSolve::bytes() const {
+  return sizeof(*this) +
+         (q_fs.capacity() + width_u.capacity()) * sizeof(double) +
+         count.capacity() * sizeof(std::int16_t) +
+         node.capacity() * sizeof(std::int32_t) +
+         (a_parent.capacity() + a_pos.capacity()) * sizeof(std::int32_t) +
+         a_buffer.capacity() * sizeof(std::int16_t);
+}
+
+std::uint64_t chain_solve_key(const net::Net& net,
+                              const tech::RepeaterDevice& device,
+                              const RepeaterLibrary& library,
+                              const std::vector<double>& candidates_um,
+                              const ChainDpOptions& options) {
+  Hash64 h;
+  // Device and terminals.
+  h << device.rs_ohm << device.co_ff << device.cp_ff;
+  h << net.driver_width_u() << net.receiver_width_u();
+  // Net geometry: electrical fields only (layer names are informational
+  // and do not enter the sweep).
+  const auto& segments = net.segments();
+  h << segments.size();
+  for (const auto& s : segments) {
+    h << s.length_um << s.r_ohm_per_um << s.c_ff_per_um;
+  }
+  const auto& zones = net.zones();
+  h << zones.size();
+  for (const auto& z : zones) h << z.start_um << z.end_um;
+  // Library contents and candidate positions.
+  h << std::span<const double>(library.widths_u());
+  h << std::span<const double>(candidates_um);
+  // Sweep-shaping options. The timing target, slack tolerance, and
+  // reconstruct flag are selection-time knobs and deliberately excluded:
+  // one cached frontier answers every target.
+  h << static_cast<int>(options.mode);
+  h << (options.allowed_buffers != nullptr);
+  if (options.allowed_buffers != nullptr) {
+    h << options.allowed_buffers->size();
+    for (const auto& allowed : *options.allowed_buffers) {
+      h << std::span<const std::int16_t>(allowed);
+    }
+  }
+  return h.value();
+}
+
+ChainDpResult run_chain_dp(const net::Net& net,
+                           const tech::RepeaterDevice& device,
+                           const RepeaterLibrary& library,
+                           const std::vector<double>& candidates_um,
+                           const ChainDpOptions& options) {
+  return run_chain_dp(net, device, library, candidates_um, options,
+                      Workspace::local());
+}
+
+ChainDpResult run_chain_dp(const net::Net& net,
+                           const tech::RepeaterDevice& device,
+                           const RepeaterLibrary& library,
+                           const std::vector<double>& candidates_um,
+                           const ChainDpOptions& options, Workspace& ws) {
+  validate_inputs(net, library, candidates_um, options, /*need_target=*/true);
+
+  DpStats stats;
+  stats.positions = candidates_um.size();
+  stats.workspace_reuses = ws.stats_.solves();
+
+  SweepCursor cur = seed_sweep(net, device, library, ws, stats);
+  sweep_range(net, device, library, candidates_um, options, ws, cur,
+              candidates_um.size(), 0, stats);
+  finish_at_driver(net, device, ws, cur);
+  stats.arena_peak = ws.a_parent.size();
+
+  ChainDpResult result =
+      select_result(view_of(*cur.front, ws), library, candidates_um, options,
+                    stats);
+  bump_ws_stats(ws, stats);
+  return result;
+}
+
+ChainFrontierSolve solve_chain_frontier(
+    const net::Net& net, const tech::RepeaterDevice& device,
+    const RepeaterLibrary& library, const std::vector<double>& candidates_um,
+    const ChainDpOptions& options, Workspace& ws) {
+  validate_inputs(net, library, candidates_um, options, /*need_target=*/false);
+
+  DpStats stats;
+  stats.positions = candidates_um.size();
+  // Canonicalized: a detached frontier reports no workspace warmth, so a
+  // miss-then-insert and a later hit describe the solve identically.
+  stats.workspace_reuses = 0;
+
+  SweepCursor cur = seed_sweep(net, device, library, ws, stats);
+  sweep_range(net, device, library, candidates_um, options, ws, cur,
+              candidates_um.size(), 0, stats);
+  finish_at_driver(net, device, ws, cur);
+  stats.arena_peak = ws.a_parent.size();
+
+  ChainFrontierSolve out;
+  out.q_fs = cur.front->q_fs;
+  out.width_u = cur.front->width_u;
+  out.count = cur.front->count;
+  out.node = cur.front->node;
+  out.a_parent = ws.a_parent;
+  out.a_pos = ws.a_pos;
+  out.a_buffer = ws.a_buffer;
+  out.stats = stats;
+  bump_ws_stats(ws, stats);
+  return out;
+}
+
+ChainDpResult select_from_frontier(const ChainFrontierSolve& solve,
+                                   const RepeaterLibrary& library,
+                                   const std::vector<double>& candidates_um,
+                                   const ChainDpOptions& options) {
+  if (options.mode == Mode::kMinPower) {
+    RIP_REQUIRE(options.timing_target_fs > 0,
+                "kMinPower needs a positive timing target");
+  }
+  return select_result(view_of(solve), library, candidates_um, options,
+                       solve.stats);
+}
+
+ChainDpResult run_chain_dp_cached(const net::Net& net,
+                                  const tech::RepeaterDevice& device,
+                                  const RepeaterLibrary& library,
+                                  const std::vector<double>& candidates_um,
+                                  const ChainDpOptions& options, Workspace& ws,
+                                  ChainSolveCache* cache) {
+  if (cache == nullptr) {
+    return run_chain_dp(net, device, library, candidates_um, options, ws);
+  }
+  const std::uint64_t key =
+      chain_solve_key(net, device, library, candidates_um, options);
+  std::shared_ptr<const ChainFrontierSolve> entry = cache->lookup(key);
+  if (entry == nullptr) {
+    entry = cache->insert(
+        key, solve_chain_frontier(net, device, library, candidates_um,
+                                  options, ws));
+  }
+  // Hit or miss, always select from the stored entry's arrays: every
+  // caller of this key answers from the same bits.
+  return select_from_frontier(*entry, library, candidates_um, options);
+}
+
+ChainPrefix chain_dp_prefix(const net::Net& net,
+                            const tech::RepeaterDevice& device,
+                            const RepeaterLibrary& library,
+                            const std::vector<double>& candidates_um,
+                            const ChainDpOptions& options,
+                            std::size_t suffix_candidates, Workspace& ws) {
+  validate_inputs(net, library, candidates_um, options, /*need_target=*/false);
+  RIP_REQUIRE(suffix_candidates <= candidates_um.size(),
+              "chain_dp_prefix suffix exceeds the candidate count");
+
+  DpStats stats;
+  stats.positions = candidates_um.size();
+
+  SweepCursor cur = seed_sweep(net, device, library, ws, stats);
+  sweep_range(net, device, library, candidates_um, options, ws, cur,
+              candidates_um.size(), candidates_um.size() - suffix_candidates,
+              stats);
+
+  ChainPrefix out;
+  out.total_candidates = candidates_um.size();
+  out.suffix_candidates = suffix_candidates;
+  out.downstream_pos_um = cur.downstream_pos;
+  out.frontier = *cur.front;
+  out.a_parent = ws.a_parent;
+  out.a_pos = ws.a_pos;
+  out.a_buffer = ws.a_buffer;
+  out.stats = stats;
+  out.suffix_key = prefix_consistency_key(net, device, library, candidates_um,
+                                          options, suffix_candidates);
+  // Not a complete solve: workspace cumulative stats are left untouched.
+  return out;
+}
+
+ChainDpResult chain_dp_resume(const ChainPrefix& prefix, const net::Net& net,
+                              const tech::RepeaterDevice& device,
+                              const RepeaterLibrary& library,
+                              const std::vector<double>& candidates_um,
+                              const ChainDpOptions& options, Workspace& ws) {
+  validate_inputs(net, library, candidates_um, options, /*need_target=*/true);
+  const std::size_t n = candidates_um.size();
+  RIP_REQUIRE(prefix.suffix_candidates <= n,
+              "chain_dp_resume candidate list is shorter than the prefix's "
+              "suffix");
+  RIP_REQUIRE(
+      prefix.suffix_key == prefix_consistency_key(net, device, library,
+                                                  candidates_um, options,
+                                                  prefix.suffix_candidates),
+      "chain_dp_resume prefix does not match the query (suffix candidates, "
+      "downstream geometry, library, device, or mode differ)");
+
+  DpStats stats = prefix.stats;
+  stats.positions = n;
+  stats.workspace_reuses = ws.stats_.solves();
+
+  // Load the checkpoint into the workspace arenas (capacity is reused).
+  library.fill_device_terms(device, ws.lib_load_ff, ws.lib_rs_over_w);
+  const std::size_t lib_n = library.size();
+  ws.all_buffers.resize(lib_n);
+  for (std::size_t b = 0; b < lib_n; ++b)
+    ws.all_buffers[b] = static_cast<std::int16_t>(b);
+  ws.chain_front = prefix.frontier;
+  ws.chain_back.clear();
+  ws.a_parent = prefix.a_parent;
+  ws.a_pos = prefix.a_pos;
+  ws.a_buffer = prefix.a_buffer;
+  // Arena entries index the *old* candidate list; if the resume list has
+  // a different prefix length, shift the suffix's candidate indices.
+  const auto delta = static_cast<std::ptrdiff_t>(n) -
+                     static_cast<std::ptrdiff_t>(prefix.total_candidates);
+  if (delta != 0) {
+    for (auto& p : ws.a_pos) p = static_cast<std::int32_t>(p + delta);
+  }
+
+  SweepCursor cur{&ws.chain_front, &ws.chain_back,
+                  prefix.suffix_candidates == 0 ? net.total_length_um()
+                                                : prefix.downstream_pos_um};
+  sweep_range(net, device, library, candidates_um, options, ws, cur,
+              n - prefix.suffix_candidates, 0, stats);
+  finish_at_driver(net, device, ws, cur);
+  stats.arena_peak = ws.a_parent.size();
+
+  ChainDpResult result =
+      select_result(view_of(*cur.front, ws), library, candidates_um, options,
+                    stats);
+  bump_ws_stats(ws, stats);
   return result;
 }
 

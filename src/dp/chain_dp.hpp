@@ -25,16 +25,17 @@
 /// and dominance pruning runs over a sorted flat-vector Pareto staircase.
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dp/library.hpp"
+#include "dp/workspace.hpp"
 #include "net/net.hpp"
 #include "net/solution.hpp"
 #include "tech/technology.hpp"
 
 namespace rip::dp {
-
-class Workspace;
 
 /// Optimization objective.
 enum class Mode {
@@ -130,5 +131,152 @@ ChainDpResult run_chain_dp(const net::Net& net,
                            const RepeaterLibrary& library,
                            const std::vector<double>& candidates_um,
                            const ChainDpOptions& options, Workspace& ws);
+
+// ---------------------------------------------------------------------------
+// Target-independent frontier solves (the solve-cache substrate)
+// ---------------------------------------------------------------------------
+//
+// The sweep carries q *relative to the timing target*: the seed label
+// starts at q = 0 in both modes and every update subtracts terms that
+// depend only on C, never on q itself. The swept frontier is therefore a
+// pure function of (net, device, library, candidates, mode,
+// allowed_buffers) — the timing target enters only in the final label
+// selection, as `q_rel + target >= -tolerance`. That is what makes a
+// solved frontier reusable across targets: caching it turns every
+// subsequent target on the same net into an O(frontier) selection walk.
+
+/// A completed frontier solve: the post-driver label arrays plus the
+/// reconstruction arena, detached from any workspace. `q_fs[i]` is label
+/// i's *target-relative* final slack (driver gate already applied);
+/// feasibility at a target is `q_fs[i] + target >= -tolerance` and the
+/// realized delay is `-q_fs[i]`.
+struct ChainFrontierSolve {
+  std::vector<double> q_fs;
+  std::vector<double> width_u;        ///< total repeater width per label
+  std::vector<std::int16_t> count;    ///< repeater count per label
+  std::vector<std::int32_t> node;     ///< arena node per label (-1 = none)
+  std::vector<std::int32_t> a_parent; ///< reconstruction arena
+  std::vector<std::int32_t> a_pos;
+  std::vector<std::int16_t> a_buffer;
+  /// Stats of the solve that built this frontier. `workspace_reuses` is
+  /// canonicalized to 0: a cached frontier has no meaningful warmth.
+  DpStats stats;
+
+  std::size_t size() const { return q_fs.size(); }
+  /// Approximate retained footprint, for the cache's byte accounting.
+  std::size_t bytes() const;
+};
+
+/// Canonical cache key: hashes everything `solve_chain_frontier` reads —
+/// net geometry (segments, zones, terminal widths), device, library
+/// widths, candidate positions, mode, and allowed_buffers — and excludes
+/// the selection-time knobs (timing target, slack tolerance,
+/// reconstruct_solutions). Two calls with equal keys produce bit-identical
+/// frontiers; the cache compares by hash only (see util/hash.hpp for the
+/// collision trade).
+std::uint64_t chain_solve_key(const net::Net& net,
+                              const tech::RepeaterDevice& device,
+                              const RepeaterLibrary& library,
+                              const std::vector<double>& candidates_um,
+                              const ChainDpOptions& options);
+
+/// Abstract frontier cache consulted by run_chain_dp_cached. The concrete
+/// sharded LRU implementation lives in eval/solve_cache.hpp (the dp layer
+/// stays dependency-free). Implementations must be thread-safe.
+class ChainSolveCache {
+ public:
+  virtual ~ChainSolveCache() = default;
+  /// Returns the cached solve for `key`, or nullptr on miss.
+  virtual std::shared_ptr<const ChainFrontierSolve> lookup(
+      std::uint64_t key) = 0;
+  /// Inserts `solve` under `key` and returns the stored entry. If another
+  /// thread raced the same key in first, the *existing* entry is returned
+  /// (equal keys mean bit-identical frontiers, so either copy is correct —
+  /// but callers must select from the returned entry so every caller
+  /// answers from the same arrays).
+  virtual std::shared_ptr<const ChainFrontierSolve> insert(
+      std::uint64_t key, ChainFrontierSolve solve) = 0;
+};
+
+/// Run the full sweep and return the detached frontier (no selection).
+/// Validates inputs like run_chain_dp except that no timing target is
+/// required — the frontier is target-independent.
+ChainFrontierSolve solve_chain_frontier(const net::Net& net,
+                                        const tech::RepeaterDevice& device,
+                                        const RepeaterLibrary& library,
+                                        const std::vector<double>& candidates_um,
+                                        const ChainDpOptions& options,
+                                        Workspace& ws);
+
+/// Answer one target from a solved frontier: feasibility scan, min-width
+/// (or max-slack) label selection, and solution reconstruction. Runs the
+/// exact same arithmetic as the tail of run_chain_dp on the exact same
+/// label arrays, so a cache hit is bit-identical to a cold solve.
+ChainDpResult select_from_frontier(const ChainFrontierSolve& solve,
+                                   const RepeaterLibrary& library,
+                                   const std::vector<double>& candidates_um,
+                                   const ChainDpOptions& options);
+
+/// run_chain_dp with an optional frontier cache. `cache == nullptr`
+/// degrades to plain run_chain_dp. On a miss the frontier is solved into
+/// `ws`, copied into the cache, and the result selected from the stored
+/// entry; on a hit the workspace is untouched and only the selection walk
+/// runs. Results are bit-identical to the uncached path in every field
+/// except stats.workspace_reuses (cached stats report 0 warmth).
+ChainDpResult run_chain_dp_cached(const net::Net& net,
+                                  const tech::RepeaterDevice& device,
+                                  const RepeaterLibrary& library,
+                                  const std::vector<double>& candidates_um,
+                                  const ChainDpOptions& options, Workspace& ws,
+                                  ChainSolveCache* cache);
+
+// ---------------------------------------------------------------------------
+// Incremental suffix re-solve
+// ---------------------------------------------------------------------------
+//
+// The sweep runs receiver -> driver, so a checkpoint taken after the last
+// k candidates answers any edit that only changes the net *upstream* of
+// those candidates (moved/added/removed candidate positions, a different
+// driver width, rerouted upstream segments): reload the checkpoint and
+// sweep only the remaining prefix. `suffix_key` fingerprints everything
+// the checkpointed labels depend on — the suffix candidates, downstream
+// geometry, receiver width, device, library, mode — and chain_dp_resume
+// refuses a prefix whose fingerprint does not match the new query, so a
+// stale checkpoint fails loudly instead of returning a wrong frontier.
+
+/// Mid-sweep checkpoint after processing the last `suffix_candidates`
+/// candidate positions (receiver side). Detached from any workspace.
+struct ChainPrefix {
+  std::size_t total_candidates = 0;   ///< candidate count when captured
+  std::size_t suffix_candidates = 0;  ///< trailing candidates baked in
+  double downstream_pos_um = 0;       ///< sweep position of the checkpoint
+  ChainFrontier frontier;             ///< pre-driver label set
+  std::vector<std::int32_t> a_parent;
+  std::vector<std::int32_t> a_pos;
+  std::vector<std::int16_t> a_buffer;
+  DpStats stats;                      ///< sweep stats accumulated so far
+  std::uint64_t suffix_key = 0;       ///< consistency fingerprint
+};
+
+/// Sweep only the last `suffix_candidates` positions and capture the
+/// checkpoint. `suffix_candidates` may be 0 (checkpoint = seed label) up
+/// to candidates_um.size() (everything but the driver leg baked in).
+ChainPrefix chain_dp_prefix(const net::Net& net,
+                            const tech::RepeaterDevice& device,
+                            const RepeaterLibrary& library,
+                            const std::vector<double>& candidates_um,
+                            const ChainDpOptions& options,
+                            std::size_t suffix_candidates, Workspace& ws);
+
+/// Resume from `prefix` against a (possibly edited) query whose trailing
+/// `prefix.suffix_candidates` candidates and downstream geometry are
+/// unchanged: sweeps only the remaining prefix candidates and finishes at
+/// the driver. Bit-identical to a full run_chain_dp on the same inputs.
+/// Throws rip::Error if the prefix's fingerprint does not match.
+ChainDpResult chain_dp_resume(const ChainPrefix& prefix, const net::Net& net,
+                              const tech::RepeaterDevice& device,
+                              const RepeaterLibrary& library,
+                              const std::vector<double>& candidates_um,
+                              const ChainDpOptions& options, Workspace& ws);
 
 }  // namespace rip::dp

@@ -16,22 +16,22 @@ namespace rip::eval {
 CaseResult run_case(const net::Net& net, const tech::Technology& tech,
                     double tau_t_fs, const core::RipOptions& rip_options,
                     const core::BaselineOptions& baseline_options,
-                    dp::Workspace* workspace) {
+                    dp::Workspace* workspace, CacheRef cache) {
   dp::Workspace& ws =
       workspace != nullptr ? *workspace : dp::Workspace::local();
   CaseResult out;
   out.tau_t_fs = tau_t_fs;
 
   WallTimer timer;
-  const core::RipResult rip =
-      core::rip_insert(net, tech.device(), tau_t_fs, rip_options, ws);
+  const core::RipResult rip = core::rip_insert(net, tech.device(), tau_t_fs,
+                                               rip_options, ws, cache.get());
   out.rip_runtime_s = timer.seconds();
   out.rip_feasible = rip.status == dp::Status::kOptimal;
   out.rip_width_u = rip.total_width_u;
 
   timer.reset();
-  const dp::ChainDpResult dp =
-      core::run_baseline(net, tech.device(), tau_t_fs, baseline_options, ws);
+  const dp::ChainDpResult dp = core::run_baseline(
+      net, tech.device(), tau_t_fs, baseline_options, ws, cache.get());
   out.dp_runtime_s = timer.seconds();
   out.dp_feasible = dp.status == dp::Status::kOptimal;
   out.dp_width_u = dp.total_width_u;

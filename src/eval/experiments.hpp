@@ -12,6 +12,7 @@
 
 #include "core/baseline.hpp"
 #include "core/rip.hpp"
+#include "eval/solve_cache.hpp"
 #include "eval/workload.hpp"
 #include "tech/technology.hpp"
 #include "util/table.hpp"
@@ -39,11 +40,15 @@ struct CaseResult {
 /// is the DP arena set both solvers reuse; nullptr resolves to the
 /// calling thread's dp::Workspace::local() — the path scheduler workers
 /// take, so every participant of a parallel sweep reuses its own arenas
-/// case after case.
+/// case after case. `cache` optionally shares a frontier cache between
+/// the target-independent DP solves (RIP's coarse stage and the whole
+/// baseline): with it, re-running a cached net at a new target costs a
+/// frontier walk instead of two DP sweeps, and results stay bit-identical
+/// to the uncached path.
 CaseResult run_case(const net::Net& net, const tech::Technology& tech,
                     double tau_t_fs, const core::RipOptions& rip_options,
                     const core::BaselineOptions& baseline_options,
-                    dp::Workspace* workspace = nullptr);
+                    dp::Workspace* workspace = nullptr, CacheRef cache = {});
 
 // ---------------------------------------------------------------- Table 1
 

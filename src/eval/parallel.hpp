@@ -67,6 +67,12 @@ struct BatchOptions {
   /// unsharded shard.
   int shard_index = 0;
   int shard_count = 1;
+  /// Optional shared frontier cache (see eval/solve_cache.hpp): the
+  /// target-independent DP solves of every case consult it, so repeat
+  /// traffic on the same nets skips straight to the frontier walk.
+  /// Results are bit-identical with or without it. The cache must
+  /// outlive the run_cases call; nullptr disables caching.
+  SolveCache* cache = nullptr;
 };
 
 /// Deterministic case→shard assignment: case i belongs to shard
@@ -93,7 +99,26 @@ std::vector<CaseResult> run_cases(const tech::Technology& tech,
 /// results, all from the same shard_count = shards.size() split) into
 /// the full batch result, bit-identical to an unsharded run. Throws if
 /// the shard sizes are inconsistent with the round-robin assignment.
+/// NOTE: this positional overload has no way to notice two equal-size
+/// shards passed in the wrong slots — prefer the CaseShard overload
+/// below, which carries each shard's own index/count metadata and
+/// rejects every inconsistent combination instead of mis-interleaving.
 std::vector<CaseResult> merge_shards(
     std::span<const std::vector<CaseResult>> shards);
+
+/// A shard's results together with the split metadata it was produced
+/// under — what a sharded driver should ship between processes so the
+/// merge can *verify* the reassembly instead of trusting argument order.
+struct CaseShard {
+  int shard_index = 0;
+  int shard_count = 1;
+  std::vector<CaseResult> results;
+};
+
+/// Metadata-checked merge: shards may arrive in any order. Throws
+/// rip::Error if any shard disagrees on shard_count, an index is
+/// duplicated, out of range, or missing, or a shard's result count does
+/// not match its round-robin slice.
+std::vector<CaseResult> merge_shards(std::span<const CaseShard> shards);
 
 }  // namespace rip::eval

@@ -34,6 +34,12 @@ struct BatchState {
   /// early-abort discipline the blocking engine (run_cases) wants.
   bool cancel_on_failure = false;
 
+  /// Once-guard for complete_batch: the completion callback (and the
+  /// all_done hand-off) must fire exactly once even if a late cancel()
+  /// races the final case's settle — both can observe settled == size,
+  /// but only the exchange winner completes the batch.
+  std::atomic<bool> completion_fired{false};
+
   std::mutex mutex;
   std::condition_variable done_cv;
   bool all_done = false;  ///< settled == size and on_complete returned
@@ -59,14 +65,17 @@ struct ServiceState {
   bool paused = false;
   bool stopping = false;
   bool round_in_flight = false;
+  std::atomic<std::uint64_t> evaluated{0};  ///< cases actually run
 };
 
 namespace {
 
 /// The batch is fully settled: run the completion callback (exceptions
 /// from it are swallowed — it runs on a service thread with nowhere to
-/// propagate), then release wait_all().
+/// propagate), then release wait_all(). Guarded so it runs exactly once
+/// per batch no matter how many paths observe the final settle.
 void complete_batch(BatchState& batch) {
+  if (batch.completion_fired.exchange(true)) return;
   if (batch.on_complete) {
     try {
       batch.on_complete();
@@ -90,7 +99,7 @@ void finish_slot(BatchState& batch) {
 /// Evaluate one queue entry and settle its promise. Never throws: the
 /// thunk's exception becomes the future's exception and nothing else —
 /// which is what keeps one failing case from touching its neighbours.
-void settle(QueueEntry& entry) {
+void settle(ServiceState& service, QueueEntry& entry) {
   BatchState& batch = *entry.batch;
   if (batch.cancel_on_failure && batch.failed.load() > 0) {
     // A sibling already failed: cooperative skip, like the scheduler
@@ -121,6 +130,7 @@ void settle(QueueEntry& entry) {
       promise.set_exception(std::current_exception());
       batch.failed.fetch_add(1);
     }
+    service.evaluated.fetch_add(1, std::memory_order_relaxed);
   }
   finish_slot(batch);
 }
@@ -298,13 +308,15 @@ std::future<CaseResult> EvalService::submit(const Case& c,
                                             Priority priority) {
   RIP_REQUIRE(c.net != nullptr, "submitted case without a net");
   const tech::Technology& tech = *tech_;
+  const CacheRef cache{options_.cache};
   return submit_fn(
-      [c, &tech] {
+      [c, &tech, cache] {
         // Evaluated on a service thread: hand the solve that thread's
         // own DP workspace, so each scheduler participant reuses its
-        // arenas across every case it runs or steals.
+        // arenas across every case it runs or steals; the service-wide
+        // frontier cache (if any) is shared by all of them.
         return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline,
-                        &dp::Workspace::local());
+                        &dp::Workspace::local(), cache);
       },
       priority);
 }
@@ -326,13 +338,14 @@ BatchHandle EvalService::submit_batch(const std::vector<Case>& cases,
     return BatchHandle(batch);
   }
   const tech::Technology& tech = *tech_;
+  const CacheRef cache{options_.cache};
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const Case c = cases[i];
     enqueue(
-        [c, &tech] {
-          // Same per-participant workspace hand-off as submit().
+        [c, &tech, cache] {
+          // Same per-participant workspace/cache hand-off as submit().
           return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline,
-                          &dp::Workspace::local());
+                          &dp::Workspace::local(), cache);
         },
         batch, i, priority);
   }
@@ -364,6 +377,16 @@ bool EvalService::round_in_flight() const {
 
 std::size_t EvalService::cancel_pending() {
   return detail::cancel_queued(*state_, nullptr);
+}
+
+ServiceStats EvalService::stats() const {
+  ServiceStats out;
+  out.cases_evaluated = state_->evaluated.load();
+  if (options_.cache != nullptr) {
+    out.cache_attached = true;
+    out.cache = options_.cache->stats();
+  }
+  return out;
 }
 
 void EvalService::dispatcher_loop() {
@@ -398,7 +421,7 @@ void EvalService::dispatcher_loop() {
     if (jobs <= 1 || tasks->size() == 1) {
       // Serial rounds run right here and never touch (or create) the
       // scheduler — the service-side mirror of the jobs=1 bypass rule.
-      for (detail::QueueEntry& entry : *tasks) detail::settle(entry);
+      for (detail::QueueEntry& entry : *tasks) detail::settle(s, entry);
       {
         std::lock_guard<std::mutex> lock(s.mutex);
         s.round_in_flight = false;
@@ -410,7 +433,9 @@ void EvalService::dispatcher_loop() {
       const std::shared_ptr<detail::ServiceState> state = state_;
       Scheduler::global().submit_region(
           tasks->size(), jobs,
-          [tasks](std::size_t i) { detail::settle((*tasks)[i]); },
+          [tasks, state](std::size_t i) {
+            detail::settle(*state, (*tasks)[i]);
+          },
           [state, tasks](std::exception_ptr) {
             {
               std::lock_guard<std::mutex> lock(state->mutex);

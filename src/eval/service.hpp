@@ -73,6 +73,21 @@ struct ServiceOptions {
   /// Construct with dispatch paused (submissions queue up but nothing
   /// runs until resume()) — for tests and staged startup.
   bool start_paused = false;
+  /// Optional shared frontier cache (eval/solve_cache.hpp) consulted by
+  /// every case's target-independent DP solves. Must outlive the
+  /// service; nullptr disables caching. Results are bit-identical with
+  /// or without it; EvalService::stats() surfaces the cache counters.
+  SolveCache* cache = nullptr;
+};
+
+/// Observability snapshot of a service (EvalService::stats()).
+struct ServiceStats {
+  /// Cases this service has evaluated to completion or failure
+  /// (cancelled cases are not evaluations and are not counted).
+  std::uint64_t cases_evaluated = 0;
+  /// Whether a SolveCache is attached; `cache` is all zeros otherwise.
+  bool cache_attached = false;
+  SolveCacheStats cache;
 };
 
 /// Thrown through the future of a case that was cancelled before it
@@ -204,6 +219,10 @@ class EvalService {
   /// their futures fail with CancelledError. Returns how many were
   /// cancelled.
   std::size_t cancel_pending();
+
+  /// Counter snapshot: evaluated cases plus, when a SolveCache is
+  /// attached, its hit/miss/eviction/entry/byte counters.
+  ServiceStats stats() const;
 
   const ServiceOptions& options() const { return options_; }
 

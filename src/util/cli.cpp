@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <limits>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -88,15 +90,37 @@ int parallel_jobs(const CliArgs& args, int fallback) {
 ShardSpec shard_option(const CliArgs& args, const std::string& name) {
   const auto value = args.get(name);
   if (!value) return {};
+  // Strict digits-only parse with one uniform message shape, so every
+  // binary that takes --shard rejects every malformed spec — negative
+  // values, I >= N, trailing garbage ("0/2x"), signs, spaces — the same
+  // way: "--shard expects I/N with integers 0 <= I < N ...: <why>".
+  const auto fail = [&](const std::string& why) {
+    throw Error("--" + name + " expects I/N with integers 0 <= I < N (e.g. "
+                "--" + name + " 0/2): " + why + " in '" + *value + "'");
+  };
+  const auto parse_field = [&](const std::string& text,
+                               const char* which) -> int {
+    if (text.empty()) fail(std::string("empty ") + which);
+    long parsed = 0;
+    for (const char c : text) {
+      if (c < '0' || c > '9') {
+        // One message covers signs, spaces, and trailing garbage alike.
+        fail(std::string("non-digit character in ") + which);
+      }
+      parsed = parsed * 10 + (c - '0');
+      if (parsed > std::numeric_limits<int>::max()) {
+        fail(std::string(which) + std::string(" out of range"));
+      }
+    }
+    return static_cast<int>(parsed);
+  };
   const auto slash = value->find('/');
-  RIP_REQUIRE(slash != std::string::npos,
-              "--" + name + " expects I/N (e.g. --" + name + " 0/2)");
+  if (slash == std::string::npos) fail("missing '/'");
   ShardSpec spec;
-  spec.index = parse_int(value->substr(0, slash), "--" + name + " index");
-  spec.count = parse_int(value->substr(slash + 1), "--" + name + " count");
-  RIP_REQUIRE(spec.count >= 1, "--" + name + " count must be >= 1");
-  RIP_REQUIRE(spec.index >= 0 && spec.index < spec.count,
-              "--" + name + " index must be in [0, count)");
+  spec.index = parse_field(value->substr(0, slash), "index");
+  spec.count = parse_field(value->substr(slash + 1), "count");
+  if (spec.count < 1) fail("count must be >= 1");
+  if (spec.index >= spec.count) fail("index must be < count");
   return spec;
 }
 

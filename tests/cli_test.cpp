@@ -118,5 +118,58 @@ TEST(SolutionIo, AcceptsComments) {
   EXPECT_EQ(parsed.solution.size(), 1u);
 }
 
+TEST(ShardOption, AbsentMeansTheSingleUnshardedShard) {
+  const auto spec = shard_option(parse({"sweep"}));
+  EXPECT_EQ(spec.index, 0);
+  EXPECT_EQ(spec.count, 1);
+}
+
+TEST(ShardOption, ParsesWellFormedSpecs) {
+  const auto spec = shard_option(parse({"sweep", "--shard", "2/8"}));
+  EXPECT_EQ(spec.index, 2);
+  EXPECT_EQ(spec.count, 8);
+  const auto solo = shard_option(parse({"sweep", "--shard", "0/1"}));
+  EXPECT_EQ(solo.index, 0);
+  EXPECT_EQ(solo.count, 1);
+}
+
+/// Expect shard_option to throw with the one uniform message shape
+/// every shard-capable binary shares.
+void expect_shard_rejected(const std::string& value) {
+  SCOPED_TRACE("--shard " + value);
+  try {
+    shard_option(parse({"sweep", "--shard", value.c_str()}));
+    FAIL() << "expected rip::Error for --shard " << value;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("expects I/N with integers 0 <= I < N"),
+              std::string::npos)
+        << "non-uniform message: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("'" + value + "'"),
+              std::string::npos)
+        << "message does not echo the offending value: " << e.what();
+  }
+}
+
+TEST(ShardOption, RejectsEveryMalformedSpecUniformly) {
+  expect_shard_rejected("");        // no '/'
+  expect_shard_rejected("3");       // no '/'
+  expect_shard_rejected("/");       // both fields empty
+  expect_shard_rejected("/2");      // empty index
+  expect_shard_rejected("0/");      // empty count
+  expect_shard_rejected("-1/2");    // sign is a non-digit
+  expect_shard_rejected("0/-2");    // negative count
+  expect_shard_rejected("+1/2");    // explicit plus is rejected too
+  expect_shard_rejected("0/2x");    // trailing garbage
+  expect_shard_rejected("0x/2");    // garbage inside the index
+  expect_shard_rejected(" 0/2");    // leading space
+  expect_shard_rejected("0 /2");    // embedded space
+  expect_shard_rejected("1.5/2");   // not an integer
+  expect_shard_rejected("0/0");     // count must be >= 1
+  expect_shard_rejected("2/2");     // index must be < count
+  expect_shard_rejected("5/2");     // index far out of range
+  expect_shard_rejected("99999999999999999999/2");  // overflow
+}
+
 }  // namespace
 }  // namespace rip

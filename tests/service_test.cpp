@@ -125,6 +125,79 @@ TEST(ServiceLifecycle, CallbackFiresOnceAfterEveryFutureAndBeforeWaitAll) {
   EXPECT_EQ(callback_runs.load(), 1) << "callback must fire exactly once";
 }
 
+TEST(ServiceLifecycle, CancelAfterCompletionReturnsZeroAndKeepsCallbackOnce) {
+  // Regression: cancel() used to be able to re-run the completion
+  // callback when it raced (or followed) the batch's final settle. A
+  // cancel after everything settled must be a no-op: zero cancelled,
+  // callback still exactly once.
+  const auto& tech = technology();
+  ServiceOptions options;
+  options.jobs = 2;
+  EvalService service(tech, options);
+
+  const auto workload = make_paper_workload(tech, 1, 2005);
+  const auto baseline =
+      core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  std::vector<Case> cases(
+      3, Case{&workload[0].net, 1.5 * workload[0].tau_min_fs,
+              core::RipOptions{}, baseline});
+
+  std::atomic<int> callback_runs{0};
+  BatchHandle batch = service.submit_batch(
+      cases, Priority::kNormal, [&] { callback_runs.fetch_add(1); });
+  batch.wait_all();
+  ASSERT_EQ(batch.settled(), batch.size());
+
+  // Repeated and concurrent late cancels: all no-ops.
+  std::vector<std::thread> cancellers;
+  std::atomic<std::size_t> total_cancelled{0};
+  for (int t = 0; t < 4; ++t) {
+    cancellers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) total_cancelled += batch.cancel();
+    });
+  }
+  for (auto& th : cancellers) th.join();
+  EXPECT_EQ(total_cancelled.load(), 0u);
+  EXPECT_EQ(callback_runs.load(), 1);
+  EXPECT_EQ(batch.completed(), batch.size());
+  EXPECT_EQ(batch.cancelled(), 0u);
+}
+
+TEST(ServiceLifecycle, CancelRacingTheFinalSettleFiresCallbackOnce) {
+  // Hammer the cancel-vs-completion race: many small batches, with a
+  // thread spamming cancel() while each batch settles. However the race
+  // resolves, the callback must fire exactly once per batch and the
+  // settle counters must add up.
+  const auto& tech = technology();
+  ServiceOptions options;
+  options.jobs = 2;
+  EvalService service(tech, options);
+
+  const auto workload = make_paper_workload(tech, 1, 2005);
+  const auto baseline =
+      core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  const std::vector<Case> cases(
+      2, Case{&workload[0].net, 1.5 * workload[0].tau_min_fs,
+              core::RipOptions{}, baseline});
+
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> callback_runs{0};
+    BatchHandle batch = service.submit_batch(
+        cases, Priority::kNormal, [&] { callback_runs.fetch_add(1); });
+    std::thread canceller([&] {
+      while (batch.settled() < batch.size()) batch.cancel();
+      // One more after the final settle: must be a no-op.
+      EXPECT_EQ(batch.cancel(), 0u);
+    });
+    batch.wait_all();
+    canceller.join();
+    EXPECT_EQ(callback_runs.load(), 1) << "round " << round;
+    EXPECT_EQ(batch.settled(), batch.size());
+    EXPECT_EQ(batch.completed() + batch.failed() + batch.cancelled(),
+              batch.size());
+  }
+}
+
 TEST(ServiceLifecycle, EmptyBatchCompletesImmediatelyWithCallback) {
   bool callback_ran = false;
   EvalService service(technology());

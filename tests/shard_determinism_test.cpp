@@ -69,6 +69,105 @@ TEST(MergeShards, RejectsInconsistentShardSizes) {
   EXPECT_THROW(merge_shards(shards), Error);
 }
 
+/// Round-robin split of `total` tagged results into CaseShards, with
+/// each result carrying its global index in tau_t_fs so the merge's
+/// interleave is checkable.
+std::vector<CaseShard> tagged_shards(std::size_t total, int shard_count) {
+  std::vector<CaseShard> shards(static_cast<std::size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) {
+    auto& shard = shards[static_cast<std::size_t>(s)];
+    shard.shard_index = s;
+    shard.shard_count = shard_count;
+    for (const std::size_t k : shard_case_indices(total, s, shard_count)) {
+      CaseResult r;
+      r.tau_t_fs = static_cast<double>(k);
+      shard.results.push_back(r);
+    }
+  }
+  return shards;
+}
+
+TEST(MergeCaseShards, MergesAnyArrivalOrderByMetadata) {
+  auto shards = tagged_shards(11, 3);
+  // Arrival order scrambled — the metadata, not the position, decides
+  // where each shard's results land.
+  std::swap(shards[0], shards[2]);
+  const auto merged = merge_shards(std::span<const CaseShard>(shards));
+  ASSERT_EQ(merged.size(), 11u);
+  for (std::size_t k = 0; k < merged.size(); ++k) {
+    EXPECT_EQ(merged[k].tau_t_fs, static_cast<double>(k)) << "index " << k;
+  }
+}
+
+TEST(MergeCaseShards, DetectsSwappedEqualSizeShards) {
+  // Two equal-size shards in each other's slots: the positional
+  // overload cannot notice this, the metadata-checked one must reject
+  // the duplicate index it produces.
+  auto shards = tagged_shards(8, 2);
+  shards[0].shard_index = 1;
+  shards[1].shard_index = 1;
+  EXPECT_THROW(merge_shards(std::span<const CaseShard>(shards)), Error);
+}
+
+TEST(MergeCaseShards, RejectsEveryInconsistentCombination) {
+  // Empty input.
+  const std::vector<CaseShard> none;
+  EXPECT_THROW(merge_shards(std::span<const CaseShard>(none)), Error);
+
+  // Wrong number of shards for the split.
+  {
+    auto shards = tagged_shards(9, 3);
+    shards.pop_back();
+    EXPECT_THROW(merge_shards(std::span<const CaseShard>(shards)), Error);
+  }
+  // Shards disagreeing on shard_count.
+  {
+    auto shards = tagged_shards(9, 3);
+    shards[1].shard_count = 4;
+    EXPECT_THROW(merge_shards(std::span<const CaseShard>(shards)), Error);
+  }
+  // Out-of-range and negative shard_index.
+  {
+    auto shards = tagged_shards(9, 3);
+    shards[2].shard_index = 3;
+    EXPECT_THROW(merge_shards(std::span<const CaseShard>(shards)), Error);
+    shards[2].shard_index = -1;
+    EXPECT_THROW(merge_shards(std::span<const CaseShard>(shards)), Error);
+  }
+  // Duplicate shard_index (one shard of the split missing).
+  {
+    auto shards = tagged_shards(9, 3);
+    shards[2].shard_index = 0;
+    EXPECT_THROW(merge_shards(std::span<const CaseShard>(shards)), Error);
+  }
+  // A shard whose result count does not match its round-robin slice.
+  {
+    auto shards = tagged_shards(9, 3);
+    shards[1].results.pop_back();
+    EXPECT_THROW(merge_shards(std::span<const CaseShard>(shards)), Error);
+  }
+  // Non-positive shard_count.
+  {
+    auto shards = tagged_shards(4, 1);
+    shards[0].shard_count = 0;
+    EXPECT_THROW(merge_shards(std::span<const CaseShard>(shards)), Error);
+  }
+}
+
+TEST(MergeCaseShards, AgreesWithThePositionalOverload) {
+  const auto shards = tagged_shards(10, 4);
+  std::vector<std::vector<CaseResult>> positional;
+  positional.reserve(shards.size());
+  for (const auto& s : shards) positional.push_back(s.results);
+  const auto by_meta = merge_shards(std::span<const CaseShard>(shards));
+  const auto by_pos =
+      merge_shards(std::span<const std::vector<CaseResult>>(positional));
+  ASSERT_EQ(by_meta.size(), by_pos.size());
+  for (std::size_t k = 0; k < by_meta.size(); ++k) {
+    EXPECT_EQ(by_meta[k].tau_t_fs, by_pos[k].tau_t_fs);
+  }
+}
+
 TEST(ShardDeterminism, RunCasesShardsMergeToSerialAndGoldenValues) {
   const auto& tech = technology();
   const auto workload = make_paper_workload(tech, 2, 2005);
