@@ -51,6 +51,7 @@
 #include "rc/buffered_chain.hpp"
 #include "sim/spice.hpp"
 #include "sim/transient.hpp"
+#include "tech/objective.hpp"
 #include "tech/tech_io.hpp"
 #include "tech/technology.hpp"
 #include "util/cli.hpp"
@@ -72,23 +73,29 @@ int usage(int rc = 2) {
       "  info     --net file.net\n"
       "  solve    --net file.net (--target-ns T | --target-x F)\n"
       "           [--sol out.sol] [--spice out.sp] [--zone-hop]\n"
-      "           [--refine-repeats N]\n"
+      "           [--refine-repeats N] [--backend NAME]\n"
       "  baseline --net file.net (--target-ns T | --target-x F)\n"
       "           [--granularity G] [--lib-size N] [--min-width W]\n"
+      "           [--backend NAME]\n"
       "  sweep    --net file.net [--points N] [--csv out.csv] [--jobs N]\n"
       "           [--shard I/N] [--async] [--max-pending N]\n"
-      "           [--cache] [--cache-capacity N]\n"
+      "           [--cache] [--cache-capacity N] [--backend NAME]\n"
       "  compare  --net file.net [--points N] [--granularity G]\n"
       "           [--lib-size N] [--min-width W] [--csv out.csv]\n"
       "           [--jobs N] [--shard I/N] [--async] [--max-pending N]\n"
       "           [--cache] [--cache-capacity N]\n"
+      "           [--backend NAME[|NAME...]]\n"
       "  check    --net file.net --sol file.sol [--target-ns T]\n"
       "  merge    --in shard0.csv,shard1.csv[,...] --out merged.csv\n"
       "common:    [--tech kit.tech]   (--jobs 0 = all hardware threads;\n"
       "           --shard I/N = solve shard I of an N-way split;\n"
       "           --cache = share one Pareto-frontier solve cache across\n"
       "           the sweep's points — identical output, hit/miss stats\n"
-      "           on stderr)\n";
+      "           on stderr;\n"
+      "           --backend = objective backend: paper2005, activity,\n"
+      "           lowswing (omitted = the paper's objective, byte-\n"
+      "           identical legacy output); compare accepts 'a|b|c' for\n"
+      "           side-by-side per-backend columns)\n";
   return rc;
 }
 
@@ -128,6 +135,20 @@ std::unique_ptr<eval::SolveCache> make_cache(const CliArgs& args) {
   eval::SolveCacheOptions options;
   options.capacity = static_cast<std::size_t>(capacity);
   return std::make_unique<eval::SolveCache>(options);
+}
+
+/// --backend NAME -> an owned objective backend (tech/objective.hpp);
+/// nullptr when the flag is absent, which keeps the paper's objective
+/// and byte-identical legacy output. The multi-backend 'a|b|c' form is
+/// compare-only; everywhere else one name is required.
+std::unique_ptr<tech::ObjectiveBackend> backend_option(
+    const CliArgs& args, const tech::Technology& tech) {
+  const auto name = args.get("backend");
+  if (!name) return nullptr;
+  RIP_REQUIRE(name->find('|') == std::string::npos,
+              "--backend takes a single name here; the 'a|b|c' "
+              "multi-backend form is compare-only");
+  return tech::make_backend(*name, tech);
 }
 
 /// Cache counters go to stderr so CSV/stdout output stays diffable
@@ -215,8 +236,11 @@ int cmd_solve(const CliArgs& args) {
   core::RipOptions options;
   options.refine.move.allow_zone_hop = args.has("zone-hop");
   options.refine_repeats = args.get_int_or("refine-repeats", 1);
+  const auto backend = backend_option(args, tech);
 
-  const auto r = core::rip_insert(n, tech.device(), tau_t, options);
+  const auto r =
+      core::rip_insert(n, tech.device(), tau_t, options,
+                       dp::Workspace::local(), nullptr, backend.get());
   std::cout << "target: " << fmt_unit(units::fs_to_ns(tau_t), 3, "ns")
             << "\n";
   if (r.status != dp::Status::kOptimal) {
@@ -228,6 +252,10 @@ int cmd_solve(const CliArgs& args) {
             << fmt_f(r.total_width_u, 1) << " u, delay "
             << fmt_unit(units::fs_to_ns(r.delay_fs), 3, "ns") << " ("
             << fmt_f(r.runtime_s * 1e3, 1) << " ms)\n";
+  if (backend != nullptr) {
+    std::cout << "objective (" << backend->name()
+              << "): " << fmt_f(r.objective_cost, 1) << "\n";
+  }
   for (const auto& rep : r.solution.repeaters()) {
     std::cout << "  x = " << fmt_f(rep.position_um, 0) << " um, w = "
               << fmt_f(rep.width_u, 0) << " u\n";
@@ -257,7 +285,10 @@ int cmd_baseline(const CliArgs& args) {
       args.get_double_or("min-width", 10.0),
       args.get_double_or("granularity", 10.0),
       args.get_int_or("lib-size", 10));
-  const auto r = core::run_baseline(n, tech.device(), tau_t, options);
+  const auto backend = backend_option(args, tech);
+  const auto r =
+      core::run_baseline(n, tech.device(), tau_t, options,
+                         dp::Workspace::local(), nullptr, backend.get());
   std::cout << "target: " << fmt_unit(units::fs_to_ns(tau_t), 3, "ns")
             << "\n";
   if (r.status != dp::Status::kOptimal) {
@@ -268,6 +299,10 @@ int cmd_baseline(const CliArgs& args) {
   std::cout << "baseline DP: " << r.solution.size() << " repeaters, width "
             << fmt_f(r.total_width_u, 1) << " u, delay "
             << fmt_unit(units::fs_to_ns(r.delay_fs), 3, "ns") << "\n";
+  if (backend != nullptr) {
+    std::cout << "objective (" << backend->name()
+              << "): " << fmt_f(r.objective_cost, 1) << "\n";
+  }
   return 0;
 }
 
@@ -292,10 +327,13 @@ int cmd_sweep(const CliArgs& args) {
   // and shared (the sweep varies only the target) — on this thread's
   // local workspace either way, so cache-off stays the plain path.
   const std::unique_ptr<eval::SolveCache> cache = make_cache(args);
+  const std::unique_ptr<tech::ObjectiveBackend> backend =
+      backend_option(args, tech);
   const auto solve_point = [&](std::size_t j) {
     runs[j] = core::rip_insert(n, tech.device(),
                                factors[mine[j]] * md.tau_min_fs, {},
-                               dp::Workspace::local(), cache.get());
+                               dp::Workspace::local(), cache.get(),
+                               backend.get());
   };
   if (args.has("async")) {
     // The async service via the submit_fn escape hatch: the sweep is
@@ -362,49 +400,90 @@ int cmd_compare(const CliArgs& args) {
   for (const double tau_t : targets) {
     cases.push_back(eval::Case{&n, tau_t, core::RipOptions{}, baseline});
   }
+  // Objective backends: one sweep per requested backend. The default
+  // (no --backend) single sweep keeps the legacy byte-identical table;
+  // 'a|b|c' runs one sweep per backend and emits per-backend column
+  // groups without the wall-clock columns, so the multi-backend table
+  // is bit-identical at any jobs/shard/async combination. With --cache
+  // every backend shares one frontier cache — solve keys fold the
+  // backend identity, so entries never collide across backends.
+  std::vector<std::unique_ptr<tech::ObjectiveBackend>> backends;
+  std::vector<std::string> backend_names;
+  if (const auto spec = args.get("backend")) {
+    for (const auto& nm : split_on(*spec, '|')) {
+      backends.push_back(tech::make_backend(trim(nm), tech));
+      backend_names.push_back(backends.back()->name());
+    }
+  } else {
+    backends.push_back(nullptr);
+    backend_names.push_back("paper2005");
+  }
+  const bool multi = backends.size() > 1;
+
   eval::BatchOptions batch;
   batch.jobs = parallel_jobs(args);
   const ShardSpec shard = shard_option(args);
   batch.shard_index = shard.index;
   batch.shard_count = shard.count;
   const std::unique_ptr<eval::SolveCache> cache = make_cache(args);
-  batch.cache = cache.get();
+  batch.context.cache = cache.get();
   const auto mine =
       eval::shard_case_indices(cases.size(), shard.index, shard.count);
-  std::vector<eval::CaseResult> results;
-  if (args.has("async")) {
-    // One future per point through the async service (FIFO order);
-    // --max-pending exercises the bounded-queue backpressure. Results
-    // are collected in submission order, so the table is identical to
-    // the blocking run_cases path (wall-clock columns excepted).
-    eval::ServiceOptions service_options =
-        async_service_options(args, batch.jobs);
-    service_options.cache = cache.get();
-    eval::EvalService service(tech, service_options);
-    std::vector<std::future<eval::CaseResult>> futures;
-    futures.reserve(mine.size());
-    for (const std::size_t k : mine) futures.push_back(service.submit(cases[k]));
-    results.reserve(futures.size());
-    for (auto& future : futures) results.push_back(future.get());
-  } else {
-    results = eval::run_cases(tech, cases, batch);
+  std::vector<std::vector<eval::CaseResult>> all_results(backends.size());
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    batch.context.backend = backends[b].get();
+    if (args.has("async")) {
+      // One future per point through the async service (FIFO order);
+      // --max-pending exercises the bounded-queue backpressure. Results
+      // are collected in submission order, so the table is identical to
+      // the blocking run_cases path (wall-clock columns excepted).
+      eval::ServiceOptions service_options =
+          async_service_options(args, batch.jobs);
+      service_options.context = batch.context;
+      eval::EvalService service(tech, service_options);
+      std::vector<std::future<eval::CaseResult>> futures;
+      futures.reserve(mine.size());
+      for (const std::size_t k : mine) {
+        futures.push_back(service.submit(cases[k]));
+      }
+      all_results[b].reserve(futures.size());
+      for (auto& future : futures) all_results[b].push_back(future.get());
+    } else {
+      all_results[b] = eval::run_cases(tech, cases, batch);
+    }
   }
   print_cache_stats(cache.get());
 
-  Table table({"idx", "tau_t_ns", "tau_over_min", "rip_u", "dp_u", "impr%",
-               "rip_ms", "dp_ms"});
-  for (std::size_t j = 0; j < results.size(); ++j) {
-    const auto& r = results[j];
-    table.add_row({std::to_string(mine[j]),
-                   fmt_f(units::fs_to_ns(r.tau_t_fs), 3),
-                   fmt_f(r.tau_t_fs / md.tau_min_fs, 3),
-                   r.rip_feasible ? fmt_f(r.rip_width_u, 0) : "VIOL",
-                   r.dp_feasible ? fmt_f(r.dp_width_u, 0) : "VIOL",
-                   r.rip_feasible && r.dp_feasible
-                       ? fmt_f(r.improvement_pct, 2)
-                       : "-",
-                   fmt_f(r.rip_runtime_s * 1e3, 1),
-                   fmt_f(r.dp_runtime_s * 1e3, 1)});
+  std::vector<std::string> headers{"idx", "tau_t_ns", "tau_over_min"};
+  if (multi) {
+    for (const auto& nm : backend_names) {
+      headers.push_back(nm + ":rip_u");
+      headers.push_back(nm + ":dp_u");
+      headers.push_back(nm + ":impr%");
+    }
+  } else {
+    headers.insert(headers.end(),
+                   {"rip_u", "dp_u", "impr%", "rip_ms", "dp_ms"});
+  }
+  Table table(headers);
+  for (std::size_t j = 0; j < mine.size(); ++j) {
+    const auto& r0 = all_results.front()[j];
+    std::vector<std::string> cells{
+        std::to_string(mine[j]), fmt_f(units::fs_to_ns(r0.tau_t_fs), 3),
+        fmt_f(r0.tau_t_fs / md.tau_min_fs, 3)};
+    for (std::size_t b = 0; b < all_results.size(); ++b) {
+      const auto& r = all_results[b][j];
+      cells.push_back(r.rip_feasible ? fmt_f(r.rip_width_u, 0) : "VIOL");
+      cells.push_back(r.dp_feasible ? fmt_f(r.dp_width_u, 0) : "VIOL");
+      cells.push_back(r.rip_feasible && r.dp_feasible
+                          ? fmt_f(r.improvement_pct, 2)
+                          : "-");
+      if (!multi) {
+        cells.push_back(fmt_f(r.rip_runtime_s * 1e3, 1));
+        cells.push_back(fmt_f(r.dp_runtime_s * 1e3, 1));
+      }
+    }
+    table.add_row(std::move(cells));
   }
   if (const auto csv = args.get("csv")) {
     std::ofstream out(*csv);

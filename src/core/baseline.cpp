@@ -36,11 +36,13 @@ dp::ChainDpResult run_baseline(const net::Net& net,
                                const tech::RepeaterDevice& device,
                                double tau_t_fs, const BaselineOptions& options,
                                dp::Workspace& workspace,
-                               dp::ChainSolveCache* cache) {
+                               dp::ChainSolveCache* cache,
+                               const tech::ObjectiveBackend* backend) {
   const auto candidates = net::uniform_candidates(net, options.pitch_um);
   dp::ChainDpOptions dp_options;
   dp_options.mode = dp::Mode::kMinPower;
   dp_options.timing_target_fs = tau_t_fs;
+  dp_options.backend = backend;
   return dp::run_chain_dp_cached(net, device, options.library, candidates,
                                  dp_options, workspace, cache);
 }

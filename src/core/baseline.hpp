@@ -39,9 +39,12 @@ struct BaselineOptions {
 
 /// Run the baseline DP for a timing target. The first overload solves
 /// on this thread's dp::Workspace::local(); the second reuses the
-/// caller's workspace arenas across solves and may consult a frontier
+/// caller's workspace arenas across solves, may consult a frontier
 /// cache (the baseline solves a fixed library/pitch per net, so across a
-/// target sweep every solve after the first is a cache hit).
+/// target sweep every solve after the first is a cache hit), and may
+/// minimize a pluggable objective (tech/objective.hpp; nullptr = the
+/// paper's minimum-width objective, bit-identical to before backends
+/// existed).
 dp::ChainDpResult run_baseline(const net::Net& net,
                                const tech::RepeaterDevice& device,
                                double tau_t_fs,
@@ -51,6 +54,7 @@ dp::ChainDpResult run_baseline(const net::Net& net,
                                double tau_t_fs,
                                const BaselineOptions& options,
                                dp::Workspace& workspace,
-                               dp::ChainSolveCache* cache = nullptr);
+                               dp::ChainSolveCache* cache = nullptr,
+                               const tech::ObjectiveBackend* backend = nullptr);
 
 }  // namespace rip::core

@@ -19,7 +19,8 @@ RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
 
 RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
                      double tau_t_fs, const RipOptions& options,
-                     dp::Workspace& workspace, dp::ChainSolveCache* cache) {
+                     dp::Workspace& workspace, dp::ChainSolveCache* cache,
+                     const tech::ObjectiveBackend* backend) {
   RIP_REQUIRE(tau_t_fs > 0, "timing target must be positive");
   RIP_REQUIRE(options.refine_repeats >= 1, "need at least one REFINE pass");
   WallTimer total_timer;
@@ -35,6 +36,7 @@ RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
   dp::ChainDpOptions dp_options;
   dp_options.mode = dp::Mode::kMinPower;
   dp_options.timing_target_fs = tau_t_fs;
+  dp_options.backend = backend;
   result.coarse =
       dp::run_chain_dp_cached(net, device, coarse_library, coarse_candidates,
                               dp_options, workspace, cache);
@@ -58,6 +60,7 @@ RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
     result.solution = result.coarse.solution;
     result.delay_fs = result.coarse.delay_fs;
     result.total_width_u = 0;
+    result.objective_cost = result.coarse.objective_cost;
     result.used_fallback = true;
     result.runtime_s = total_timer.seconds();
     return result;
@@ -82,6 +85,7 @@ RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
     result.solution = result.coarse.solution;
     result.delay_fs = result.coarse.delay_fs;
     result.total_width_u = result.coarse.total_width_u;
+    result.objective_cost = result.coarse.objective_cost;
     result.used_fallback = true;
     result.runtime_s = total_timer.seconds();
     return result;
@@ -143,17 +147,20 @@ RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
   result.final_s = stage_timer.seconds();
 
   // Best feasible of {stage 3, stage 1}: RIP never loses to its own
-  // coarse stage and stays feasible whenever stage 1 was.
+  // coarse stage and stays feasible whenever stage 1 was. Arbitrated on
+  // the objective cost (== total width on the identity objective).
   const bool final_ok = result.final_dp.status == dp::Status::kOptimal;
   if (final_ok &&
-      result.final_dp.total_width_u <= result.coarse.total_width_u) {
+      result.final_dp.objective_cost <= result.coarse.objective_cost) {
     result.solution = result.final_dp.solution;
     result.delay_fs = result.final_dp.delay_fs;
     result.total_width_u = result.final_dp.total_width_u;
+    result.objective_cost = result.final_dp.objective_cost;
   } else {
     result.solution = result.coarse.solution;
     result.delay_fs = result.coarse.delay_fs;
     result.total_width_u = result.coarse.total_width_u;
+    result.objective_cost = result.coarse.objective_cost;
     result.used_fallback = true;
   }
   result.status = dp::Status::kOptimal;

@@ -56,6 +56,10 @@ struct RipResult {
   net::RepeaterSolution solution;
   double delay_fs = 0;
   double total_width_u = 0;
+  /// Objective cost of `solution` under the active backend — what the
+  /// stage-3-vs-stage-1 arbitration compares. Equals total_width_u on
+  /// the identity (paper) objective; 0 when infeasible or repeaterless.
+  double objective_cost = 0;
 
   // Per-stage diagnostics.
   dp::ChainDpResult coarse;            ///< stage 1
@@ -78,11 +82,19 @@ struct RipResult {
 /// never cached: its library and allowed-width windows derive from the
 /// REFINE output, which changes with the target — caching it would only
 /// pollute the cache with single-use entries.
+///
+/// An objective backend (tech/objective.hpp) threads into both DP stages
+/// and the final stage-3-vs-stage-1 arbitration (compared by objective
+/// cost). Stage 2's REFINE needs no backend: it preserves the repeater
+/// count, and on a fixed count an affine cost is minimized exactly where
+/// total width is, so the analytical width argmin is the cost argmin
+/// too. nullptr = the paper's objective, bit-identical to before.
 RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
                      double tau_t_fs, const RipOptions& options = {});
 RipResult rip_insert(const net::Net& net, const tech::RepeaterDevice& device,
                      double tau_t_fs, const RipOptions& options,
                      dp::Workspace& workspace,
-                     dp::ChainSolveCache* cache = nullptr);
+                     dp::ChainSolveCache* cache = nullptr,
+                     const tech::ObjectiveBackend* backend = nullptr);
 
 }  // namespace rip::core

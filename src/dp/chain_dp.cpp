@@ -14,6 +14,35 @@ namespace rip::dp {
 
 namespace {
 
+/// The allowed list used when the backend forbids repeater insertion
+/// (tech::ChainCost::allow_repeaters == false): every candidate expands
+/// zero buffer groups, so the sweep degenerates to pure wire
+/// propagation of the seed label.
+const std::vector<std::int16_t> kNoBuffers;
+
+/// Resolve the active backend's per-net cost coefficients (identity when
+/// no backend is set). Coefficients must be non-negative: a negative
+/// width weight would break the kernel's monotone group ordering.
+tech::ChainCost resolve_cost(const net::Net& net,
+                             const ChainDpOptions& options) {
+  if (options.backend == nullptr) return tech::ChainCost{};
+  const tech::ChainCost cost = options.backend->chain_cost(tech::NetProfile{
+      net.name(), net.total_length_um(), net.total_capacitance_ff()});
+  RIP_REQUIRE(cost.width_weight >= 0 && cost.per_repeater >= 0,
+              "objective backend produced negative cost coefficients");
+  RIP_REQUIRE(cost.receiver_penalty_fs >= 0,
+              "objective backend produced a negative receiver penalty");
+  return cost;
+}
+
+/// True when the label arrays' third dimension is plain total width —
+/// the paper's objective. (Narrower than ChainCost::is_identity(): the
+/// receiver penalty and the allow flag shift q / restrict insertion but
+/// do not reshape the accumulated value.)
+bool identity_cost_table(const tech::ChainCost& cost) {
+  return cost.width_weight == 1.0 && cost.per_repeater == 0.0;
+}
+
 /// Affine coefficients of wire propagation across one candidate interval.
 /// Carrying a label upstream over the interval's pieces applies, piece by
 /// piece, q -= r*(C + c/2); C += c. Composed over the whole interval that
@@ -70,7 +99,7 @@ void propagate_frontier(ChainFrontier& front, const WireAffine& wire) {
 /// by a linear scan — no sort at all.
 void expand_candidate(Workspace& ws, const ChainFrontier& front,
                       const std::vector<std::int16_t>& allowed,
-                      const std::vector<double>& widths, double intrinsic_fs,
+                      const std::vector<double>& cost_u, double intrinsic_fs,
                       bool use_width) {
   const std::size_t fn = front.size();
   ws.expanded.clear();
@@ -86,7 +115,7 @@ void expand_candidate(Workspace& ws, const ChainFrontier& front,
     const auto bi = static_cast<std::size_t>(b);
     const double load = ws.lib_load_ff[bi];
     const double rs_over_w = ws.lib_rs_over_w[bi];
-    const double wb = widths[bi];
+    const double wb = cost_u[bi];
     if (!use_width) {
       // Delay mode: only the group's best q can survive (ties: the
       // smallest width, matching the (q desc, w asc) sort order).
@@ -163,6 +192,21 @@ FrontierView view_of(const ChainFrontierSolve& solve) {
 /// Reconstruct the repeater list from a winning label's parent chain
 /// through the reconstruction arena. `count` is the label's repeater
 /// count, so the output vector is reserved exactly once.
+/// Physical total width of a label, re-summed from its arena chain. Only
+/// the non-identity objectives use this: on the identity path the label's
+/// accumulated value IS the total width, bit-for-bit (re-summing would
+/// reverse the accumulation order and can differ in the last ulp).
+double arena_total_width(const FrontierView& v, std::int32_t node,
+                         const RepeaterLibrary& library) {
+  double w = 0;
+  for (std::int32_t idx = node; idx >= 0;
+       idx = v.a_parent[static_cast<std::size_t>(idx)]) {
+    w += library.widths_u()[static_cast<std::size_t>(
+        v.a_buffer[static_cast<std::size_t>(idx)])];
+  }
+  return w;
+}
+
 net::RepeaterSolution reconstruct(const FrontierView& v, std::int32_t node,
                                   std::int16_t count,
                                   const RepeaterLibrary& library,
@@ -221,9 +265,11 @@ struct SweepCursor {
 /// which enters only at selection time. That target-independence is what
 /// lets one solved frontier answer every target (ChainSolveCache).
 SweepCursor seed_sweep(const net::Net& net, const tech::RepeaterDevice& device,
-                       const RepeaterLibrary& library, Workspace& ws,
+                       const RepeaterLibrary& library,
+                       const tech::ChainCost& cost, Workspace& ws,
                        DpStats& stats) {
   library.fill_device_terms(device, ws.lib_load_ff, ws.lib_rs_over_w);
+  library.fill_cost_terms(cost, ws.lib_cost);
   const std::size_t lib_n = library.size();
   ws.all_buffers.resize(lib_n);
   for (std::size_t b = 0; b < lib_n; ++b)
@@ -236,9 +282,15 @@ SweepCursor seed_sweep(const net::Net& net, const tech::RepeaterDevice& device,
   ws.a_pos.clear();
   ws.a_buffer.clear();
 
-  // Seed at the receiver: C = C_o * w_r; q = 0 (target-relative); p = 0.
-  // The seed has no arena entry (node -1 terminates reconstruction).
-  cur.front->push(device.co_ff * net.receiver_width_u(), 0.0, 0.0, 0, -1);
+  // Seed at the receiver: C = C_o * w_r; q = 0 (target-relative) minus
+  // any backend receiver penalty; p = 0. The zero guard keeps the seed
+  // at +0.0 on the default path (-0.0 would survive to the final slack
+  // and print as "-0.000"). The seed has no arena entry (node -1
+  // terminates reconstruction).
+  const double seed_q = cost.receiver_penalty_fs == 0.0
+                            ? 0.0
+                            : -cost.receiver_penalty_fs;
+  cur.front->push(device.co_ff * net.receiver_width_u(), seed_q, 0.0, 0, -1);
   ++stats.labels_created;
   return cur;
 }
@@ -258,14 +310,12 @@ SweepCursor seed_sweep(const net::Net& net, const tech::RepeaterDevice& device,
 /// extra round.) The merge below emits the next frontier in the same
 /// order.
 void sweep_range(const net::Net& net, const tech::RepeaterDevice& device,
-                 const RepeaterLibrary& library,
                  const std::vector<double>& candidates_um,
-                 const ChainDpOptions& options, Workspace& ws,
-                 SweepCursor& cur, std::size_t start, std::size_t stop,
-                 DpStats& stats) {
+                 const ChainDpOptions& options, const tech::ChainCost& cost,
+                 Workspace& ws, SweepCursor& cur, std::size_t start,
+                 std::size_t stop, DpStats& stats) {
   const bool power_mode = (options.mode == Mode::kMinPower);
   const double intrinsic_fs = device.rs_ohm * device.cp_ff;
-  const std::vector<double>& widths = library.widths_u();
   ChainFrontier* front = cur.front;
   ChainFrontier* back = cur.back;
   for (std::size_t ci = start; ci-- > stop;) {
@@ -274,14 +324,19 @@ void sweep_range(const net::Net& net, const tech::RepeaterDevice& device,
     propagate_frontier(*front, interval_affine(ws.pieces));
     cur.downstream_pos = pos;
 
-    // Library indices that may be inserted at this candidate.
+    // Library indices that may be inserted at this candidate. A backend
+    // that forbids repeaters empties every candidate's list.
     const std::vector<std::int16_t>& allowed =
-        options.allowed_buffers != nullptr ? (*options.allowed_buffers)[ci]
-                                           : ws.all_buffers;
+        !cost.allow_repeaters        ? kNoBuffers
+        : options.allowed_buffers != nullptr ? (*options.allowed_buffers)[ci]
+                                             : ws.all_buffers;
 
     // Option B labels (insert a repeater here), built per buffer group,
     // pre-filtered within each group, concatenated in sorted run order.
-    expand_candidate(ws, *front, allowed, widths, intrinsic_fs, power_mode);
+    // Labels accumulate the objective cost table (== widths on the
+    // identity objective, same bits).
+    expand_candidate(ws, *front, allowed, ws.lib_cost, intrinsic_fs,
+                     power_mode);
     const std::size_t fn = front->size();
     const std::size_t gn = ws.expanded.size();
     stats.labels_created += allowed.size() * fn;
@@ -372,11 +427,14 @@ void finish_at_driver(const net::Net& net, const tech::RepeaterDevice& device,
 }
 
 /// Answer one target from a finished frontier: feasibility scan,
-/// min-width (power) / max-slack (delay) selection, reconstruction.
+/// min-cost (power) / max-slack (delay) selection, reconstruction.
+/// `identity` says the labels' value dimension is plain total width
+/// (read it off the winner); otherwise the physical width is re-summed
+/// from the winner's arena chain.
 ChainDpResult select_result(const FrontierView& v,
                             const RepeaterLibrary& library,
                             const std::vector<double>& candidates_um,
-                            const ChainDpOptions& options,
+                            const ChainDpOptions& options, bool identity,
                             const DpStats& stats) {
   const bool power_mode = (options.mode == Mode::kMinPower);
   const double target = power_mode ? options.timing_target_fs : 0.0;
@@ -428,11 +486,15 @@ ChainDpResult select_result(const FrontierView& v,
         result.solution = reconstruct(v, v.node[best_i], v.count[best_i],
                                       library, candidates_um);
       }
-      result.total_width_u = v.width_u[best_i];
+      result.total_width_u =
+          identity ? v.width_u[best_i]
+                   : arena_total_width(v, v.node[best_i], library);
+      result.objective_cost = v.width_u[best_i];
       result.delay_fs = -best_q;
     } else {
       result.status = Status::kInfeasible;
       result.total_width_u = 0;
+      result.objective_cost = 0;
       result.delay_fs = result.min_delay_fs;
     }
   } else {
@@ -440,7 +502,10 @@ ChainDpResult select_result(const FrontierView& v,
     if (options.reconstruct_solutions) {
       result.solution = result.min_delay_solution;
     }
-    result.total_width_u = v.width_u[delay_i];
+    result.total_width_u =
+        identity ? v.width_u[delay_i]
+                 : arena_total_width(v, v.node[delay_i], library);
+    result.objective_cost = v.width_u[delay_i];
     result.delay_fs = result.min_delay_fs;
   }
   return result;
@@ -492,6 +557,15 @@ std::uint64_t prefix_consistency_key(const net::Net& net,
       h << std::span<const std::int16_t>((*options.allowed_buffers)[ci]);
     }
   }
+  // Backend identity + derived coefficients: a checkpoint taken under
+  // one objective must refuse to resume under another.
+  h << (options.backend != nullptr);
+  if (options.backend != nullptr) {
+    const tech::ChainCost cost = resolve_cost(net, options);
+    h << options.backend->fingerprint() << cost.width_weight
+      << cost.per_repeater << cost.receiver_penalty_fs
+      << cost.allow_repeaters;
+  }
   return h.value();
 }
 
@@ -539,6 +613,19 @@ std::uint64_t chain_solve_key(const net::Net& net,
       h << std::span<const std::int16_t>(allowed);
     }
   }
+  // Backend identity + derived per-net coefficients. Both are folded:
+  // the coefficients because they are what the sweep actually consumes
+  // (a per-net activity profile is not in the geometry hash above), the
+  // fingerprint so entries can never collide across backends. The
+  // default path hashes only the `false` marker, keeping pre-backend
+  // keys stable.
+  h << (options.backend != nullptr);
+  if (options.backend != nullptr) {
+    const tech::ChainCost cost = resolve_cost(net, options);
+    h << options.backend->fingerprint() << cost.width_weight
+      << cost.per_repeater << cost.receiver_penalty_fs
+      << cost.allow_repeaters;
+  }
   return h.value();
 }
 
@@ -557,20 +644,21 @@ ChainDpResult run_chain_dp(const net::Net& net,
                            const std::vector<double>& candidates_um,
                            const ChainDpOptions& options, Workspace& ws) {
   validate_inputs(net, library, candidates_um, options, /*need_target=*/true);
+  const tech::ChainCost cost = resolve_cost(net, options);
 
   DpStats stats;
   stats.positions = candidates_um.size();
   stats.workspace_reuses = ws.stats_.solves();
 
-  SweepCursor cur = seed_sweep(net, device, library, ws, stats);
-  sweep_range(net, device, library, candidates_um, options, ws, cur,
+  SweepCursor cur = seed_sweep(net, device, library, cost, ws, stats);
+  sweep_range(net, device, candidates_um, options, cost, ws, cur,
               candidates_um.size(), 0, stats);
   finish_at_driver(net, device, ws, cur);
   stats.arena_peak = ws.a_parent.size();
 
   ChainDpResult result =
       select_result(view_of(*cur.front, ws), library, candidates_um, options,
-                    stats);
+                    identity_cost_table(cost), stats);
   bump_ws_stats(ws, stats);
   return result;
 }
@@ -580,6 +668,7 @@ ChainFrontierSolve solve_chain_frontier(
     const RepeaterLibrary& library, const std::vector<double>& candidates_um,
     const ChainDpOptions& options, Workspace& ws) {
   validate_inputs(net, library, candidates_um, options, /*need_target=*/false);
+  const tech::ChainCost cost = resolve_cost(net, options);
 
   DpStats stats;
   stats.positions = candidates_um.size();
@@ -587,13 +676,14 @@ ChainFrontierSolve solve_chain_frontier(
   // miss-then-insert and a later hit describe the solve identically.
   stats.workspace_reuses = 0;
 
-  SweepCursor cur = seed_sweep(net, device, library, ws, stats);
-  sweep_range(net, device, library, candidates_um, options, ws, cur,
+  SweepCursor cur = seed_sweep(net, device, library, cost, ws, stats);
+  sweep_range(net, device, candidates_um, options, cost, ws, cur,
               candidates_um.size(), 0, stats);
   finish_at_driver(net, device, ws, cur);
   stats.arena_peak = ws.a_parent.size();
 
   ChainFrontierSolve out;
+  out.identity_cost = identity_cost_table(cost);
   out.q_fs = cur.front->q_fs;
   out.width_u = cur.front->width_u;
   out.count = cur.front->count;
@@ -615,7 +705,7 @@ ChainDpResult select_from_frontier(const ChainFrontierSolve& solve,
                 "kMinPower needs a positive timing target");
   }
   return select_result(view_of(solve), library, candidates_um, options,
-                       solve.stats);
+                       solve.identity_cost, solve.stats);
 }
 
 ChainDpResult run_chain_dp_cached(const net::Net& net,
@@ -649,12 +739,13 @@ ChainPrefix chain_dp_prefix(const net::Net& net,
   validate_inputs(net, library, candidates_um, options, /*need_target=*/false);
   RIP_REQUIRE(suffix_candidates <= candidates_um.size(),
               "chain_dp_prefix suffix exceeds the candidate count");
+  const tech::ChainCost cost = resolve_cost(net, options);
 
   DpStats stats;
   stats.positions = candidates_um.size();
 
-  SweepCursor cur = seed_sweep(net, device, library, ws, stats);
-  sweep_range(net, device, library, candidates_um, options, ws, cur,
+  SweepCursor cur = seed_sweep(net, device, library, cost, ws, stats);
+  sweep_range(net, device, candidates_um, options, cost, ws, cur,
               candidates_um.size(), candidates_um.size() - suffix_candidates,
               stats);
 
@@ -688,7 +779,8 @@ ChainDpResult chain_dp_resume(const ChainPrefix& prefix, const net::Net& net,
                                                   candidates_um, options,
                                                   prefix.suffix_candidates),
       "chain_dp_resume prefix does not match the query (suffix candidates, "
-      "downstream geometry, library, device, or mode differ)");
+      "downstream geometry, library, device, mode, or backend differ)");
+  const tech::ChainCost cost = resolve_cost(net, options);
 
   DpStats stats = prefix.stats;
   stats.positions = n;
@@ -696,6 +788,7 @@ ChainDpResult chain_dp_resume(const ChainPrefix& prefix, const net::Net& net,
 
   // Load the checkpoint into the workspace arenas (capacity is reused).
   library.fill_device_terms(device, ws.lib_load_ff, ws.lib_rs_over_w);
+  library.fill_cost_terms(cost, ws.lib_cost);
   const std::size_t lib_n = library.size();
   ws.all_buffers.resize(lib_n);
   for (std::size_t b = 0; b < lib_n; ++b)
@@ -716,14 +809,14 @@ ChainDpResult chain_dp_resume(const ChainPrefix& prefix, const net::Net& net,
   SweepCursor cur{&ws.chain_front, &ws.chain_back,
                   prefix.suffix_candidates == 0 ? net.total_length_um()
                                                 : prefix.downstream_pos_um};
-  sweep_range(net, device, library, candidates_um, options, ws, cur,
+  sweep_range(net, device, candidates_um, options, cost, ws, cur,
               n - prefix.suffix_candidates, 0, stats);
   finish_at_driver(net, device, ws, cur);
   stats.arena_peak = ws.a_parent.size();
 
   ChainDpResult result =
       select_result(view_of(*cur.front, ws), library, candidates_um, options,
-                    stats);
+                    identity_cost_table(cost), stats);
   bump_ws_stats(ws, stats);
   return result;
 }

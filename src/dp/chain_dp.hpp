@@ -33,6 +33,7 @@
 #include "dp/workspace.hpp"
 #include "net/net.hpp"
 #include "net/solution.hpp"
+#include "tech/objective.hpp"
 #include "tech/technology.hpp"
 
 namespace rip::dp {
@@ -73,6 +74,17 @@ struct ChainDpOptions {
   /// use this so steady-state solves on a reused workspace perform zero
   /// heap allocations.
   bool reconstruct_solutions = true;
+  /// Objective backend (tech/objective.hpp). nullptr = the paper's
+  /// Eq. 3/4 objective (minimize total width) with bit-identical results
+  /// to the pre-backend kernels. A backend reshapes the label's third
+  /// dimension from total width into its affine per-net cost, may charge
+  /// a fixed receiver-side delay penalty, and may forbid repeater
+  /// insertion entirely (the low-swing design point). In kMinPower mode
+  /// the DP then minimizes that cost subject to the target; in kMinDelay
+  /// mode the cost only breaks slack ties. The derived coefficients are
+  /// folded into chain_solve_key, so cached frontiers never collide
+  /// across backends.
+  const tech::ObjectiveBackend* backend = nullptr;
 };
 
 /// Label-count statistics (for the scaling benchmarks and the kernel
@@ -102,10 +114,15 @@ struct ChainDpResult {
   Status status = Status::kInfeasible;
   /// Min-power (or min-delay) solution; empty when infeasible.
   net::RepeaterSolution solution;
-  /// Delay of `solution` per the DP's Elmore bookkeeping [fs].
+  /// Delay of `solution` per the DP's Elmore bookkeeping [fs], including
+  /// any backend receiver penalty.
   double delay_fs = 0;
   /// Total repeater width of `solution` [u].
   double total_width_u = 0;
+  /// Objective cost of `solution` under the active backend. Equals
+  /// total_width_u on the identity objective (backend == nullptr or
+  /// Paper2005Backend); 0 when infeasible.
+  double objective_cost = 0;
   /// The minimum-delay labeling found during the same sweep; populated in
   /// kMinPower mode even when infeasible (best-effort diagnostics).
   net::RepeaterSolution min_delay_solution;
@@ -152,7 +169,9 @@ ChainDpResult run_chain_dp(const net::Net& net,
 /// realized delay is `-q_fs[i]`.
 struct ChainFrontierSolve {
   std::vector<double> q_fs;
-  std::vector<double> width_u;        ///< total repeater width per label
+  /// Objective value per label: total repeater width on the identity
+  /// objective, the backend's affine cost otherwise (see identity_cost).
+  std::vector<double> width_u;
   std::vector<std::int16_t> count;    ///< repeater count per label
   std::vector<std::int32_t> node;     ///< arena node per label (-1 = none)
   std::vector<std::int32_t> a_parent; ///< reconstruction arena
@@ -161,6 +180,10 @@ struct ChainFrontierSolve {
   /// Stats of the solve that built this frontier. `workspace_reuses` is
   /// canonicalized to 0: a cached frontier has no meaningful warmth.
   DpStats stats;
+  /// True when width_u holds plain total widths (identity objective).
+  /// select_from_frontier uses this to decide whether total_width_u can
+  /// be read off the label or must be re-summed from the arena.
+  bool identity_cost = true;
 
   std::size_t size() const { return q_fs.size(); }
   /// Approximate retained footprint, for the cache's byte accounting.
@@ -169,7 +192,9 @@ struct ChainFrontierSolve {
 
 /// Canonical cache key: hashes everything `solve_chain_frontier` reads —
 /// net geometry (segments, zones, terminal widths), device, library
-/// widths, candidate positions, mode, and allowed_buffers — and excludes
+/// widths, candidate positions, mode, allowed_buffers, and (when a
+/// backend is set) the backend fingerprint plus its derived per-net cost
+/// coefficients — and excludes
 /// the selection-time knobs (timing target, slack tolerance,
 /// reconstruct_solutions). Two calls with equal keys produce bit-identical
 /// frontiers; the cache compares by hash only (see util/hash.hpp for the

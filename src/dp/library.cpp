@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tech/objective.hpp"
 #include "tech/technology.hpp"
 #include "util/error.hpp"
 
@@ -40,6 +41,22 @@ void RepeaterLibrary::fill_device_terms(const tech::RepeaterDevice& device,
   for (std::size_t b = 0; b < n; ++b) {
     load_ff[b] = device.co_ff * widths_u_[b];
     rs_over_w[b] = device.rs_ohm / widths_u_[b];
+  }
+}
+
+void RepeaterLibrary::fill_cost_terms(const tech::ChainCost& cost,
+                                      std::vector<double>& cost_u) const {
+  if (cost.width_weight == 1.0 && cost.per_repeater == 0.0) {
+    // Identity objective: the cost table must be bit-equal to the width
+    // table (1.0 * w + 0.0 is exact in IEEE, but a verbatim copy states
+    // the intent).
+    cost_u.assign(widths_u_.begin(), widths_u_.end());
+    return;
+  }
+  const std::size_t n = widths_u_.size();
+  cost_u.resize(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    cost_u[b] = cost.width_weight * widths_u_[b] + cost.per_repeater;
   }
 }
 

@@ -14,6 +14,7 @@
 
 namespace rip::tech {
 struct RepeaterDevice;
+struct ChainCost;
 }  // namespace rip::tech
 
 namespace rip::dp {
@@ -42,6 +43,15 @@ class RepeaterLibrary {
   void fill_device_terms(const tech::RepeaterDevice& device,
                          std::vector<double>& load_ff,
                          std::vector<double>& rs_over_w) const;
+
+  /// Per-width objective cost of inserting one repeater of each library
+  /// width under `cost` (tech/objective.hpp): width_weight * w_b +
+  /// per_repeater. On the identity cost (the paper's objective) the
+  /// table is a verbatim copy of widths_u() — same bits, so the kernels'
+  /// historic width arithmetic is unchanged on that path. Fully
+  /// overwrites `cost_u` (capacity reused).
+  void fill_cost_terms(const tech::ChainCost& cost,
+                       std::vector<double>& cost_u) const;
 
   /// Library of `count` widths starting at `min_width` with uniform
   /// `granularity` spacing — the baseline DP library of Table 1.

@@ -137,11 +137,31 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
     }
   }
 
-  // Per-solve precompute, shared with the chain kernel: input loads and
-  // driving resistances per library width, plus the intrinsic delay.
+  // Objective backend: the tree carries no route length or net name, so
+  // the profile is synthetic — anonymous, zero length, wire cap = total
+  // edge + sink capacitance (enough for cap-driven cost derivations).
+  tech::ChainCost cost;
+  if (options.backend != nullptr) {
+    tech::NetProfile profile;
+    for (const auto& node : nodes) {
+      profile.wire_cap_ff += node.edge_c_ff;
+      if (node.is_sink) profile.wire_cap_ff += node.sink_cap_ff;
+    }
+    cost = options.backend->chain_cost(profile);
+    RIP_REQUIRE(cost.width_weight >= 0 && cost.per_repeater >= 0,
+                "objective backend produced negative cost coefficients");
+    RIP_REQUIRE(cost.receiver_penalty_fs >= 0,
+                "objective backend produced a negative receiver penalty");
+  }
+  const bool identity =
+      cost.width_weight == 1.0 && cost.per_repeater == 0.0;
+
+  // Per-solve precompute, shared with the chain kernel: input loads,
+  // driving resistances, and objective costs per library width, plus the
+  // intrinsic delay.
   library.fill_device_terms(device, ws.lib_load_ff, ws.lib_rs_over_w);
+  library.fill_cost_terms(cost, ws.lib_cost);
   const double intrinsic_fs = device.rs_ohm * device.cp_ff;
-  const std::vector<double>& widths = library.widths_u();
   ws.all_buffers.resize(library.size());
   for (std::size_t b = 0; b < library.size(); ++b)
     ws.all_buffers[b] = static_cast<std::int16_t>(b);
@@ -171,6 +191,11 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
       TreeLabel seed;
       seed.cap_ff = node.sink_cap_ff;
       seed.q_fs = power_mode ? options.timing_target_fs : 0.0;
+      // Backend receiver penalty, charged once per sink (e.g. a sense
+      // amp at every leaf). Guarded so the default path keeps +0.0.
+      if (cost.receiver_penalty_fs != 0.0) {
+        seed.q_fs -= cost.receiver_penalty_fs;
+      }
       labels.push_back(seed);
       ++result.stats.labels_created;
     } else {
@@ -224,7 +249,7 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
     const std::vector<std::int16_t>& allowed =
         options.allowed_buffers != nullptr ? (*options.allowed_buffers)[ni]
                                            : ws.all_buffers;
-    if (node.candidate && !allowed.empty()) {
+    if (node.candidate && cost.allow_repeaters && !allowed.empty()) {
       const std::size_t base = labels.size();
       labels.reserve(base * (1 + allowed.size()));
       for (std::size_t i = 0; i < base; ++i) {
@@ -237,7 +262,7 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
           up.cap_ff = ws.lib_load_ff[bi];
           up.q_fs =
               down.q_fs - (intrinsic_fs + ws.lib_rs_over_w[bi] * down.cap_ff);
-          up.width_u = down.width_u + widths[bi];
+          up.width_u = down.width_u + ws.lib_cost[bi];
           up.left = down_idx;
           up.node = static_cast<std::int32_t>(ni);
           up.buffer = b;
@@ -316,7 +341,13 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
     if (best != nullptr) {
       result.status = Status::kOptimal;
       if (options.reconstruct_solutions) result.solution = reconstruct(*best);
-      result.total_width_u = best->width_u;
+      // Identity objective: the label's accumulated value is the total
+      // width, bit-for-bit. Otherwise re-sum the physical widths from a
+      // reconstruction (summation order differs, which is fine off the
+      // identity path).
+      result.total_width_u =
+          identity ? best->width_u : reconstruct(*best).total_width_u();
+      result.objective_cost = best->width_u;
       result.delay_fs = target - best_q;
     } else {
       result.status = Status::kInfeasible;
@@ -325,7 +356,9 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
   } else {
     result.status = Status::kOptimal;
     if (options.reconstruct_solutions) result.solution = result.min_delay_solution;
-    result.total_width_u = best_delay->width_u;
+    result.total_width_u = identity ? best_delay->width_u
+                                    : reconstruct(*best_delay).total_width_u();
+    result.objective_cost = best_delay->width_u;
     result.delay_fs = result.min_delay_fs;
   }
 

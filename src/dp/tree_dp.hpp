@@ -72,6 +72,11 @@ struct TreeDpResult {
   TreeSolution solution;
   double delay_fs = 0;        ///< worst sink delay of `solution`
   double total_width_u = 0;
+  /// Objective cost of `solution` under the active backend (equals
+  /// total_width_u on the identity objective; 0 when infeasible). The
+  /// tree backend profile is synthetic: anonymous name, zero length,
+  /// wire cap = total edge + sink capacitance.
+  double objective_cost = 0;
   double min_delay_fs = 0;    ///< best achievable worst-sink delay
   TreeSolution min_delay_solution;
   DpStats stats;

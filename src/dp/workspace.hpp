@@ -158,9 +158,12 @@ class Workspace {
   FlatFrontier frontier;
 
   // ---- per-solve library terms (filled by RepeaterLibrary::
-  // fill_device_terms): input load co*w and driving rs/w per width.
+  // fill_device_terms / fill_cost_terms): input load co*w, driving rs/w,
+  // and objective cost per width (== the width itself on the identity
+  // objective — see tech/objective.hpp).
   std::vector<double> lib_load_ff;
   std::vector<double> lib_rs_over_w;
+  std::vector<double> lib_cost;
   std::vector<std::int16_t> all_buffers;  ///< 0..n-1 identity allowed-list
 
   // ---- wire decomposition buffer (net::Net::pieces_between reuse).

@@ -1,0 +1,50 @@
+#pragma once
+
+/// @file context.hpp
+/// eval::SolveContext — the one bundle of ambient solve state threaded
+/// through the evaluation layer. run_case, run_cases (BatchOptions),
+/// EvalService (ServiceOptions) and rip_cli all accept the same struct,
+/// so adding a new piece of ambient state (as the objective backend was)
+/// means one new field here instead of another trailing default on
+/// every signature in the stack.
+///
+/// Every field is nullable and nullptr means "the default":
+///   workspace == nullptr  -> the calling thread's dp::Workspace::local()
+///   cache     == nullptr  -> no frontier caching
+///   backend   == nullptr  -> the paper's minimum-total-width objective,
+///                            bit-identical to before backends existed
+///
+/// The batch engines (run_cases, EvalService) evaluate on scheduler
+/// worker threads and hand each participant its own thread-local
+/// workspace — they reject a non-null `workspace`, which would be a
+/// data race. Pass a workspace only to the single-threaded run_case.
+
+#include "eval/solve_cache.hpp"
+
+namespace rip::dp {
+class Workspace;
+}  // namespace rip::dp
+
+namespace rip::tech {
+class ObjectiveBackend;
+}  // namespace rip::tech
+
+namespace rip::eval {
+
+/// Ambient state for one or many (net, target) evaluations. Cheap to
+/// copy; owns nothing. Whatever it points at must outlive every solve
+/// run under it.
+struct SolveContext {
+  /// DP arena set both solvers of a case reuse; nullptr = the calling
+  /// thread's dp::Workspace::local().
+  dp::Workspace* workspace = nullptr;
+  /// Shared Pareto-frontier cache consulted by the target-independent
+  /// DP solves (RIP's coarse stage, the whole baseline); nullptr
+  /// disables caching. Results are bit-identical with or without it.
+  SolveCache* cache = nullptr;
+  /// Objective backend (tech/objective.hpp) minimized by every DP solve
+  /// and by RIP's stage arbitration; nullptr = the paper's objective.
+  const tech::ObjectiveBackend* backend = nullptr;
+};
+
+}  // namespace rip::eval

@@ -4,6 +4,7 @@
 
 #include "dp/workspace.hpp"
 #include "eval/parallel.hpp"
+#include "eval/sharded_sweep.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -16,22 +17,24 @@ namespace rip::eval {
 CaseResult run_case(const net::Net& net, const tech::Technology& tech,
                     double tau_t_fs, const core::RipOptions& rip_options,
                     const core::BaselineOptions& baseline_options,
-                    dp::Workspace* workspace, CacheRef cache) {
-  dp::Workspace& ws =
-      workspace != nullptr ? *workspace : dp::Workspace::local();
+                    const SolveContext& context) {
+  dp::Workspace& ws = context.workspace != nullptr ? *context.workspace
+                                                   : dp::Workspace::local();
   CaseResult out;
   out.tau_t_fs = tau_t_fs;
 
   WallTimer timer;
-  const core::RipResult rip = core::rip_insert(net, tech.device(), tau_t_fs,
-                                               rip_options, ws, cache.get());
+  const core::RipResult rip =
+      core::rip_insert(net, tech.device(), tau_t_fs, rip_options, ws,
+                       context.cache, context.backend);
   out.rip_runtime_s = timer.seconds();
   out.rip_feasible = rip.status == dp::Status::kOptimal;
   out.rip_width_u = rip.total_width_u;
 
   timer.reset();
-  const dp::ChainDpResult dp = core::run_baseline(
-      net, tech.device(), tau_t_fs, baseline_options, ws, cache.get());
+  const dp::ChainDpResult dp =
+      core::run_baseline(net, tech.device(), tau_t_fs, baseline_options, ws,
+                         context.cache, context.backend);
   out.dp_runtime_s = timer.seconds();
   out.dp_feasible = dp.status == dp::Status::kOptimal;
   out.dp_width_u = dp.total_width_u;
@@ -43,20 +46,27 @@ CaseResult run_case(const net::Net& net, const tech::Technology& tech,
   return out;
 }
 
+CaseResult run_case(const net::Net& net, const tech::Technology& tech,
+                    double tau_t_fs, const core::RipOptions& rip_options,
+                    const core::BaselineOptions& baseline_options,
+                    dp::Workspace* workspace, CacheRef cache) {
+  SolveContext context;
+  context.workspace = workspace;
+  context.cache = cache.cache;
+  return run_case(net, tech, tau_t_fs, rip_options, baseline_options,
+                  context);
+}
+
 // ------------------------------------------------------------------ Table 1
 
-// All three runners share the same parallel shape: fan the independent
-// (net, target[, granularity]) solves out over util::parallel_for_indexed
-// into index-addressed slots, then reduce serially in the exact order of
-// the original serial loops — so every RunningStats sees the same values
-// in the same sequence and the golden pins hold at any job count.
-
-// The sweep is split into two flat case spaces — RIP: net x target,
-// DP: net x granularity x target — each sharded round-robin across
-// processes (eval::shard_case_indices) and fanned out over the
-// persistent scheduler within a process. The reduction lives only in
-// merge_table1_shards and runs serially in the original input order,
-// so any (shard_count, jobs) combination reproduces the serial bits.
+// All three experiments are thin adapters over the generic sharded
+// sweep (eval/sharded_sweep.hpp): each owns only its case-space
+// geometry (how a flat index decodes to (net, granularity, target)),
+// the solve bodies, and the serial merge-time reduction. Every solve
+// runs on the evaluating worker's own dp::Workspace::local() and may
+// minimize a pluggable objective backend (config.backend); the
+// reductions run serially in the original input order, so any
+// (shard_count, jobs) combination reproduces the serial bits.
 
 Table1Shard run_table1_shard(const tech::Technology& tech,
                              const Table1Config& config, int shard_index,
@@ -84,18 +94,17 @@ Table1Shard run_table1_shard(const tech::Technology& tech,
   for (const auto& wn : workload) shard.net_names.push_back(wn.net.name());
 
   // RIP runs once per (net, target); each baseline granularity reuses it.
-  const auto rip_mine =
-      shard_case_indices(net_n * tgt_n, shard_index, shard_count);
-  shard.rip.resize(rip_mine.size());
-  parallel_for_indexed(rip_mine.size(), config.jobs, [&](std::size_t j) {
-    const std::size_t k = rip_mine[j];
-    const std::size_t ni = k / tgt_n;
-    const std::size_t ti = k % tgt_n;
-    const auto rip = core::rip_insert(workload[ni].net, tech.device(),
-                                      targets[ni][ti], config.rip);
-    shard.rip[j] =
-        SolveOutcome{rip.status == dp::Status::kOptimal, rip.total_width_u};
-  });
+  shard.rip = run_sweep_slice<SolveOutcome>(
+      net_n * tgt_n, config.jobs, shard_index, shard_count,
+      [&](std::size_t k) {
+        const std::size_t ni = k / tgt_n;
+        const std::size_t ti = k % tgt_n;
+        const auto rip = core::rip_insert(
+            workload[ni].net, tech.device(), targets[ni][ti], config.rip,
+            dp::Workspace::local(), nullptr, config.backend);
+        return SolveOutcome{rip.status == dp::Status::kOptimal,
+                            rip.total_width_u};
+      });
 
   std::vector<core::BaselineOptions> baselines;
   baselines.reserve(g_n);
@@ -104,29 +113,24 @@ Table1Shard run_table1_shard(const tech::Technology& tech,
         config.baseline_min_width_u, g, config.baseline_library_size,
         config.pitch_um));
   }
-  const auto dp_mine =
-      shard_case_indices(net_n * g_n * tgt_n, shard_index, shard_count);
-  shard.dp.resize(dp_mine.size());
-  parallel_for_indexed(dp_mine.size(), config.jobs, [&](std::size_t j) {
-    const std::size_t k = dp_mine[j];
-    const std::size_t ni = k / (g_n * tgt_n);
-    const std::size_t gi = (k / tgt_n) % g_n;
-    const std::size_t ti = k % tgt_n;
-    const auto dp = core::run_baseline(workload[ni].net, tech.device(),
-                                       targets[ni][ti], baselines[gi]);
-    shard.dp[j] =
-        SolveOutcome{dp.status == dp::Status::kOptimal, dp.total_width_u};
-  });
+  shard.dp = run_sweep_slice<SolveOutcome>(
+      net_n * g_n * tgt_n, config.jobs, shard_index, shard_count,
+      [&](std::size_t k) {
+        const std::size_t ni = k / (g_n * tgt_n);
+        const std::size_t gi = (k / tgt_n) % g_n;
+        const std::size_t ti = k % tgt_n;
+        const auto dp = core::run_baseline(
+            workload[ni].net, tech.device(), targets[ni][ti], baselines[gi],
+            dp::Workspace::local(), nullptr, config.backend);
+        return SolveOutcome{dp.status == dp::Status::kOptimal,
+                            dp.total_width_u};
+      });
   return shard;
 }
 
 Table1Result merge_table1_shards(const Table1Config& config,
                                  std::span<const Table1Shard> shards) {
   RIP_REQUIRE(!shards.empty(), "merge needs at least one shard");
-  const int shard_count = shards.front().shard_count;
-  RIP_REQUIRE(static_cast<int>(shards.size()) == shard_count,
-              "merge needs every shard of the split");
-
   const std::size_t net_n = shards.front().net_names.size();
   const std::size_t tgt_n = static_cast<std::size_t>(config.targets_per_net);
   const std::size_t g_n = config.granularities_u.size();
@@ -134,32 +138,12 @@ Table1Result merge_table1_shards(const Table1Config& config,
   // Reassemble the full flat case spaces from the round-robin slices.
   std::vector<SolveOutcome> rip_runs(net_n * tgt_n);
   std::vector<SolveOutcome> dp_runs(net_n * g_n * tgt_n);
-  std::vector<bool> seen(static_cast<std::size_t>(shard_count), false);
-  for (const Table1Shard& shard : shards) {
-    RIP_REQUIRE(shard.shard_count == shard_count,
-                "shards come from different splits");
-    RIP_REQUIRE(shard.shard_index >= 0 && shard.shard_index < shard_count,
-                "shard index out of range");
-    RIP_REQUIRE(!seen[static_cast<std::size_t>(shard.shard_index)],
-                "duplicate shard " + std::to_string(shard.shard_index));
-    seen[static_cast<std::size_t>(shard.shard_index)] = true;
-    RIP_REQUIRE(shard.net_names == shards.front().net_names,
-                "shards disagree on the workload");
-    const auto rip_mine = shard_case_indices(
-        rip_runs.size(), shard.shard_index, shard_count);
-    RIP_REQUIRE(shard.rip.size() == rip_mine.size(),
-                "shard RIP case count mismatch");
-    for (std::size_t j = 0; j < rip_mine.size(); ++j) {
-      rip_runs[rip_mine[j]] = shard.rip[j];
-    }
-    const auto dp_mine =
-        shard_case_indices(dp_runs.size(), shard.shard_index, shard_count);
-    RIP_REQUIRE(shard.dp.size() == dp_mine.size(),
-                "shard DP case count mismatch");
-    for (std::size_t j = 0; j < dp_mine.size(); ++j) {
-      dp_runs[dp_mine[j]] = shard.dp[j];
-    }
-  }
+  reassemble_sweep_shards(shards, rip_runs, dp_runs,
+                          [&](const Table1Shard& shard) {
+                            RIP_REQUIRE(
+                                shard.net_names == shards.front().net_names,
+                                "shards disagree on the workload");
+                          });
 
   Table1Result result;
   result.granularities_u = config.granularities_u;
@@ -247,11 +231,6 @@ Table to_table(const Table1Result& result) {
 
 // ------------------------------------------------------------------ Table 2
 
-// Sharded exactly like Table 1: RIP flat space net x target, DP flat
-// space granularity x net x target (granularity-major, the unsharded
-// loop order), both split round-robin; the reduction lives only in
-// merge_table2_shards and runs serially in the original input order.
-
 Table2Shard run_table2_shard(const tech::Technology& tech,
                              const Table2Config& config, int shard_index,
                              int shard_count) {
@@ -278,23 +257,24 @@ Table2Shard run_table2_shard(const tech::Technology& tech,
   for (const auto& wn : workload) shard.net_names.push_back(wn.net.name());
 
   // RIP runs once per (net, target); every granularity row reuses it.
-  // Runtimes are wall clock per task, taken inside the worker.
-  const auto rip_mine =
-      shard_case_indices(net_n * tgt_n, shard_index, shard_count);
-  shard.rip.resize(rip_mine.size());
-  parallel_for_indexed(rip_mine.size(), config.jobs, [&](std::size_t j) {
-    const std::size_t k = rip_mine[j];
-    const std::size_t ni = k / tgt_n;
-    const std::size_t ti = k % tgt_n;
-    WallTimer timer;
-    const auto rip = core::rip_insert(workload[ni].net, tech.device(),
-                                      all_targets[ni][ti], config.rip);
-    TimedSolveOutcome oc;
-    oc.runtime_s = timer.seconds();
-    oc.feasible = rip.status == dp::Status::kOptimal;
-    oc.width_u = rip.total_width_u;
-    shard.rip[j] = oc;
-  });
+  // Runtimes are wall clock per task, taken inside the worker. The DP
+  // flat space is granularity x net x target — granularity-major, the
+  // unsharded loop order.
+  shard.rip = run_sweep_slice<TimedSolveOutcome>(
+      net_n * tgt_n, config.jobs, shard_index, shard_count,
+      [&](std::size_t k) {
+        const std::size_t ni = k / tgt_n;
+        const std::size_t ti = k % tgt_n;
+        WallTimer timer;
+        const auto rip = core::rip_insert(
+            workload[ni].net, tech.device(), all_targets[ni][ti], config.rip,
+            dp::Workspace::local(), nullptr, config.backend);
+        TimedSolveOutcome oc;
+        oc.runtime_s = timer.seconds();
+        oc.feasible = rip.status == dp::Status::kOptimal;
+        oc.width_u = rip.total_width_u;
+        return oc;
+      });
 
   std::vector<core::BaselineOptions> baselines;
   baselines.reserve(g_n);
@@ -303,65 +283,40 @@ Table2Shard run_table2_shard(const tech::Technology& tech,
         config.range_min_width_u, config.range_max_width_u, g,
         config.pitch_um));
   }
-  const auto dp_mine =
-      shard_case_indices(g_n * net_n * tgt_n, shard_index, shard_count);
-  shard.dp.resize(dp_mine.size());
-  parallel_for_indexed(dp_mine.size(), config.jobs, [&](std::size_t j) {
-    const std::size_t k = dp_mine[j];
-    const std::size_t gi = k / (net_n * tgt_n);
-    const std::size_t ni = (k / tgt_n) % net_n;
-    const std::size_t ti = k % tgt_n;
-    WallTimer timer;
-    const auto dp = core::run_baseline(workload[ni].net, tech.device(),
-                                       all_targets[ni][ti], baselines[gi]);
-    TimedSolveOutcome oc;
-    oc.runtime_s = timer.seconds();
-    oc.feasible = dp.status == dp::Status::kOptimal;
-    oc.width_u = dp.total_width_u;
-    shard.dp[j] = oc;
-  });
+  shard.dp = run_sweep_slice<TimedSolveOutcome>(
+      g_n * net_n * tgt_n, config.jobs, shard_index, shard_count,
+      [&](std::size_t k) {
+        const std::size_t gi = k / (net_n * tgt_n);
+        const std::size_t ni = (k / tgt_n) % net_n;
+        const std::size_t ti = k % tgt_n;
+        WallTimer timer;
+        const auto dp = core::run_baseline(
+            workload[ni].net, tech.device(), all_targets[ni][ti],
+            baselines[gi], dp::Workspace::local(), nullptr, config.backend);
+        TimedSolveOutcome oc;
+        oc.runtime_s = timer.seconds();
+        oc.feasible = dp.status == dp::Status::kOptimal;
+        oc.width_u = dp.total_width_u;
+        return oc;
+      });
   return shard;
 }
 
 Table2Result merge_table2_shards(const Table2Config& config,
                                  std::span<const Table2Shard> shards) {
   RIP_REQUIRE(!shards.empty(), "merge needs at least one shard");
-  const int shard_count = shards.front().shard_count;
-  RIP_REQUIRE(static_cast<int>(shards.size()) == shard_count,
-              "merge needs every shard of the split");
-
   const std::size_t net_n = shards.front().net_names.size();
   const std::size_t tgt_n = static_cast<std::size_t>(config.targets_per_net);
   const std::size_t g_n = config.granularities_u.size();
 
   std::vector<TimedSolveOutcome> rip_runs(net_n * tgt_n);
   std::vector<TimedSolveOutcome> dp_runs(g_n * net_n * tgt_n);
-  std::vector<bool> seen(static_cast<std::size_t>(shard_count), false);
-  for (const Table2Shard& shard : shards) {
-    RIP_REQUIRE(shard.shard_count == shard_count,
-                "shards come from different splits");
-    RIP_REQUIRE(shard.shard_index >= 0 && shard.shard_index < shard_count,
-                "shard index out of range");
-    RIP_REQUIRE(!seen[static_cast<std::size_t>(shard.shard_index)],
-                "duplicate shard " + std::to_string(shard.shard_index));
-    seen[static_cast<std::size_t>(shard.shard_index)] = true;
-    RIP_REQUIRE(shard.net_names == shards.front().net_names,
-                "shards disagree on the workload");
-    const auto rip_mine = shard_case_indices(
-        rip_runs.size(), shard.shard_index, shard_count);
-    RIP_REQUIRE(shard.rip.size() == rip_mine.size(),
-                "shard RIP case count mismatch");
-    for (std::size_t j = 0; j < rip_mine.size(); ++j) {
-      rip_runs[rip_mine[j]] = shard.rip[j];
-    }
-    const auto dp_mine =
-        shard_case_indices(dp_runs.size(), shard.shard_index, shard_count);
-    RIP_REQUIRE(shard.dp.size() == dp_mine.size(),
-                "shard DP case count mismatch");
-    for (std::size_t j = 0; j < dp_mine.size(); ++j) {
-      dp_runs[dp_mine[j]] = shard.dp[j];
-    }
-  }
+  reassemble_sweep_shards(shards, rip_runs, dp_runs,
+                          [&](const Table2Shard& shard) {
+                            RIP_REQUIRE(
+                                shard.net_names == shards.front().net_names,
+                                "shards disagree on the workload");
+                          });
 
   RunningStats rip_time;
   for (const auto& oc : rip_runs) rip_time.add(oc.runtime_s);
@@ -411,10 +366,6 @@ Table to_table(const Table2Result& result) {
 
 // ------------------------------------------------------------------ Fig. 7
 
-// Sharded like the tables: RIP flat space = the target sweep, DP flat
-// space granularity x target (granularity-major), both round-robin;
-// the reduction lives only in merge_fig7_shards.
-
 Fig7Shard run_fig7_shard(const tech::Technology& tech,
                          const Fig7Config& config, int shard_index,
                          int shard_count) {
@@ -435,15 +386,16 @@ Fig7Shard run_fig7_shard(const tech::Technology& tech,
   const std::size_t tgt_n = targets.size();
   const std::size_t g_n = config.granularities_u.size();
 
-  // RIP once per target; both series reuse it.
-  const auto rip_mine = shard_case_indices(tgt_n, shard_index, shard_count);
-  shard.rip.resize(rip_mine.size());
-  parallel_for_indexed(rip_mine.size(), config.jobs, [&](std::size_t j) {
-    const auto rip = core::rip_insert(wn.net, tech.device(),
-                                      targets[rip_mine[j]], config.rip);
-    shard.rip[j] =
-        SolveOutcome{rip.status == dp::Status::kOptimal, rip.total_width_u};
-  });
+  // RIP once per target; both series reuse it. The DP flat space is
+  // granularity x target (granularity-major, the unsharded loop order).
+  shard.rip = run_sweep_slice<SolveOutcome>(
+      tgt_n, config.jobs, shard_index, shard_count, [&](std::size_t k) {
+        const auto rip = core::rip_insert(
+            wn.net, tech.device(), targets[k], config.rip,
+            dp::Workspace::local(), nullptr, config.backend);
+        return SolveOutcome{rip.status == dp::Status::kOptimal,
+                            rip.total_width_u};
+      });
 
   std::vector<core::BaselineOptions> baselines;
   baselines.reserve(g_n);
@@ -452,28 +404,23 @@ Fig7Shard run_fig7_shard(const tech::Technology& tech,
         config.baseline_min_width_u, g, config.baseline_library_size,
         config.pitch_um));
   }
-  const auto dp_mine =
-      shard_case_indices(g_n * tgt_n, shard_index, shard_count);
-  shard.dp.resize(dp_mine.size());
-  parallel_for_indexed(dp_mine.size(), config.jobs, [&](std::size_t j) {
-    const std::size_t k = dp_mine[j];
-    const std::size_t gi = k / tgt_n;
-    const std::size_t ti = k % tgt_n;
-    const auto dp = core::run_baseline(wn.net, tech.device(), targets[ti],
-                                       baselines[gi]);
-    shard.dp[j] =
-        SolveOutcome{dp.status == dp::Status::kOptimal, dp.total_width_u};
-  });
+  shard.dp = run_sweep_slice<SolveOutcome>(
+      g_n * tgt_n, config.jobs, shard_index, shard_count,
+      [&](std::size_t k) {
+        const std::size_t gi = k / tgt_n;
+        const std::size_t ti = k % tgt_n;
+        const auto dp = core::run_baseline(
+            wn.net, tech.device(), targets[ti], baselines[gi],
+            dp::Workspace::local(), nullptr, config.backend);
+        return SolveOutcome{dp.status == dp::Status::kOptimal,
+                            dp.total_width_u};
+      });
   return shard;
 }
 
 Fig7Result merge_fig7_shards(const Fig7Config& config,
                              std::span<const Fig7Shard> shards) {
   RIP_REQUIRE(!shards.empty(), "merge needs at least one shard");
-  const int shard_count = shards.front().shard_count;
-  RIP_REQUIRE(static_cast<int>(shards.size()) == shard_count,
-              "merge needs every shard of the split");
-
   const double tau_min_fs = shards.front().tau_min_fs;
   const auto targets = timing_targets_fs(tau_min_fs, config.points);
   const std::size_t tgt_n = targets.size();
@@ -481,33 +428,13 @@ Fig7Result merge_fig7_shards(const Fig7Config& config,
 
   std::vector<SolveOutcome> rip_runs(tgt_n);
   std::vector<SolveOutcome> dp_runs(g_n * tgt_n);
-  std::vector<bool> seen(static_cast<std::size_t>(shard_count), false);
-  for (const Fig7Shard& shard : shards) {
-    RIP_REQUIRE(shard.shard_count == shard_count,
-                "shards come from different splits");
-    RIP_REQUIRE(shard.shard_index >= 0 && shard.shard_index < shard_count,
-                "shard index out of range");
-    RIP_REQUIRE(!seen[static_cast<std::size_t>(shard.shard_index)],
-                "duplicate shard " + std::to_string(shard.shard_index));
-    seen[static_cast<std::size_t>(shard.shard_index)] = true;
-    RIP_REQUIRE(shard.net_name == shards.front().net_name &&
-                    shard.tau_min_fs == tau_min_fs,
-                "shards disagree on the swept net");
-    const auto rip_mine = shard_case_indices(
-        rip_runs.size(), shard.shard_index, shard_count);
-    RIP_REQUIRE(shard.rip.size() == rip_mine.size(),
-                "shard RIP case count mismatch");
-    for (std::size_t j = 0; j < rip_mine.size(); ++j) {
-      rip_runs[rip_mine[j]] = shard.rip[j];
-    }
-    const auto dp_mine =
-        shard_case_indices(dp_runs.size(), shard.shard_index, shard_count);
-    RIP_REQUIRE(shard.dp.size() == dp_mine.size(),
-                "shard DP case count mismatch");
-    for (std::size_t j = 0; j < dp_mine.size(); ++j) {
-      dp_runs[dp_mine[j]] = shard.dp[j];
-    }
-  }
+  reassemble_sweep_shards(shards, rip_runs, dp_runs,
+                          [&](const Fig7Shard& shard) {
+                            RIP_REQUIRE(
+                                shard.net_name == shards.front().net_name &&
+                                    shard.tau_min_fs == tau_min_fs,
+                                "shards disagree on the swept net");
+                          });
 
   Fig7Result result;
   result.net_name = shards.front().net_name;

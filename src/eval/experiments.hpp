@@ -12,6 +12,7 @@
 
 #include "core/baseline.hpp"
 #include "core/rip.hpp"
+#include "eval/context.hpp"
 #include "eval/solve_cache.hpp"
 #include "eval/workload.hpp"
 #include "tech/technology.hpp"
@@ -36,19 +37,28 @@ struct CaseResult {
   double improvement_pct = 0;
 };
 
-/// Run RIP and one baseline on a single (net, target) case. `workspace`
-/// is the DP arena set both solvers reuse; nullptr resolves to the
-/// calling thread's dp::Workspace::local() — the path scheduler workers
-/// take, so every participant of a parallel sweep reuses its own arenas
-/// case after case. `cache` optionally shares a frontier cache between
+/// Run RIP and one baseline on a single (net, target) case under one
+/// SolveContext (eval/context.hpp): `context.workspace` is the DP arena
+/// set both solvers reuse (nullptr = the calling thread's
+/// dp::Workspace::local() — the path scheduler workers take, so every
+/// participant of a parallel sweep reuses its own arenas case after
+/// case); `context.cache` optionally shares a frontier cache between
 /// the target-independent DP solves (RIP's coarse stage and the whole
-/// baseline): with it, re-running a cached net at a new target costs a
-/// frontier walk instead of two DP sweeps, and results stay bit-identical
-/// to the uncached path.
+/// baseline) — with it, re-running a cached net at a new target costs a
+/// frontier walk instead of two DP sweeps, bit-identical to the
+/// uncached path; `context.backend` selects the objective both solvers
+/// minimize (nullptr = the paper's, bit-identical to before).
 CaseResult run_case(const net::Net& net, const tech::Technology& tech,
                     double tau_t_fs, const core::RipOptions& rip_options,
                     const core::BaselineOptions& baseline_options,
-                    dp::Workspace* workspace = nullptr, CacheRef cache = {});
+                    const SolveContext& context = {});
+
+/// Deprecated (one-PR shim): the pre-SolveContext signature. Forwards
+/// to the context overload with {workspace, cache.cache, nullptr}.
+CaseResult run_case(const net::Net& net, const tech::Technology& tech,
+                    double tau_t_fs, const core::RipOptions& rip_options,
+                    const core::BaselineOptions& baseline_options,
+                    dp::Workspace* workspace, CacheRef cache = {});
 
 // ---------------------------------------------------------------- Table 1
 
@@ -69,6 +79,10 @@ struct Table1Config {
   /// serial reference path, 0 = all hardware threads. Results are
   /// bit-identical at any job count (see eval/parallel.hpp).
   int jobs = 1;
+  /// Objective backend every solve of the sweep minimizes; nullptr =
+  /// the paper's objective (bit-identical to before backends existed).
+  /// Must outlive the run; shards of one split must agree on it.
+  const tech::ObjectiveBackend* backend = nullptr;
 };
 
 /// Per-granularity aggregate for one net.
@@ -154,6 +168,8 @@ struct Table2Config {
   /// are bit-identical at any job count; runtime columns are per-task
   /// wall clock measured inside the worker.
   int jobs = 1;
+  /// Objective backend (see Table1Config::backend); nullptr = paper's.
+  const tech::ObjectiveBackend* backend = nullptr;
 };
 
 /// One row (one baseline granularity) of Table 2.
@@ -233,6 +249,8 @@ struct Fig7Config {
   core::RipOptions rip;
   /// Worker threads (see Table1Config::jobs).
   int jobs = 1;
+  /// Objective backend (see Table1Config::backend); nullptr = paper's.
+  const tech::ObjectiveBackend* backend = nullptr;
 };
 
 /// One sample of one series.

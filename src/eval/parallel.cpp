@@ -44,10 +44,16 @@ std::vector<CaseResult> run_cases(const tech::Technology& tech,
   // pre-service engine, a failure aborts the batch early (remaining
   // cases are skipped via cancel-on-failure) and the lowest failing
   // index's exception is rethrown here.
+  RIP_REQUIRE(options.context.workspace == nullptr,
+              "run_cases evaluates on worker-local workspaces; "
+              "BatchOptions::context.workspace must stay nullptr");
   ServiceOptions service_options;
   service_options.jobs = options.jobs;
   service_options.chunk = options.chunk;
-  service_options.cache = options.cache;
+  service_options.context = options.context;
+  if (service_options.context.cache == nullptr) {
+    service_options.context.cache = options.cache;  // deprecated knob
+  }
   EvalService service(tech, service_options);
   std::vector<Case> shard_cases;
   shard_cases.reserve(mine.size());

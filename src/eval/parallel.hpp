@@ -36,6 +36,7 @@
 
 #include "core/baseline.hpp"
 #include "core/rip.hpp"
+#include "eval/context.hpp"
 #include "eval/experiments.hpp"
 #include "tech/technology.hpp"
 #include "util/thread_pool.hpp"
@@ -67,11 +68,15 @@ struct BatchOptions {
   /// unsharded shard.
   int shard_index = 0;
   int shard_count = 1;
-  /// Optional shared frontier cache (see eval/solve_cache.hpp): the
-  /// target-independent DP solves of every case consult it, so repeat
-  /// traffic on the same nets skips straight to the frontier walk.
-  /// Results are bit-identical with or without it. The cache must
-  /// outlive the run_cases call; nullptr disables caching.
+  /// Ambient solve state (eval/context.hpp): the shared frontier cache
+  /// every case's target-independent DP solves consult, and the
+  /// objective backend every solve minimizes. `context.workspace` must
+  /// stay nullptr — each scheduler participant evaluates on its own
+  /// dp::Workspace::local(). Everything pointed at must outlive the
+  /// run_cases call.
+  SolveContext context;
+  /// Deprecated (one-PR shim): the pre-SolveContext cache knob. Used
+  /// only when context.cache is nullptr; prefer context.cache.
   SolveCache* cache = nullptr;
 };
 

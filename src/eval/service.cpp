@@ -249,6 +249,12 @@ EvalService::EvalService(const tech::Technology& tech,
     : tech_(&tech),
       options_(options),
       state_(std::make_shared<detail::ServiceState>()) {
+  RIP_REQUIRE(options_.context.workspace == nullptr,
+              "EvalService evaluates on service-thread-local workspaces; "
+              "ServiceOptions::context.workspace must stay nullptr");
+  if (options_.context.cache == nullptr) {
+    options_.context.cache = options_.cache;  // deprecated knob
+  }
   state_->paused = options.start_paused;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
@@ -308,15 +314,17 @@ std::future<CaseResult> EvalService::submit(const Case& c,
                                             Priority priority) {
   RIP_REQUIRE(c.net != nullptr, "submitted case without a net");
   const tech::Technology& tech = *tech_;
-  const CacheRef cache{options_.cache};
+  const SolveContext context = options_.context;
   return submit_fn(
-      [c, &tech, cache] {
+      [c, &tech, context] {
         // Evaluated on a service thread: hand the solve that thread's
         // own DP workspace, so each scheduler participant reuses its
         // arenas across every case it runs or steals; the service-wide
-        // frontier cache (if any) is shared by all of them.
-        return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline,
-                        &dp::Workspace::local(), cache);
+        // frontier cache and objective backend (if any) are shared by
+        // all of them.
+        SolveContext ctx = context;
+        ctx.workspace = &dp::Workspace::local();
+        return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline, ctx);
       },
       priority);
 }
@@ -338,14 +346,15 @@ BatchHandle EvalService::submit_batch(const std::vector<Case>& cases,
     return BatchHandle(batch);
   }
   const tech::Technology& tech = *tech_;
-  const CacheRef cache{options_.cache};
+  const SolveContext context = options_.context;
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const Case c = cases[i];
     enqueue(
-        [c, &tech, cache] {
-          // Same per-participant workspace/cache hand-off as submit().
-          return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline,
-                          &dp::Workspace::local(), cache);
+        [c, &tech, context] {
+          // Same per-participant workspace/context hand-off as submit().
+          SolveContext ctx = context;
+          ctx.workspace = &dp::Workspace::local();
+          return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline, ctx);
         },
         batch, i, priority);
   }
@@ -382,9 +391,9 @@ std::size_t EvalService::cancel_pending() {
 ServiceStats EvalService::stats() const {
   ServiceStats out;
   out.cases_evaluated = state_->evaluated.load();
-  if (options_.cache != nullptr) {
+  if (options_.context.cache != nullptr) {
     out.cache_attached = true;
-    out.cache = options_.cache->stats();
+    out.cache = options_.context.cache->stats();
   }
   return out;
 }

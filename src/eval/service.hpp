@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "eval/context.hpp"
 #include "eval/experiments.hpp"
 #include "eval/parallel.hpp"
 #include "tech/technology.hpp"
@@ -73,10 +74,16 @@ struct ServiceOptions {
   /// Construct with dispatch paused (submissions queue up but nothing
   /// runs until resume()) — for tests and staged startup.
   bool start_paused = false;
-  /// Optional shared frontier cache (eval/solve_cache.hpp) consulted by
-  /// every case's target-independent DP solves. Must outlive the
-  /// service; nullptr disables caching. Results are bit-identical with
-  /// or without it; EvalService::stats() surfaces the cache counters.
+  /// Ambient solve state (eval/context.hpp): the shared frontier cache
+  /// consulted by every case's target-independent DP solves (results
+  /// are bit-identical with or without it; EvalService::stats()
+  /// surfaces its counters) and the objective backend every case
+  /// minimizes. `context.workspace` must stay nullptr — each service
+  /// thread evaluates on its own dp::Workspace::local(). Everything
+  /// pointed at must outlive the service.
+  SolveContext context;
+  /// Deprecated (one-PR shim): the pre-SolveContext cache knob. Used
+  /// only when context.cache is nullptr; prefer context.cache.
   SolveCache* cache = nullptr;
 };
 

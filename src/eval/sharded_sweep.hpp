@@ -1,0 +1,93 @@
+#pragma once
+
+/// @file sharded_sweep.hpp
+/// The generic sharded-sweep surface behind Table 1, Table 2 and
+/// Fig. 7. All three experiments share one shape: two flat case spaces
+/// (RIP solves and DP-baseline solves), each split round-robin across
+/// processes (eval::shard_case_indices) and fanned out over the
+/// persistent scheduler within a process; the reduction runs only at
+/// merge time, serially, in the original input order — so any
+/// (shard_count, jobs) combination reproduces the serial bits.
+///
+/// run_sweep_slice solves one shard's slice of one flat case space;
+/// reassemble_sweep_shards validates a full set of shards and scatters
+/// their slices back into the full case spaces. The per-table runners
+/// (eval/experiments.cpp) are thin adapters over these two templates:
+/// they own only the case-space geometry (how a flat index decodes to
+/// (net, granularity, target)), the solve body, and the reduction.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/parallel.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rip::eval {
+
+/// Solve this shard's round-robin slice of a `case_count`-sized flat
+/// case space, fanning the slice out over `jobs` workers. `solve` maps
+/// a *global* flat index to an outcome; it runs on scheduler worker
+/// threads (use dp::Workspace::local() inside), must not touch shared
+/// mutable state, and each call writes only its own slot — which is
+/// what keeps every (jobs, shard) combination bit-identical to the
+/// serial loop. Returns the slice's outcomes in ascending global order.
+template <class Outcome, class Solve>
+std::vector<Outcome> run_sweep_slice(std::size_t case_count, int jobs,
+                                     int shard_index, int shard_count,
+                                     Solve&& solve) {
+  const auto mine = shard_case_indices(case_count, shard_index, shard_count);
+  std::vector<Outcome> out(mine.size());
+  parallel_for_indexed(mine.size(), jobs,
+                       [&](std::size_t j) { out[j] = solve(mine[j]); });
+  return out;
+}
+
+/// Validate a complete set of sweep shards and scatter each shard's
+/// `rip`/`dp` slices into the full-size case spaces (`rip_runs` and
+/// `dp_runs`, pre-sized by the caller). A Shard must carry
+/// `shard_index`, `shard_count`, and `rip`/`dp` outcome vectors.
+/// `check_meta(shard)` is the experiment's own consistency check
+/// (e.g. every shard saw the same workload); it should throw on
+/// disagreement. Throws rip::Error if shards are missing, duplicated,
+/// out of range, from different splits, or slice sizes do not match
+/// the round-robin assignment.
+template <class Shard, class Outcome, class CheckMeta>
+void reassemble_sweep_shards(std::span<const Shard> shards,
+                             std::vector<Outcome>& rip_runs,
+                             std::vector<Outcome>& dp_runs,
+                             CheckMeta&& check_meta) {
+  RIP_REQUIRE(!shards.empty(), "merge needs at least one shard");
+  const int shard_count = shards.front().shard_count;
+  RIP_REQUIRE(static_cast<int>(shards.size()) == shard_count,
+              "merge needs every shard of the split");
+  std::vector<bool> seen(static_cast<std::size_t>(shard_count), false);
+  for (const Shard& shard : shards) {
+    RIP_REQUIRE(shard.shard_count == shard_count,
+                "shards come from different splits");
+    RIP_REQUIRE(shard.shard_index >= 0 && shard.shard_index < shard_count,
+                "shard index out of range");
+    RIP_REQUIRE(!seen[static_cast<std::size_t>(shard.shard_index)],
+                "duplicate shard " + std::to_string(shard.shard_index));
+    seen[static_cast<std::size_t>(shard.shard_index)] = true;
+    check_meta(shard);
+    const auto rip_mine =
+        shard_case_indices(rip_runs.size(), shard.shard_index, shard_count);
+    RIP_REQUIRE(shard.rip.size() == rip_mine.size(),
+                "shard RIP case count mismatch");
+    for (std::size_t j = 0; j < rip_mine.size(); ++j) {
+      rip_runs[rip_mine[j]] = shard.rip[j];
+    }
+    const auto dp_mine =
+        shard_case_indices(dp_runs.size(), shard.shard_index, shard_count);
+    RIP_REQUIRE(shard.dp.size() == dp_mine.size(),
+                "shard DP case count mismatch");
+    for (std::size_t j = 0; j < dp_mine.size(); ++j) {
+      dp_runs[dp_mine[j]] = shard.dp[j];
+    }
+  }
+}
+
+}  // namespace rip::eval

@@ -1,0 +1,191 @@
+#pragma once
+
+/// @file objective.hpp
+/// Pluggable objective backends: what the DP minimizes, per net.
+///
+/// The 2005 paper's power model (Eq. 3/4) is affine in total repeater
+/// width, so the DP kernels historically minimized width directly. A
+/// backend generalizes that without touching the label algebra: every
+/// backend reduces, per net, to the affine repeater cost
+///
+///     cost(solution) = sum_i (width_weight * w_i + per_repeater)
+///
+/// plus a fixed receiver-side delay penalty and an on/off switch for
+/// repeater insertion. Affine-in-width is the contract that keeps the
+/// kernels exact: a per-buffer cost lookup table (dp::Workspace::lib_cost)
+/// replaces the raw width table, group expansions stay sorted runs, and
+/// Pareto dominance over (C, q, cost) is still a staircase. Anything the
+/// affine form cannot express (wire energy, swing scaling, sense-amp
+/// bias) is constant per net and belongs in `net_power_nw` reporting,
+/// not in the optimization objective.
+///
+/// tech/ sits below net/ in the include order, so backends see nets
+/// through the flat `NetProfile` summary rather than `net::Net`.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tech/technology.hpp"
+
+namespace rip::tech {
+
+/// The slice of a net's identity the objective backends consume. Built
+/// by the solver layers from `net::Net` (or synthesized for trees).
+struct NetProfile {
+  std::string_view name;     ///< for per-net activity lookup ("" = default)
+  double length_um = 0;      ///< driver-to-receiver route length
+  double wire_cap_ff = 0;    ///< total wire capacitance
+};
+
+/// Per-net cost coefficients a backend hands the DP kernels.
+///
+/// `width_weight`/`per_repeater` define the affine repeater cost above.
+/// `receiver_penalty_fs` is charged once at the receiver (seeded into the
+/// initial label's slack) — e.g. a low-swing sense-amp resolution delay.
+/// `allow_repeaters = false` restricts the solve to the repeaterless
+/// design point (the DP then only answers feasibility + wire delay).
+struct ChainCost {
+  double width_weight = 1.0;
+  double per_repeater = 0.0;
+  double receiver_penalty_fs = 0.0;
+  bool allow_repeaters = true;
+
+  /// True when the cost degenerates to plain total width — the paper's
+  /// objective. The kernels keep their historic bit-exact arithmetic on
+  /// this path (cost table == width table, no recomputation).
+  bool is_identity() const {
+    return width_weight == 1.0 && per_repeater == 0.0 &&
+           receiver_penalty_fs == 0.0 && allow_repeaters;
+  }
+};
+
+/// Interface every objective backend implements. Stateless after
+/// construction and const-callable from many threads at once — solver
+/// layers share one instance across all jobs of a sweep.
+class ObjectiveBackend {
+ public:
+  virtual ~ObjectiveBackend() = default;
+
+  /// Registry name ("paper2005", "activity", "lowswing", ...).
+  virtual const std::string& name() const = 0;
+
+  /// The affine cost coefficients for one net. Must be deterministic in
+  /// the profile (same profile -> same coefficients) — the solve cache
+  /// folds the result into its key.
+  virtual ChainCost chain_cost(const NetProfile& net) const = 0;
+
+  /// Reported total link power [nW] for a finished design whose DP
+  /// objective cost was `objective_cost` with `repeater_count` repeaters.
+  /// This is where the per-net constants excluded from the optimization
+  /// (wire switching energy, static receiver bias) are added back in.
+  virtual double net_power_nw(const NetProfile& net, double objective_cost,
+                              int repeater_count) const = 0;
+
+  /// Folded into dp::chain_solve_key alongside the derived coefficients,
+  /// so cache entries can never collide across backends even if two
+  /// backends happen to emit equal coefficients for one net.
+  virtual std::uint64_t fingerprint() const = 0;
+};
+
+/// (a) The paper's Eq. 3/4 objective: cost == total width (identity
+/// coefficients), power = gamma * width. The default everywhere a
+/// backend pointer is null; bit-identical to the pre-backend kernels.
+class Paper2005Backend final : public ObjectiveBackend {
+ public:
+  Paper2005Backend(PowerModel power, RepeaterDevice device)
+      : power_(power), device_(device) {}
+
+  const std::string& name() const override;
+  ChainCost chain_cost(const NetProfile& net) const override;
+  double net_power_nw(const NetProfile& net, double objective_cost,
+                      int repeater_count) const override;
+  std::uint64_t fingerprint() const override;
+
+ private:
+  PowerModel power_;
+  RepeaterDevice device_;
+};
+
+/// Tuning knobs for ActivityPowerBackend. Defaults are calibrated
+/// against the built-in 0.18 um kit (same order of magnitude as the
+/// PowerModel constants they refine).
+struct ActivityPowerConfig {
+  double default_activity = 0.15;   ///< used when a net has no profile entry
+  double static_nw_per_u = 5.0;     ///< width-proportional leakage slope
+  double static_nw_per_repeater = 12.0;  ///< width-independent leakage floor
+  double wire_static_nw_per_mm = 80.0;   ///< per-mm link static power
+};
+
+/// (b) Activity-aware static+dynamic link power (Graphite-style
+/// ElectricalLinkPowerModelRepeated): dynamic energy scales with a
+/// per-net switching activity instead of one global alpha, and leakage
+/// has both a per-width slope and a per-repeater floor — so the DP
+/// genuinely trades repeater count against width, unlike the paper's
+/// pure-width objective.
+class ActivityPowerBackend final : public ObjectiveBackend {
+ public:
+  ActivityPowerBackend(PowerModel power, RepeaterDevice device,
+                       ActivityPowerConfig config = {},
+                       std::map<std::string, double, std::less<>> activity = {});
+
+  const std::string& name() const override;
+  ChainCost chain_cost(const NetProfile& net) const override;
+  double net_power_nw(const NetProfile& net, double objective_cost,
+                      int repeater_count) const override;
+  std::uint64_t fingerprint() const override;
+
+  /// The switching activity used for `net_name`: the profile entry if
+  /// present, else a deterministic per-name pseudo-activity in
+  /// [0.05, 0.45] (hash of the name), else `default_activity` for
+  /// anonymous nets. Deterministic across runs and platforms.
+  double activity_for(std::string_view net_name) const;
+
+ private:
+  PowerModel power_;
+  RepeaterDevice device_;
+  ActivityPowerConfig config_;
+  std::map<std::string, double, std::less<>> activity_;
+};
+
+/// Tuning knobs for LowSwingBackend.
+struct LowSwingConfig {
+  double swing_v = 0.4;              ///< reduced signal swing [V]
+  double receiver_penalty_fs = 120000.0;  ///< sense-amp + level conversion
+  double receiver_static_nw = 250.0; ///< sense-amp bias power
+};
+
+/// (c) Repeaterless low-swing interconnect (Naveen & Sharma): no
+/// repeaters are inserted (the wire either meets timing on its own,
+/// with a fixed transceiver delay penalty, or the point is infeasible),
+/// and the reported power is the swing-scaled wire switching energy
+/// plus the receiver's static bias — the competing design point the
+/// evaluator compares against RIP per net.
+class LowSwingBackend final : public ObjectiveBackend {
+ public:
+  LowSwingBackend(PowerModel power, LowSwingConfig config = {})
+      : power_(power), config_(config) {}
+
+  const std::string& name() const override;
+  ChainCost chain_cost(const NetProfile& net) const override;
+  double net_power_nw(const NetProfile& net, double objective_cost,
+                      int repeater_count) const override;
+  std::uint64_t fingerprint() const override;
+
+ private:
+  PowerModel power_;
+  LowSwingConfig config_;
+};
+
+/// Names accepted by make_backend, in registry order.
+const std::vector<std::string>& backend_names();
+
+/// Construct a backend by registry name from a technology's constants.
+/// Throws rip::Error on an unknown name.
+std::unique_ptr<ObjectiveBackend> make_backend(std::string_view name,
+                                               const Technology& tech);
+
+}  // namespace rip::tech

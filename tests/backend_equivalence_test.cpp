@@ -1,0 +1,280 @@
+// Integration proof of the backend-equivalence satellite: an explicit
+// Paper2005Backend threaded through every evaluation front-end — the
+// Table 1/2 and Fig. 7 runners, the blocking batch engine, and the
+// async service — must reproduce the default (backend == nullptr) path
+// bit for bit, at jobs {1, 8}, cached and uncached. Also pins the
+// SolveContext plumbing itself: the deprecated cache knobs still reach
+// the solver, and both batch engines reject an explicit workspace.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "dp/workspace.hpp"
+#include "eval/experiments.hpp"
+#include "eval/parallel.hpp"
+#include "eval/service.hpp"
+#include "eval/solve_cache.hpp"
+#include "eval/workload.hpp"
+#include "tech/objective.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rip::eval {
+namespace {
+
+void expect_same_cell(const Table1Cell& a, const Table1Cell& b) {
+  EXPECT_EQ(a.delta_max_pct, b.delta_max_pct);
+  EXPECT_EQ(a.delta_mean_pct, b.delta_mean_pct);
+  EXPECT_EQ(a.dp_violations, b.dp_violations);
+  EXPECT_EQ(a.compared, b.compared);
+}
+
+void expect_same_row(const Table1Row& a, const Table1Row& b) {
+  EXPECT_EQ(a.net_name, b.net_name);
+  EXPECT_EQ(a.rip_violations, b.rip_violations);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    expect_same_cell(a.cells[i], b.cells[i]);
+  }
+}
+
+void expect_same_case(const CaseResult& a, const CaseResult& b) {
+  EXPECT_EQ(a.tau_t_fs, b.tau_t_fs);
+  EXPECT_EQ(a.rip_feasible, b.rip_feasible);
+  EXPECT_EQ(a.dp_feasible, b.dp_feasible);
+  EXPECT_EQ(a.rip_width_u, b.rip_width_u);
+  EXPECT_EQ(a.dp_width_u, b.dp_width_u);
+  EXPECT_EQ(a.improvement_pct, b.improvement_pct);
+}
+
+/// A paper-shaped but test-sized sweep config pair: same workload seed,
+/// one run with config.backend = nullptr, one with the explicit backend.
+template <class Config>
+Config small_config() {
+  Config config;
+  config.granularities_u = {20.0, 40.0};
+  return config;
+}
+
+TEST(BackendEquivalence, Table1PaperBackendMatchesDefault) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::Paper2005Backend backend(tech.power(), tech.device());
+  auto config = small_config<Table1Config>();
+  config.net_count = 4;
+  config.targets_per_net = 5;
+
+  config.backend = nullptr;
+  config.jobs = 1;
+  const auto reference = run_table1(tech, config);
+
+  for (const int jobs : {1, 8}) {
+    SCOPED_TRACE("jobs " + std::to_string(jobs));
+    config.backend = &backend;
+    config.jobs = jobs;
+    const auto with = run_table1(tech, config);
+    ASSERT_EQ(with.rows.size(), reference.rows.size());
+    for (std::size_t i = 0; i < with.rows.size(); ++i) {
+      expect_same_row(with.rows[i], reference.rows[i]);
+    }
+    expect_same_row(with.average, reference.average);
+  }
+
+  // Sharded: two backend-carrying shards reassemble to the same bits.
+  config.backend = &backend;
+  config.jobs = 1;
+  const std::vector<Table1Shard> shards = {
+      run_table1_shard(tech, config, 0, 2),
+      run_table1_shard(tech, config, 1, 2)};
+  const auto merged = merge_table1_shards(config, shards);
+  ASSERT_EQ(merged.rows.size(), reference.rows.size());
+  for (std::size_t i = 0; i < merged.rows.size(); ++i) {
+    expect_same_row(merged.rows[i], reference.rows[i]);
+  }
+}
+
+TEST(BackendEquivalence, Table2PaperBackendMatchesDefault) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::Paper2005Backend backend(tech.power(), tech.device());
+  auto config = small_config<Table2Config>();
+  config.net_count = 3;
+  config.targets_per_net = 4;
+
+  config.backend = nullptr;
+  config.jobs = 1;
+  const auto reference = run_table2(tech, config);
+
+  for (const int jobs : {1, 8}) {
+    SCOPED_TRACE("jobs " + std::to_string(jobs));
+    config.backend = &backend;
+    config.jobs = jobs;
+    const auto with = run_table2(tech, config);
+    ASSERT_EQ(with.rows.size(), reference.rows.size());
+    for (std::size_t i = 0; i < with.rows.size(); ++i) {
+      // Quality columns are deterministic; runtime columns are wall
+      // clock and excluded by design.
+      EXPECT_EQ(with.rows[i].granularity_u, reference.rows[i].granularity_u);
+      EXPECT_EQ(with.rows[i].delta_mean_pct, reference.rows[i].delta_mean_pct);
+      EXPECT_EQ(with.rows[i].compared, reference.rows[i].compared);
+    }
+  }
+}
+
+TEST(BackendEquivalence, Fig7PaperBackendMatchesDefault) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::Paper2005Backend backend(tech.power(), tech.device());
+  auto config = small_config<Fig7Config>();
+  config.points = 7;
+
+  config.backend = nullptr;
+  config.jobs = 1;
+  const auto reference = run_fig7(tech, config);
+
+  for (const int jobs : {1, 8}) {
+    SCOPED_TRACE("jobs " + std::to_string(jobs));
+    config.backend = &backend;
+    config.jobs = jobs;
+    const auto with = run_fig7(tech, config);
+    EXPECT_EQ(with.net_name, reference.net_name);
+    EXPECT_EQ(with.tau_min_fs, reference.tau_min_fs);
+    ASSERT_EQ(with.series.size(), reference.series.size());
+    for (std::size_t s = 0; s < with.series.size(); ++s) {
+      EXPECT_EQ(with.series[s].granularity_u,
+                reference.series[s].granularity_u);
+      ASSERT_EQ(with.series[s].points.size(),
+                reference.series[s].points.size());
+      for (std::size_t p = 0; p < with.series[s].points.size(); ++p) {
+        EXPECT_EQ(with.series[s].points[p].tau_t_fs,
+                  reference.series[s].points[p].tau_t_fs);
+        EXPECT_EQ(with.series[s].points[p].dp_feasible,
+                  reference.series[s].points[p].dp_feasible);
+        EXPECT_EQ(with.series[s].points[p].improvement_pct,
+                  reference.series[s].points[p].improvement_pct);
+      }
+    }
+  }
+}
+
+/// The batch cases the engine-level tests share: 2 nets x 3 targets.
+std::vector<Case> small_batch(const std::vector<WorkloadNet>& workload) {
+  const auto baseline = core::BaselineOptions::uniform_library(10.0, 40.0, 5);
+  std::vector<Case> cases;
+  for (const auto& wn : workload) {
+    for (const double f : {1.2, 1.5, 1.9}) {
+      cases.push_back(
+          Case{&wn.net, f * wn.tau_min_fs, core::RipOptions{}, baseline});
+    }
+  }
+  return cases;
+}
+
+TEST(BackendEquivalence, RunCasesBackendCachedAsyncAllBitIdentical) {
+  const tech::Technology tech = tech::make_tech180();
+  const auto workload = make_paper_workload(tech, 2);
+  const auto cases = small_batch(workload);
+  const tech::Paper2005Backend backend(tech.power(), tech.device());
+
+  // Reference: the serial default path (no context at all).
+  const auto reference = run_cases(tech, cases);
+
+  // Blocking engine, explicit backend, jobs x cache grid.
+  for (const int jobs : {1, 8}) {
+    for (const bool cached : {false, true}) {
+      SCOPED_TRACE("jobs " + std::to_string(jobs) + (cached ? " cached" : ""));
+      SolveCache cache({64, 4});
+      BatchOptions options;
+      options.jobs = jobs;
+      options.context.backend = &backend;
+      if (cached) options.context.cache = &cache;
+      const auto got = run_cases(tech, cases, options);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        SCOPED_TRACE("case " + std::to_string(i));
+        expect_same_case(got[i], reference[i]);
+      }
+      if (cached) {
+        EXPECT_GT(cache.stats().hits, 0u);
+      }
+    }
+  }
+
+  // Async service with the backend in its context: same bits again.
+  ServiceOptions service_options;
+  service_options.jobs = 8;
+  service_options.context.backend = &backend;
+  EvalService service(tech, service_options);
+  const auto async = service.submit_batch(cases).results();
+  ASSERT_EQ(async.size(), reference.size());
+  for (std::size_t i = 0; i < async.size(); ++i) {
+    SCOPED_TRACE("async case " + std::to_string(i));
+    expect_same_case(async[i], reference[i]);
+  }
+}
+
+TEST(SolveContextPlumbing, DeprecatedCacheKnobsStillReachTheSolver) {
+  const tech::Technology tech = tech::make_tech180();
+  const auto workload = make_paper_workload(tech, 1);
+  const auto cases = small_batch(workload);
+
+  // BatchOptions::cache (pre-SolveContext) still attaches the cache.
+  SolveCache batch_cache({64, 4});
+  BatchOptions options;
+  options.cache = &batch_cache;
+  const auto via_batch = run_cases(tech, cases, options);
+  EXPECT_GT(batch_cache.stats().hits, 0u);
+
+  // ServiceOptions::cache likewise, visible through stats().
+  SolveCache service_cache({64, 4});
+  ServiceOptions service_options;
+  service_options.cache = &service_cache;
+  EvalService service(tech, service_options);
+  EXPECT_TRUE(service.stats().cache_attached);
+  service.submit_batch(cases).wait_all();
+  EXPECT_GT(service.stats().cache.hits, 0u);
+
+  // context.cache wins over the deprecated knob when both are set.
+  SolveCache preferred({64, 4});
+  SolveCache ignored({64, 4});
+  BatchOptions both;
+  both.context.cache = &preferred;
+  both.cache = &ignored;
+  run_cases(tech, cases, both);
+  EXPECT_GT(preferred.stats().lookups(), 0u);
+  EXPECT_EQ(ignored.stats().lookups(), 0u);
+
+  // The deprecated run_case shim answers like the context overload.
+  const auto via_shim =
+      run_case(*cases[0].net, tech, cases[0].tau_t_fs, cases[0].rip,
+               cases[0].baseline, nullptr, CacheRef{});
+  expect_same_case(via_shim, via_batch[0]);
+}
+
+TEST(SolveContextPlumbing, BatchEnginesRejectAnExplicitWorkspace) {
+  const tech::Technology tech = tech::make_tech180();
+  const auto workload = make_paper_workload(tech, 1);
+  const auto cases = small_batch(workload);
+  dp::Workspace ws;
+
+  BatchOptions options;
+  options.context.workspace = &ws;
+  EXPECT_THROW(run_cases(tech, cases, options), Error);
+
+  ServiceOptions service_options;
+  service_options.context.workspace = &ws;
+  EXPECT_THROW(EvalService(tech, service_options), Error);
+
+  // run_case itself accepts one — that is the single-threaded contract.
+  SolveContext context;
+  context.workspace = &ws;
+  const auto direct = run_case(*cases[0].net, tech, cases[0].tau_t_fs,
+                               cases[0].rip, cases[0].baseline, context);
+  const auto reference = run_case(*cases[0].net, tech, cases[0].tau_t_fs,
+                                  cases[0].rip, cases[0].baseline);
+  expect_same_case(direct, reference);
+}
+
+}  // namespace
+}  // namespace rip::eval

@@ -1,0 +1,311 @@
+// Unit tests for the pluggable objective backends (tech/objective):
+// the registry, each backend's cost coefficients and reported power,
+// the Paper2005Backend's bit-identity with the default (no-backend)
+// solver path, and the invariant that ties a DP run's objective cost
+// back to the backend's affine per-net cost.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "dp/min_delay.hpp"
+#include "dp/workspace.hpp"
+#include "rc/buffered_chain.hpp"
+#include "tech/objective.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rip {
+namespace {
+
+const dp::MinDelayOptions kMinDelayGrid = {10.0, 400.0, 10.0, 200.0};
+
+// ------------------------------------------------------------- registry
+
+TEST(BackendRegistry, NamesRoundTripThroughTheFactory) {
+  const auto& names = tech::backend_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "paper2005");
+  EXPECT_EQ(names[1], "activity");
+  EXPECT_EQ(names[2], "lowswing");
+
+  const tech::Technology tech = tech::make_tech180();
+  for (const auto& name : names) {
+    const auto backend = tech::make_backend(name, tech);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), name);
+  }
+  EXPECT_THROW(tech::make_backend("no_such_backend", tech), Error);
+}
+
+TEST(BackendRegistry, FingerprintsAreDistinctPerBackend) {
+  const tech::Technology tech = tech::make_tech180();
+  const auto a = tech::make_backend("paper2005", tech);
+  const auto b = tech::make_backend("activity", tech);
+  const auto c = tech::make_backend("lowswing", tech);
+  EXPECT_NE(a->fingerprint(), b->fingerprint());
+  EXPECT_NE(a->fingerprint(), c->fingerprint());
+  EXPECT_NE(b->fingerprint(), c->fingerprint());
+}
+
+TEST(ChainCostTest, EveryFieldBreaksIdentity) {
+  EXPECT_TRUE(tech::ChainCost{}.is_identity());
+  tech::ChainCost c;
+  c.width_weight = 2.0;
+  EXPECT_FALSE(c.is_identity());
+  c = {};
+  c.per_repeater = 1.0;
+  EXPECT_FALSE(c.is_identity());
+  c = {};
+  c.receiver_penalty_fs = 1.0;
+  EXPECT_FALSE(c.is_identity());
+  c = {};
+  c.allow_repeaters = false;
+  EXPECT_FALSE(c.is_identity());
+}
+
+// ------------------------------------------------------------ paper2005
+
+TEST(Paper2005BackendTest, IdentityCoefficientsAndEq4Power) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::Paper2005Backend backend(tech.power(), tech.device());
+  const tech::NetProfile profile{"n", 10000.0, 2000.0};
+  EXPECT_TRUE(backend.chain_cost(profile).is_identity());
+  // Eq. 4: P = gamma * total width; the objective cost IS the width.
+  const double gamma =
+      tech.power().gamma_nw_per_u(tech.device().co_ff, tech.device().cp_ff);
+  EXPECT_DOUBLE_EQ(backend.net_power_nw(profile, 150.0, 3), gamma * 150.0);
+}
+
+// The core of the equivalence satellite at solver granularity: the
+// explicit Paper2005Backend takes the identity-cost kernel path and must
+// reproduce the default (backend == nullptr) solves bit for bit.
+TEST(Paper2005BackendTest, BitIdenticalToDefaultPath) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::Paper2005Backend backend(tech.power(), tech.device());
+  const net::Net n = test::paper_net(7);
+  const auto baseline = core::BaselineOptions::uniform_library(10.0, 20.0, 10);
+  const double tau_min =
+      dp::min_delay(n, tech.device(), kMinDelayGrid).tau_min_fs;
+
+  for (const double factor : {1.1, 1.4, 1.8}) {
+    SCOPED_TRACE("target factor " + std::to_string(factor));
+    const double tau = factor * tau_min;
+
+    const auto dp_default =
+        core::run_baseline(n, tech.device(), tau, baseline,
+                           dp::Workspace::local(), nullptr, nullptr);
+    const auto dp_backend =
+        core::run_baseline(n, tech.device(), tau, baseline,
+                           dp::Workspace::local(), nullptr, &backend);
+    EXPECT_EQ(dp_default.status, dp_backend.status);
+    EXPECT_EQ(dp_default.total_width_u, dp_backend.total_width_u);
+    EXPECT_EQ(dp_default.delay_fs, dp_backend.delay_fs);
+    // Identity objective: the cost is the width, exactly.
+    EXPECT_EQ(dp_backend.objective_cost, dp_backend.total_width_u);
+
+    const auto rip_default =
+        core::rip_insert(n, tech.device(), tau, {}, dp::Workspace::local(),
+                         nullptr, nullptr);
+    const auto rip_backend =
+        core::rip_insert(n, tech.device(), tau, {}, dp::Workspace::local(),
+                         nullptr, &backend);
+    EXPECT_EQ(rip_default.status, rip_backend.status);
+    EXPECT_EQ(rip_default.total_width_u, rip_backend.total_width_u);
+    EXPECT_EQ(rip_default.delay_fs, rip_backend.delay_fs);
+    EXPECT_EQ(rip_backend.objective_cost, rip_backend.total_width_u);
+    ASSERT_EQ(rip_default.solution.size(), rip_backend.solution.size());
+    for (std::size_t i = 0; i < rip_default.solution.size(); ++i) {
+      EXPECT_EQ(rip_default.solution.repeaters()[i].position_um,
+                rip_backend.solution.repeaters()[i].position_um);
+      EXPECT_EQ(rip_default.solution.repeaters()[i].width_u,
+                rip_backend.solution.repeaters()[i].width_u);
+    }
+  }
+}
+
+// ------------------------------------------------------------- activity
+
+TEST(ActivityBackendTest, ActivityLookupTiers) {
+  const tech::Technology tech = tech::make_tech180();
+  std::map<std::string, double, std::less<>> profile{{"clk", 0.9}};
+  const tech::ActivityPowerBackend backend(tech.power(), tech.device(), {},
+                                           profile);
+  // Tier 1: an explicit profile entry wins.
+  EXPECT_DOUBLE_EQ(backend.activity_for("clk"), 0.9);
+  // Tier 2: unprofiled names get a deterministic pseudo-activity in
+  // [0.05, 0.45].
+  const double a = backend.activity_for("data_bus_17");
+  EXPECT_GE(a, 0.05);
+  EXPECT_LE(a, 0.45);
+  EXPECT_DOUBLE_EQ(a, backend.activity_for("data_bus_17"));
+  EXPECT_NE(a, backend.activity_for("data_bus_18"));
+  // Tier 3: anonymous nets fall back to the configured default.
+  EXPECT_DOUBLE_EQ(backend.activity_for(""),
+                   tech::ActivityPowerConfig{}.default_activity);
+}
+
+TEST(ActivityBackendTest, ConstructorRejectsBadActivities) {
+  const tech::Technology tech = tech::make_tech180();
+  std::map<std::string, double, std::less<>> too_big{{"n", 1.5}};
+  EXPECT_THROW(
+      tech::ActivityPowerBackend(tech.power(), tech.device(), {}, too_big),
+      Error);
+  std::map<std::string, double, std::less<>> zero{{"n", 0.0}};
+  EXPECT_THROW(
+      tech::ActivityPowerBackend(tech.power(), tech.device(), {}, zero),
+      Error);
+  tech::ActivityPowerConfig config;
+  config.default_activity = 0.0;
+  EXPECT_THROW(tech::ActivityPowerBackend(tech.power(), tech.device(), config),
+               Error);
+}
+
+TEST(ActivityBackendTest, CostCoefficientsScaleWithActivity) {
+  const tech::Technology tech = tech::make_tech180();
+  std::map<std::string, double, std::less<>> profile{{"lo", 0.1}, {"hi", 0.8}};
+  const tech::ActivityPowerBackend backend(tech.power(), tech.device(), {},
+                                           profile);
+  const auto lo = backend.chain_cost({"lo", 10000.0, 2000.0});
+  const auto hi = backend.chain_cost({"hi", 10000.0, 2000.0});
+  EXPECT_FALSE(lo.is_identity());
+  EXPECT_GT(lo.width_weight, 0.0);
+  // More switching per unit of repeater width -> steeper width cost.
+  EXPECT_GT(hi.width_weight, lo.width_weight);
+  // Leakage floor is per repeater and activity-independent.
+  EXPECT_GT(lo.per_repeater, 0.0);
+  EXPECT_EQ(lo.per_repeater, hi.per_repeater);
+  EXPECT_TRUE(lo.allow_repeaters);
+  EXPECT_EQ(lo.receiver_penalty_fs, 0.0);
+}
+
+TEST(ActivityBackendTest, NetPowerIsMonotoneInCostAndWire) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::ActivityPowerBackend backend(tech.power(), tech.device());
+  const tech::NetProfile p{"n", 10000.0, 2000.0};
+  // Monotone in the optimized repeater cost...
+  EXPECT_GT(backend.net_power_nw(p, 200.0, 2), backend.net_power_nw(p, 100.0, 2));
+  // ...and in the per-net constants the DP cannot change (wire energy,
+  // per-mm static power).
+  const tech::NetProfile longer{"n", 20000.0, 4000.0};
+  EXPECT_GT(backend.net_power_nw(longer, 100.0, 2),
+            backend.net_power_nw(p, 100.0, 2));
+}
+
+// The contract between backend and kernel: the DP's reported objective
+// cost equals the backend's affine per-net cost evaluated on the
+// returned solution (accumulation order may differ, hence NEAR).
+TEST(ActivityBackendTest, DpObjectiveMatchesAffineRecompute) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::ActivityPowerBackend backend(tech.power(), tech.device());
+  const net::Net n = test::paper_net(11);
+  const auto baseline = core::BaselineOptions::uniform_library(10.0, 20.0, 10);
+  const double tau_min =
+      dp::min_delay(n, tech.device(), kMinDelayGrid).tau_min_fs;
+  const tech::ChainCost cost = backend.chain_cost(
+      {n.name(), n.total_length_um(), n.total_capacitance_ff()});
+
+  for (const double factor : {1.2, 1.6, 2.0}) {
+    SCOPED_TRACE("target factor " + std::to_string(factor));
+    const auto r =
+        core::run_baseline(n, tech.device(), factor * tau_min, baseline,
+                           dp::Workspace::local(), nullptr, &backend);
+    ASSERT_EQ(r.status, dp::Status::kOptimal);
+    double recomputed = 0.0;
+    for (const auto& rep : r.solution.repeaters()) {
+      recomputed += cost.width_weight * rep.width_u + cost.per_repeater;
+    }
+    EXPECT_NEAR(r.objective_cost, recomputed,
+                1e-9 * std::max(1.0, std::abs(recomputed)));
+  }
+}
+
+// Under the activity objective a looser target can never cost more:
+// every feasible label set at a tight target is feasible at a loose one.
+TEST(ActivityBackendTest, ObjectiveCostIsMonotoneInTheTarget) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::ActivityPowerBackend backend(tech.power(), tech.device());
+  const net::Net n = test::paper_net(13);
+  const auto baseline = core::BaselineOptions::uniform_library(10.0, 20.0, 10);
+  const double tau_min =
+      dp::min_delay(n, tech.device(), kMinDelayGrid).tau_min_fs;
+  double previous = std::numeric_limits<double>::infinity();
+  for (const double factor : {1.1, 1.3, 1.5, 1.7, 1.9}) {
+    const auto r =
+        core::run_baseline(n, tech.device(), factor * tau_min, baseline,
+                           dp::Workspace::local(), nullptr, &backend);
+    if (r.status != dp::Status::kOptimal) continue;
+    EXPECT_LE(r.objective_cost, previous) << "factor " << factor;
+    previous = r.objective_cost;
+  }
+}
+
+// ------------------------------------------------------------- lowswing
+
+TEST(LowSwingBackendTest, CoefficientsForbidRepeaters) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::LowSwingBackend backend(tech.power());
+  const auto cost = backend.chain_cost({"n", 10000.0, 2000.0});
+  EXPECT_FALSE(cost.allow_repeaters);
+  EXPECT_EQ(cost.width_weight, 0.0);
+  EXPECT_EQ(cost.per_repeater, 0.0);
+  EXPECT_EQ(cost.receiver_penalty_fs, tech::LowSwingConfig{}.receiver_penalty_fs);
+}
+
+TEST(LowSwingBackendTest, RepeaterlessFeasibilityBoundary) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::LowSwingBackend backend(tech.power());
+  const net::Net n = test::paper_net(3);
+  const auto baseline = core::BaselineOptions::uniform_library(10.0, 20.0, 10);
+  const double unbuffered =
+      rc::elmore_delay_fs(n, net::RepeaterSolution{}, tech.device());
+  const double penalty = tech::LowSwingConfig{}.receiver_penalty_fs;
+
+  // Loose enough for the bare wire plus the sense-amp penalty: feasible,
+  // and necessarily with zero repeaters at zero objective cost.
+  const auto ok = core::run_baseline(n, tech.device(),
+                                     2.0 * (unbuffered + penalty), baseline,
+                                     dp::Workspace::local(), nullptr, &backend);
+  EXPECT_EQ(ok.status, dp::Status::kOptimal);
+  EXPECT_EQ(ok.solution.size(), 0u);
+  EXPECT_EQ(ok.total_width_u, 0.0);
+  EXPECT_EQ(ok.objective_cost, 0.0);
+  // The reported delay includes the receiver penalty.
+  EXPECT_GE(ok.delay_fs, unbuffered);
+
+  // Tighter than the bare wire alone: no repeaters may be inserted, so
+  // the point is infeasible (where the paper objective would buffer it).
+  const auto viol = core::run_baseline(n, tech.device(), 0.5 * unbuffered,
+                                       baseline, dp::Workspace::local(),
+                                       nullptr, &backend);
+  EXPECT_EQ(viol.status, dp::Status::kInfeasible);
+  const auto buffered = core::run_baseline(n, tech.device(), 0.5 * unbuffered,
+                                           baseline, dp::Workspace::local(),
+                                           nullptr, nullptr);
+  EXPECT_EQ(buffered.status, dp::Status::kOptimal);
+}
+
+TEST(LowSwingBackendTest, PowerIsWireEnergyPlusReceiverBias) {
+  const tech::Technology tech = tech::make_tech180();
+  const tech::LowSwingBackend backend(tech.power());
+  const tech::NetProfile p{"n", 10000.0, 2000.0};
+  // No repeaters exist, so the objective cost cannot move the power.
+  EXPECT_DOUBLE_EQ(backend.net_power_nw(p, 0.0, 0),
+                   backend.net_power_nw(p, 999.0, 0));
+  // More wire capacitance -> more swing-scaled switching energy.
+  const tech::NetProfile bigger{"n", 10000.0, 4000.0};
+  EXPECT_GT(backend.net_power_nw(bigger, 0.0, 0), backend.net_power_nw(p, 0.0, 0));
+  // The sense-amp bias is a floor even for a zero-capacitance stub.
+  const tech::NetProfile stub{"n", 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(backend.net_power_nw(stub, 0.0, 0),
+                   tech::LowSwingConfig{}.receiver_static_nw);
+}
+
+}  // namespace
+}  // namespace rip

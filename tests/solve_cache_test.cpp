@@ -19,6 +19,7 @@
 #include "eval/solve_cache.hpp"
 #include "eval/workload.hpp"
 #include "net/candidates.hpp"
+#include "tech/objective.hpp"
 #include "tech/technology.hpp"
 #include "test_helpers.hpp"
 #include "util/error.hpp"
@@ -170,6 +171,73 @@ TEST(SolveCacheKey, TargetAndToleranceDoNotEnterTheKey) {
       dp::RepeaterLibrary::uniform(10.0, 40.0, 6);
   EXPECT_NE(dp::chain_solve_key(n, tech.device(), library, candidates, a),
             dp::chain_solve_key(n, tech.device(), other, candidates, a));
+}
+
+// The backend-identity satellite, negative direction: one net solved
+// under two different objective backends must land in two different
+// cache entries — a shared SolveCache can serve a multi-backend sweep
+// without ever answering one backend's query with another's frontier.
+TEST(SolveCacheKey, BackendsNeverShareAnEntry) {
+  const tech::Technology tech = tech::make_tech180();
+  const net::Net n = test::paper_net(5);
+  const dp::RepeaterLibrary library =
+      dp::RepeaterLibrary::uniform(10.0, 40.0, 10);
+  const auto candidates = net::uniform_candidates(n, 200.0);
+  const tech::Paper2005Backend paper(tech.power(), tech.device());
+  const tech::ActivityPowerBackend activity(tech.power(), tech.device());
+
+  // A tight target, so the optimum genuinely inserts repeaters (at a
+  // loose one every objective returns the zero-cost bare wire and the
+  // results could not be told apart).
+  const auto md = dp::min_delay(n, tech.device(), {10.0, 400.0, 10.0, 200.0});
+  dp::ChainDpOptions none;
+  none.timing_target_fs = 1.2 * md.tau_min_fs;
+  dp::ChainDpOptions with_paper = none;
+  with_paper.backend = &paper;
+  dp::ChainDpOptions with_activity = none;
+  with_activity.backend = &activity;
+
+  // Three pairwise-distinct keys: even the identity-cost Paper2005
+  // backend is keyed apart from the historic no-backend path.
+  const auto k_none =
+      dp::chain_solve_key(n, tech.device(), library, candidates, none);
+  const auto k_paper =
+      dp::chain_solve_key(n, tech.device(), library, candidates, with_paper);
+  const auto k_activity = dp::chain_solve_key(n, tech.device(), library,
+                                              candidates, with_activity);
+  EXPECT_NE(k_none, k_paper);
+  EXPECT_NE(k_none, k_activity);
+  EXPECT_NE(k_paper, k_activity);
+
+  // Same net, two backends, one shared cache: two entries, no
+  // cross-backend hits, and per-backend results that genuinely differ
+  // (the activity objective pays a per-repeater cost the paper's does
+  // not, so its optimum uses fewer, wider repeaters or a higher cost).
+  SolveCache cache({64, 4});
+  const auto a = dp::run_chain_dp_cached(n, tech.device(), library, candidates,
+                                         with_paper, dp::Workspace::local(),
+                                         &cache);
+  const auto b = dp::run_chain_dp_cached(n, tech.device(), library, candidates,
+                                         with_activity, dp::Workspace::local(),
+                                         &cache);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  ASSERT_EQ(a.status, dp::Status::kOptimal);
+  ASSERT_EQ(b.status, dp::Status::kOptimal);
+  EXPECT_NE(a.objective_cost, b.objective_cost);
+
+  // Re-asking each backend's own query hits its own entry and answers
+  // bit-identically.
+  const auto a2 = dp::run_chain_dp_cached(n, tech.device(), library, candidates,
+                                          with_paper, dp::Workspace::local(),
+                                          &cache);
+  const auto b2 = dp::run_chain_dp_cached(n, tech.device(), library, candidates,
+                                          with_activity, dp::Workspace::local(),
+                                          &cache);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  expect_same_result(a2, a);
+  expect_same_result(b2, b);
 }
 
 // The satellite property: cached answers are bit-identical to cold

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf gate for the chain-DP kernel bench.
+
+Compares a fresh bench_dp JSON summary against the committed baseline
+(BENCH_dp.json at the repo root) per kernel configuration and fails when
+any configuration's ns_per_solve regressed by more than the threshold.
+
+Usage:
+    python3 tools/perf_gate.py CURRENT.json [BASELINE.json]
+
+BASELINE.json defaults to BENCH_dp.json next to this script's parent
+directory (the repo root). The regression threshold is 10% and can be
+overridden with RIP_PERF_GATE_PCT — a developer machine that matches the
+baseline's hardware should run with the default; shared CI runners are
+noisy and should pass a generous override (the gate then only catches
+order-of-magnitude blowups, never runner-speed lottery).
+
+Only configurations present in BOTH files are compared; a configuration
+that disappeared from the current run fails the gate (a silently dropped
+config is how a regression hides), a new configuration is reported and
+skipped. Exit status: 0 = within threshold, 1 = regression or missing
+config, 2 = usage/parse error.
+"""
+
+import json
+import os
+import sys
+
+
+def load_configs(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    configs = {c["name"]: c for c in data.get("configs", [])}
+    if not configs:
+        print(f"perf_gate: {path} has no kernel configurations",
+              file=sys.stderr)
+        sys.exit(2)
+    return configs
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    current_path = argv[1]
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(argv[0])))
+    baseline_path = argv[2] if len(argv) == 3 else os.path.join(
+        repo_root, "BENCH_dp.json")
+    try:
+        threshold_pct = float(os.environ.get("RIP_PERF_GATE_PCT", "10"))
+    except ValueError:
+        print("perf_gate: RIP_PERF_GATE_PCT must be a number",
+              file=sys.stderr)
+        return 2
+
+    baseline = load_configs(baseline_path)
+    current = load_configs(current_path)
+
+    failures = []
+    width = max(len(name) for name in baseline)
+    print(f"perf gate: {current_path} vs {baseline_path} "
+          f"(threshold +{threshold_pct:g}%)")
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"  {name:<{width}}  MISSING from current run")
+            failures.append(name)
+            continue
+        base_ns = float(base["ns_per_solve"])
+        cur_ns = float(cur["ns_per_solve"])
+        delta_pct = (cur_ns - base_ns) / base_ns * 100.0
+        verdict = "ok"
+        if delta_pct > threshold_pct:
+            verdict = "REGRESSED"
+            failures.append(name)
+        print(f"  {name:<{width}}  {base_ns / 1e3:10.1f} -> "
+              f"{cur_ns / 1e3:10.1f} us/solve  {delta_pct:+7.1f}%  {verdict}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<{width}}  new configuration (no baseline, skipped)")
+
+    if failures:
+        print(f"perf_gate: FAIL — {len(failures)} configuration(s) over "
+              f"the +{threshold_pct:g}% threshold: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("perf_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
