@@ -1,18 +1,24 @@
-// Microbenchmark of the chain-DP kernel: single-solve latency, label
+// Microbenchmark of the DP kernels: single-solve latency, label
 // throughput, and steady-state allocations on a reused dp::Workspace.
 //
-// Paper-workload nets (Section 6 population) are solved in kMinPower
-// mode across several (library size, granularity, candidate pitch)
-// configurations — the axes the pseudo-polynomial DP cost grows along.
+// Two kernel families share one harness:
+//   - chain configs: paper-workload nets (Section 6 population) solved
+//     in kMinPower mode across (library size, granularity, candidate
+//     pitch) — the axes the pseudo-polynomial DP cost grows along;
+//   - tree configs: random routing trees (the Section 7 extension)
+//     solved in kMinPower mode across (sink count, candidates per edge,
+//     library) — the axes the junction merges grow along.
+//
 // Per configuration the bench reports mean us/solve, labels/second,
 // prune ratio, arena peaks, and (at --jobs 1) the per-solve heap
 // allocation count after warm-up, measured by the counting operator new
 // in bench_env.hpp. Steady-state solves on a reused workspace must
 // allocate nothing: the bench exits non-zero if any warmed-up kernel
 // solve allocates (this is the regression gate for the zero-allocation
-// SoA kernel). A second parity pass reruns the same gate at jobs=8
-// using per-thread allocation counters — the parallel counts must
-// match the serial gate exactly (0), at any job count.
+// SoA kernels, chain and tree alike). A second parity pass reruns the
+// same gate at jobs=8 using per-thread allocation counters — the
+// parallel counts must match the serial gate exactly (0), at any job
+// count.
 //
 // Environment: RIP_BENCH_NETS / RIP_BENCH_TARGETS / RIP_BENCH_JOBS, with
 // --nets / --targets / --jobs overrides, like every other bench. Extra
@@ -29,12 +35,14 @@
 #include "bench_env.hpp"
 #include "dp/chain_dp.hpp"
 #include "dp/library.hpp"
+#include "dp/tree_dp.hpp"
 #include "dp/workspace.hpp"
 #include "eval/parallel.hpp"
 #include "eval/workload.hpp"
 #include "net/candidates.hpp"
 #include "tech/technology.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 
@@ -45,7 +53,17 @@ struct KernelConfig {
   double min_width_u;
   double granularity_u;
   int library_size;
+  /// Chain configs: candidate pitch. Tree configs: 0 (not applicable).
   double pitch_um;
+};
+
+struct TreeKernelConfig {
+  std::string name;
+  int sink_count;
+  int candidates_per_edge;
+  double min_width_u;
+  double granularity_u;
+  int library_size;
 };
 
 struct ConfigReport {
@@ -77,6 +95,133 @@ struct CaseRef {
   double tau_t_fs;
 };
 
+struct TreeCaseRef {
+  const rip::dp::BufferTree* tree;
+  double tau_t_fs;
+};
+
+/// Shared measurement harness: warm-up, timed/alloc-gated serial or
+/// parallel measured passes, the jobs=8 alloc-parity pass, and the
+/// derived rates. `solve(i, full)` runs case i (full = reconstruction
+/// on) and returns its DpStats.
+template <class Solve>
+void measure_config(ConfigReport& report, std::size_t case_count, int repeats,
+                    int jobs, const rip::ChunkPolicy& policy, Solve&& solve,
+                    bool& steady_state_clean, bool& alloc_parity_clean) {
+  using rip::WallTimer;
+  using rip::parallel_for_indexed;
+  report.solves = case_count * static_cast<std::size_t>(repeats);
+
+  // Warm-up pass: grow every arena of every participating workspace to
+  // the configuration's peak shape. Not timed, not alloc-counted.
+  parallel_for_indexed(case_count, jobs, policy,
+                       [&](std::size_t i) { solve(i, false); });
+
+  std::size_t labels_created = 0;
+  std::size_t labels_pruned = 0;
+  double total_s = 0;
+  if (jobs == 1) {
+    // Serial: per-solve latency and the steady-state allocation gate.
+    long long max_allocs = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (std::size_t i = 0; i < case_count; ++i) {
+        const rip::bench::AllocSample sample;
+        WallTimer timer;
+        const rip::dp::DpStats stats = solve(i, false);
+        total_s += timer.seconds();
+        const auto allocs = static_cast<long long>(sample.delta());
+        max_allocs = std::max(max_allocs, allocs);
+        labels_created += stats.labels_created;
+        labels_pruned += stats.labels_pruned;
+        report.labels_peak = std::max(report.labels_peak, stats.labels_peak);
+        report.arena_peak = std::max(report.arena_peak, stats.arena_peak);
+      }
+    }
+    report.steady_allocs_per_solve = max_allocs;
+    if (max_allocs != 0) steady_state_clean = false;
+
+    // Full solves (reconstruction on) for the informational
+    // allocations-per-complete-solve figure.
+    const rip::bench::AllocSample full_sample;
+    for (std::size_t i = 0; i < case_count; ++i) solve(i, true);
+    report.full_solve_allocs =
+        static_cast<double>(full_sample.delta()) /
+        static_cast<double>(std::max<std::size_t>(case_count, 1));
+  } else {
+    // Parallel: wall-clock throughput over the fanned-out case list;
+    // per-case stats are gathered into index-addressed slots.
+    std::vector<rip::dp::DpStats> stats(case_count);
+    WallTimer timer;
+    for (int rep = 0; rep < repeats; ++rep) {
+      parallel_for_indexed(case_count, jobs, policy, [&](std::size_t i) {
+        stats[i] = solve(i, false);
+      });
+    }
+    total_s = timer.seconds();
+    for (const auto& s : stats) {
+      labels_created += s.labels_created * static_cast<std::size_t>(repeats);
+      labels_pruned += s.labels_pruned * static_cast<std::size_t>(repeats);
+      report.labels_peak = std::max(report.labels_peak, s.labels_peak);
+      report.arena_peak = std::max(report.arena_peak, s.arena_peak);
+    }
+  }
+
+  // Allocation-parity pass: rerun the steady-state gate under 8-way
+  // parallelism. Each worker warms its own thread-local workspace on
+  // case i, then samples *its own* allocation counter around a repeat
+  // of that exact solve — ThreadAllocSample cannot absorb a
+  // neighbour's traffic the way a process-wide sample would, so the
+  // count is exact and the gate stays the strict zero of the serial
+  // pass. Runs regardless of --jobs (it is its own fixed-width pass).
+  {
+    std::vector<long long> parity_allocs(case_count, 0);
+    parallel_for_indexed(case_count, 8, policy, [&](std::size_t i) {
+      solve(i, false);  // warm this worker's workspace
+      const rip::bench::ThreadAllocSample sample;
+      solve(i, false);
+      parity_allocs[i] = static_cast<long long>(sample.delta());
+    });
+    report.steady_allocs_jobs8 =
+        parity_allocs.empty()
+            ? 0
+            : *std::max_element(parity_allocs.begin(), parity_allocs.end());
+    if (report.steady_allocs_jobs8 != 0) alloc_parity_clean = false;
+  }
+
+  report.mean_us_per_solve =
+      report.solves == 0 ? 0
+                         : total_s / static_cast<double>(report.solves) * 1e6;
+  report.labels_per_sec =
+      total_s == 0 ? 0 : static_cast<double>(labels_created) / total_s;
+  report.labels_per_solve =
+      report.solves == 0
+          ? 0
+          : static_cast<double>(labels_created) /
+                static_cast<double>(report.solves);
+  report.prune_ratio =
+      labels_created == 0
+          ? 0
+          : static_cast<double>(labels_pruned) /
+                static_cast<double>(labels_created);
+}
+
+void print_report(const ConfigReport& report) {
+  using rip::fmt_f;
+  std::cout << "  " << report.config.name << ": " << report.solves
+            << " solves, " << fmt_f(report.mean_us_per_solve, 1)
+            << " us/solve, " << fmt_f(report.labels_per_sec / 1e6, 2)
+            << " Mlabels/s, " << fmt_f(report.labels_per_solve, 0)
+            << " labels/solve, "
+            << "prune " << fmt_f(report.prune_ratio * 100, 1) << "%, "
+            << "peak " << report.labels_peak << " labels / "
+            << report.arena_peak << " arena";
+  if (report.steady_allocs_per_solve >= 0) {
+    std::cout << ", steady allocs/solve " << report.steady_allocs_per_solve
+              << ", full-solve allocs " << fmt_f(report.full_solve_allocs, 1);
+  }
+  std::cout << ", jobs8 allocs " << report.steady_allocs_jobs8 << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -93,7 +238,7 @@ int main(int argc, char** argv) try {
   const std::string json_path = args.get_or("json", "");
   RIP_REQUIRE(repeats >= 1, "--repeats must be >= 1");
 
-  std::cout << "=== chain-DP kernel bench (" << nets << " nets x " << targets
+  std::cout << "=== DP kernel bench (" << nets << " nets x " << targets
             << " targets, " << repeats << " repeats, jobs " << jobs;
   if (shard.count > 1)
     std::cout << ", shard " << shard.index << "/" << shard.count;
@@ -137,132 +282,90 @@ int main(int argc, char** argv) try {
           static_cast<std::size_t>(ti)]});
     }
 
-    dp::ChainDpOptions kernel_options;
-    kernel_options.mode = dp::Mode::kMinPower;
-    kernel_options.reconstruct_solutions = false;
-
     ConfigReport report;
     report.config = cfg;
-    report.solves = cases.size() * static_cast<std::size_t>(repeats);
-
-    // Warm-up pass: grow every arena of every participating workspace to
-    // the configuration's peak shape. Not timed, not alloc-counted.
-    auto solve_case = [&](std::size_t i, dp::ChainDpOptions options) {
-      options.timing_target_fs = cases[i].tau_t_fs;
-      return dp::run_chain_dp(*cases[i].net, tech.device(), library,
-                              *cases[i].candidates, options);
-    };
-    parallel_for_indexed(cases.size(), jobs, policy,
-                         [&](std::size_t i) { solve_case(i, kernel_options); });
-
-    // Measured passes.
-    std::size_t labels_created = 0;
-    std::size_t labels_pruned = 0;
-    long long max_allocs = -1;
-    double total_s = 0;
-    if (jobs == 1) {
-      // Serial: per-solve latency and the steady-state allocation gate.
-      max_allocs = 0;
-      for (int rep = 0; rep < repeats; ++rep) {
-        for (std::size_t i = 0; i < cases.size(); ++i) {
-          const bench::AllocSample sample;
-          WallTimer timer;
-          const auto r = solve_case(i, kernel_options);
-          total_s += timer.seconds();
-          const auto allocs = static_cast<long long>(sample.delta());
-          max_allocs = std::max(max_allocs, allocs);
-          labels_created += r.stats.labels_created;
-          labels_pruned += r.stats.labels_pruned;
-          report.labels_peak = std::max(report.labels_peak,
-                                        r.stats.labels_peak);
-          report.arena_peak = std::max(report.arena_peak,
-                                       r.stats.arena_peak);
-        }
-      }
-      report.steady_allocs_per_solve = max_allocs;
-      if (max_allocs != 0) steady_state_clean = false;
-
-      // Full solves (reconstruction on) for the informational
-      // allocations-per-complete-solve figure.
-      dp::ChainDpOptions full_options = kernel_options;
-      full_options.reconstruct_solutions = true;
-      const bench::AllocSample full_sample;
-      for (std::size_t i = 0; i < cases.size(); ++i)
-        solve_case(i, full_options);
-      report.full_solve_allocs =
-          static_cast<double>(full_sample.delta()) /
-          static_cast<double>(std::max<std::size_t>(cases.size(), 1));
-    } else {
-      // Parallel: wall-clock throughput over the fanned-out case list;
-      // per-case stats are gathered into index-addressed slots.
-      std::vector<dp::DpStats> stats(cases.size());
-      WallTimer timer;
-      for (int rep = 0; rep < repeats; ++rep) {
-        parallel_for_indexed(cases.size(), jobs, policy, [&](std::size_t i) {
-          stats[i] = solve_case(i, kernel_options).stats;
-        });
-      }
-      total_s = timer.seconds();
-      for (const auto& s : stats) {
-        labels_created += s.labels_created * static_cast<std::size_t>(repeats);
-        labels_pruned += s.labels_pruned * static_cast<std::size_t>(repeats);
-        report.labels_peak = std::max(report.labels_peak, s.labels_peak);
-        report.arena_peak = std::max(report.arena_peak, s.arena_peak);
-      }
-    }
-
-    // Allocation-parity pass: rerun the steady-state gate under 8-way
-    // parallelism. Each worker warms its own thread-local workspace on
-    // case i, then samples *its own* allocation counter around a repeat
-    // of that exact solve — ThreadAllocSample cannot absorb a
-    // neighbour's traffic the way a process-wide sample would, so the
-    // count is exact and the gate stays the strict zero of the serial
-    // pass. Runs regardless of --jobs (it is its own fixed-width pass).
-    {
-      std::vector<long long> parity_allocs(cases.size(), 0);
-      parallel_for_indexed(cases.size(), 8, policy, [&](std::size_t i) {
-        solve_case(i, kernel_options);  // warm this worker's workspace
-        const bench::ThreadAllocSample sample;
-        solve_case(i, kernel_options);
-        parity_allocs[i] = static_cast<long long>(sample.delta());
-      });
-      report.steady_allocs_jobs8 =
-          parity_allocs.empty()
-              ? 0
-              : *std::max_element(parity_allocs.begin(), parity_allocs.end());
-      if (report.steady_allocs_jobs8 != 0) alloc_parity_clean = false;
-    }
-
-    report.mean_us_per_solve =
-        report.solves == 0 ? 0
-                           : total_s / static_cast<double>(report.solves) * 1e6;
-    report.labels_per_sec =
-        total_s == 0 ? 0 : static_cast<double>(labels_created) / total_s;
-    report.labels_per_solve =
-        report.solves == 0
-            ? 0
-            : static_cast<double>(labels_created) /
-                  static_cast<double>(report.solves);
-    report.prune_ratio =
-        labels_created == 0
-            ? 0
-            : static_cast<double>(labels_pruned) /
-                  static_cast<double>(labels_created);
+    measure_config(
+        report, cases.size(), repeats, jobs, policy,
+        [&](std::size_t i, bool full) {
+          dp::ChainDpOptions options;
+          options.mode = dp::Mode::kMinPower;
+          options.reconstruct_solutions = full;
+          options.timing_target_fs = cases[i].tau_t_fs;
+          return dp::run_chain_dp(*cases[i].net, tech.device(), library,
+                                  *cases[i].candidates, options).stats;
+        },
+        steady_state_clean, alloc_parity_clean);
     reports.push_back(report);
+    print_report(report);
+  }
 
-    std::cout << "  " << cfg.name << ": " << report.solves << " solves, "
-              << fmt_f(report.mean_us_per_solve, 1) << " us/solve, "
-              << fmt_f(report.labels_per_sec / 1e6, 2) << " Mlabels/s, "
-              << fmt_f(report.labels_per_solve, 0) << " labels/solve, "
-              << "prune " << fmt_f(report.prune_ratio * 100, 1) << "%, "
-              << "peak " << report.labels_peak << " labels / "
-              << report.arena_peak << " arena";
-    if (report.steady_allocs_per_solve >= 0) {
-      std::cout << ", steady allocs/solve " << report.steady_allocs_per_solve
-                << ", full-solve allocs "
-                << fmt_f(report.full_solve_allocs, 1);
+  // ---- Tree kernel configurations. Same harness, same gates: the SoA
+  // tree kernel must be as allocation-clean as the chain kernel.
+  const std::vector<TreeKernelConfig> tree_configs = {
+      {"tree-s6-c3-g40-lib10", 6, 3, 40.0, 40.0, 10},
+      {"tree-s10-c4-g40-lib10", 10, 4, 40.0, 40.0, 10},
+      {"tree-s6-c3-g80-lib5", 6, 3, 80.0, 80.0, 5},
+  };
+  const double tree_driver_width_u = 120.0;
+
+  for (const TreeKernelConfig& cfg : tree_configs) {
+    const dp::RepeaterLibrary library = dp::RepeaterLibrary::uniform(
+        cfg.min_width_u, cfg.granularity_u, cfg.library_size);
+
+    // Random trees off a fixed seed (outside the measured region), metal4
+    // RC like bench_tree; targets are factors of each tree's min-delay.
+    dp::RandomTreeConfig tree_config;
+    tree_config.sink_count = cfg.sink_count;
+    tree_config.candidates_per_edge = cfg.candidates_per_edge;
+    tree_config.edge_length_min_um = 1200.0;
+    tree_config.edge_length_max_um = 3000.0;
+    tree_config.r_ohm_per_um = tech.layer("metal4").r_ohm_per_um;
+    tree_config.c_ff_per_um = tech.layer("metal4").c_ff_per_um;
+    Rng rng(2005);
+    std::vector<dp::BufferTree> trees;
+    trees.reserve(static_cast<std::size_t>(nets));
+    for (int t = 0; t < nets; ++t)
+      trees.push_back(dp::random_buffer_tree(tree_config, rng));
+
+    std::vector<double> min_delay_fs(trees.size());
+    parallel_for_indexed(trees.size(), jobs, policy, [&](std::size_t i) {
+      dp::ChainDpOptions delay_mode;
+      delay_mode.mode = dp::Mode::kMinDelay;
+      delay_mode.reconstruct_solutions = false;
+      min_delay_fs[i] = dp::run_tree_dp(trees[i], tech.device(),
+                                        tree_driver_width_u, library,
+                                        delay_mode).delay_fs;
+    });
+
+    std::vector<TreeCaseRef> cases;
+    const auto flat = eval::shard_case_indices(
+        trees.size() * static_cast<std::size_t>(targets), shard.index,
+        shard.count);
+    cases.reserve(flat.size());
+    for (const std::size_t k : flat) {
+      const std::size_t ti = k / static_cast<std::size_t>(targets);
+      const auto tgt = static_cast<int>(k % static_cast<std::size_t>(targets));
+      const double factor =
+          1.1 + 0.9 * tgt / std::max(1, targets - 1);
+      cases.push_back(TreeCaseRef{&trees[ti], factor * min_delay_fs[ti]});
     }
-    std::cout << ", jobs8 allocs " << report.steady_allocs_jobs8 << "\n";
+
+    ConfigReport report;
+    report.config = KernelConfig{cfg.name, cfg.min_width_u, cfg.granularity_u,
+                                 cfg.library_size, 0.0};
+    measure_config(
+        report, cases.size(), repeats, jobs, policy,
+        [&](std::size_t i, bool full) {
+          dp::ChainDpOptions options;
+          options.mode = dp::Mode::kMinPower;
+          options.reconstruct_solutions = full;
+          options.timing_target_fs = cases[i].tau_t_fs;
+          return dp::run_tree_dp(*cases[i].tree, tech.device(),
+                                 tree_driver_width_u, library, options).stats;
+        },
+        steady_state_clean, alloc_parity_clean);
+    reports.push_back(report);
+    print_report(report);
   }
 
   std::cout << "process heap: " << bench::alloc_count() << " allocations, "

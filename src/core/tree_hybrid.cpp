@@ -50,6 +50,11 @@ TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
   const dp::RepeaterLibrary fine_library = dp::RepeaterLibrary::range(
       options.fine_min_width_u, options.fine_max_width_u,
       options.fine_granularity_u);
+  // Each trial differs from the incumbent in exactly one node, so the
+  // descent edits that entry in place and reverts on rejection — no
+  // per-trial copy of the solution vector, keeping the whole descent
+  // allocation-free on a warm workspace (tree_delay_fs reuses the
+  // workspace's bottom-up sweep arrays).
   dp::TreeSolution greedy = result.coarse.solution;
   for (int round = 0; round < options.max_greedy_rounds; ++round) {
     bool improved = false;
@@ -58,26 +63,26 @@ TreeHybridResult tree_hybrid_insert(const dp::BufferTree& tree,
       if (current <= 0) continue;
       // Try removal first, then ascending fine widths below the current
       // one; take the cheapest feasible option.
-      dp::TreeSolution trial = greedy;
-      trial.width_u[node] = 0;
-      if (dp::tree_delay_fs(tree, device, driver_width_u, trial,
+      greedy.width_u[node] = 0;
+      if (dp::tree_delay_fs(tree, device, driver_width_u, greedy,
                             workspace) <= tau_t_fs) {
-        greedy = trial;
         improved = true;
         ++result.greedy_moves;
         continue;
       }
+      bool shrunk = false;
       for (const double w : fine_library.widths_u()) {
         if (w >= current) break;
-        trial.width_u[node] = w;
-        if (dp::tree_delay_fs(tree, device, driver_width_u, trial,
+        greedy.width_u[node] = w;
+        if (dp::tree_delay_fs(tree, device, driver_width_u, greedy,
                               workspace) <= tau_t_fs) {
-          greedy = trial;
           improved = true;
           ++result.greedy_moves;
+          shrunk = true;
           break;
         }
       }
+      if (!shrunk) greedy.width_u[node] = current;
     }
     if (!improved) break;
   }

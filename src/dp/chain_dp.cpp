@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "dp/kernel_ops.hpp"
 #include "dp/pareto.hpp"
 #include "dp/workspace.hpp"
 #include "util/error.hpp"
@@ -14,149 +15,19 @@ namespace rip::dp {
 
 namespace {
 
-/// The allowed list used when the backend forbids repeater insertion
-/// (tech::ChainCost::allow_repeaters == false): every candidate expands
-/// zero buffer groups, so the sweep degenerates to pure wire
-/// propagation of the seed label.
-const std::vector<std::int16_t> kNoBuffers;
+using kernel::expand_candidate;
+using kernel::identity_cost_table;
+using kernel::interval_affine;
+using kernel::kNoBuffers;
+using kernel::propagate_frontier;
 
 /// Resolve the active backend's per-net cost coefficients (identity when
-/// no backend is set). Coefficients must be non-negative: a negative
-/// width weight would break the kernel's monotone group ordering.
+/// no backend is set), validated by the shared checker.
 tech::ChainCost resolve_cost(const net::Net& net,
                              const ChainDpOptions& options) {
-  if (options.backend == nullptr) return tech::ChainCost{};
-  const tech::ChainCost cost = options.backend->chain_cost(tech::NetProfile{
-      net.name(), net.total_length_um(), net.total_capacitance_ff()});
-  RIP_REQUIRE(cost.width_weight >= 0 && cost.per_repeater >= 0,
-              "objective backend produced negative cost coefficients");
-  RIP_REQUIRE(cost.receiver_penalty_fs >= 0,
-              "objective backend produced a negative receiver penalty");
-  return cost;
-}
-
-/// True when the label arrays' third dimension is plain total width —
-/// the paper's objective. (Narrower than ChainCost::is_identity(): the
-/// receiver penalty and the allow flag shift q / restrict insertion but
-/// do not reshape the accumulated value.)
-bool identity_cost_table(const tech::ChainCost& cost) {
-  return cost.width_weight == 1.0 && cost.per_repeater == 0.0;
-}
-
-/// Affine coefficients of wire propagation across one candidate interval.
-/// Carrying a label upstream over the interval's pieces applies, piece by
-/// piece, q -= r*(C + c/2); C += c. Composed over the whole interval that
-/// is exactly
-///   q -= R_tot * C + K;   C += C_tot
-/// with K = sum_k r_k * (c_0 + ... + c_{k-1} + 0.5*c_k) over pieces
-/// ordered downstream->upstream. The coefficients depend only on the
-/// interval, so they are computed once and applied to every alive label —
-/// two fused multiply-adds per label instead of a loop over pieces.
-struct WireAffine {
-  double r_tot = 0;  ///< total interval resistance [Ohm]
-  double c_tot = 0;  ///< total interval capacitance [fF]
-  double k = 0;      ///< label-independent Elmore term [fs]
-};
-
-WireAffine interval_affine(const std::vector<net::WirePiece>& pieces) {
-  WireAffine a;
-  // pieces are ordered upstream->downstream; accumulate from the
-  // downstream end, mirroring the label's traversal order.
-  for (auto it = pieces.rbegin(); it != pieces.rend(); ++it) {
-    const double r = it->r_ohm_per_um * it->length_um;
-    const double c = it->c_ff_per_um * it->length_um;
-    a.k += r * (a.c_tot + 0.5 * c);
-    a.r_tot += r;
-    a.c_tot += c;
-  }
-  return a;
-}
-
-/// Apply the interval map to the whole frontier (contiguous SoA arrays).
-void propagate_frontier(ChainFrontier& front, const WireAffine& wire) {
-  if (wire.r_tot == 0 && wire.c_tot == 0) return;
-  double* cap = front.cap_ff.data();
-  double* q = front.q_fs.data();
-  const std::size_t n = front.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    q[i] -= wire.r_tot * cap[i] + wire.k;
-    cap[i] += wire.c_tot;
-  }
-}
-
-/// Build the buffer-insertion labels of one candidate into ws.expanded,
-/// already dominance-filtered *within* each buffer group and ordered so
-/// that ws.expanded is sorted by (C asc, q desc, w asc).
-///
-/// The structural shortcut the whole kernel leans on: every label of
-/// group b shares the same downstream capacitance (the buffer's input
-/// load co*w_b), and the allowed buffer list is width-ascending, so the
-/// groups concatenate into a sorted run without any global sort. Within
-/// a group, equal C reduces dominance to the (q, w) staircase: sort the
-/// group (24-byte entries, cache-resident) by (q desc, w asc) and keep
-/// the strictly-falling-width prefix sweep. In delay mode (no width
-/// dimension) the staircase collapses to the single max-q label, found
-/// by a linear scan — no sort at all.
-void expand_candidate(Workspace& ws, const ChainFrontier& front,
-                      const std::vector<std::int16_t>& allowed,
-                      const std::vector<double>& cost_u, double intrinsic_fs,
-                      bool use_width) {
-  const std::size_t fn = front.size();
-  ws.expanded.clear();
-  // Lower-bound reserve only: the retained workspace capacity converges
-  // to the true survivor watermark after warm-up, which is far below
-  // the fn * |allowed| worst case — reserving that would pin megabytes
-  // of never-used arena per thread.
-  ws.expanded.reserve(fn + allowed.size());
-  const double* cap = front.cap_ff.data();
-  const double* q = front.q_fs.data();
-  const double* w = front.width_u.data();
-  for (const std::int16_t b : allowed) {
-    const auto bi = static_cast<std::size_t>(b);
-    const double load = ws.lib_load_ff[bi];
-    const double rs_over_w = ws.lib_rs_over_w[bi];
-    const double wb = cost_u[bi];
-    if (!use_width) {
-      // Delay mode: only the group's best q can survive (ties: the
-      // smallest width, matching the (q desc, w asc) sort order).
-      double best_q = -std::numeric_limits<double>::infinity();
-      double best_w = std::numeric_limits<double>::infinity();
-      std::int32_t best_i = -1;
-      for (std::size_t i = 0; i < fn; ++i) {
-        const double up_q = q[i] - (intrinsic_fs + rs_over_w * cap[i]);
-        const double up_w = w[i] + wb;
-        if (up_q > best_q || (up_q == best_q && up_w < best_w)) {
-          best_q = up_q;
-          best_w = up_w;
-          best_i = static_cast<std::int32_t>(i);
-        }
-      }
-      ws.expanded.push_back(ExpandLabel{load, best_q, best_w, best_i, b});
-      continue;
-    }
-    ws.group.clear();
-    ws.group.reserve(fn);
-    for (std::size_t i = 0; i < fn; ++i) {
-      ws.group.push_back(
-          GroupEntry{q[i] - (intrinsic_fs + rs_over_w * cap[i]), w[i] + wb,
-                     static_cast<std::int32_t>(i)});
-    }
-    std::sort(ws.group.begin(), ws.group.end(),
-              [](const GroupEntry& a, const GroupEntry& c) {
-                if (a.q_fs != c.q_fs) return a.q_fs > c.q_fs;
-                return a.width_u < c.width_u;
-              });
-    // Sweeping q descending, a label survives the group staircase iff
-    // its width strictly undercuts everything seen.
-    double min_w = std::numeric_limits<double>::infinity();
-    for (const GroupEntry& e : ws.group) {
-      if (e.width_u < min_w) {
-        min_w = e.width_u;
-        ws.expanded.push_back(
-            ExpandLabel{load, e.q_fs, e.width_u, e.origin, b});
-      }
-    }
-  }
+  return kernel::checked_chain_cost(
+      options.backend, tech::NetProfile{net.name(), net.total_length_um(),
+                                        net.total_capacitance_ff()});
 }
 
 /// Read-only view over a finished (post-driver) frontier plus its
@@ -283,14 +154,10 @@ SweepCursor seed_sweep(const net::Net& net, const tech::RepeaterDevice& device,
   ws.a_buffer.clear();
 
   // Seed at the receiver: C = C_o * w_r; q = 0 (target-relative) minus
-  // any backend receiver penalty; p = 0. The zero guard keeps the seed
-  // at +0.0 on the default path (-0.0 would survive to the final slack
-  // and print as "-0.000"). The seed has no arena entry (node -1
-  // terminates reconstruction).
-  const double seed_q = cost.receiver_penalty_fs == 0.0
-                            ? 0.0
-                            : -cost.receiver_penalty_fs;
-  cur.front->push(device.co_ff * net.receiver_width_u(), seed_q, 0.0, 0, -1);
+  // any backend receiver penalty (kernel::seed_q_fs); p = 0. The seed
+  // has no arena entry (node -1 terminates reconstruction).
+  cur.front->push(device.co_ff * net.receiver_width_u(),
+                  kernel::seed_q_fs(cost), 0.0, 0, -1);
   ++stats.labels_created;
   return cur;
 }

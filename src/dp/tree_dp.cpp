@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "dp/kernel_ops.hpp"
 #include "dp/pareto.hpp"
 #include "dp/workspace.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace rip::dp {
 
@@ -50,55 +53,295 @@ std::size_t TreeSolution::repeater_count() const {
 
 namespace {
 
-Label to_flat(const TreeLabel& t) {
-  Label l;
-  l.cap_ff = t.cap_ff;
-  l.q_fs = t.q_fs;
-  l.width_u = t.width_u;
-  return l;
+/// Append one reconstruction-arena entry and return its index. Buffer
+/// entries carry (left = downstream label's arena index, node, buffer);
+/// junction entries carry (left, right) and node/buffer -1.
+std::int32_t arena_push(Workspace& ws, std::int32_t left, std::int32_t right,
+                        std::int32_t node, std::int16_t buffer) {
+  ws.tree_a_left.push_back(left);
+  ws.tree_a_right.push_back(right);
+  ws.tree_a_node.push_back(node);
+  ws.tree_a_buffer.push_back(buffer);
+  return static_cast<std::int32_t>(ws.tree_a_left.size() - 1);
 }
 
-/// Prune a set of tree labels via the flat-label pruner, compacting the
-/// survivors through the workspace's kept buffer (capacity reused).
-/// Returns how many labels were pruned away.
-std::size_t prune_tree_labels(std::vector<TreeLabel>& labels, bool use_width,
-                              Workspace& ws) {
-  if (labels.size() <= 1) return 0;
-  const std::size_t before = labels.size();
-  ws.tree_flat.clear();
-  ws.tree_flat.reserve(labels.size());
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    Label f = to_flat(labels[i]);
-    f.parent = static_cast<std::int32_t>(i);  // remember origin
-    ws.tree_flat.push_back(f);
+/// Copy one frontier's contents into another, preserving the
+/// destination's vector capacities (assign never shrinks capacity, so
+/// once a slot has served its role it stays allocation-free). The
+/// kernel copies merge results from the scratch back into the role's
+/// pool slot instead of swapping, so capacities never migrate between
+/// slots — see the tree pool comment in workspace.hpp.
+void copy_frontier(ChainFrontier& dst, const ChainFrontier& src) {
+  dst.cap_ff.assign(src.cap_ff.begin(), src.cap_ff.end());
+  dst.q_fs.assign(src.q_fs.begin(), src.q_fs.end());
+  dst.width_u.assign(src.width_u.begin(), src.width_u.end());
+  dst.count.assign(src.count.begin(), src.count.end());
+  dst.node.assign(src.node.begin(), src.node.end());
+}
+
+/// Merge two branch frontiers at a junction, both sorted by
+/// (C asc, q desc, w asc), leaving the merged frontier in `a` (and `b`
+/// cleared). The cross product (C adds, q takes the min, w adds) is
+/// never materialized: with rows keyed by the smaller side, row i
+/// (label i crossed with every label of the larger, C-ascending side)
+/// is itself a stream sorted by (C asc, q desc), so a binary heap of
+/// row cursors pops the n*m pairs in frontier order and each pair is
+/// dominance-tested on the spot. Exact (C, q) ties pop consecutively
+/// and are buffered so only the min-width (then min-index)
+/// representative reaches the staircase — the single survivor a full
+/// sort-and-sweep would keep.
+///
+/// One deliberate approximation: when two *different* column caps round
+/// to the same summed C, a row stream's q-monotonicity can break within
+/// that bitwise-equal-C run, so a pop there may arrive after a
+/// lower-q sibling and survive despite being dominated by it. The
+/// staircase only ever rejects genuinely dominated labels (everything
+/// inserted has <= C, >= q, <= w), so no non-dominated label is ever
+/// lost — the frontier just keeps a stray dominated label on such
+/// rounding collisions, which the next junction or candidate sweep
+/// filters. The tree-oracle battery pins optimality either way.
+///
+/// A reconstruction-arena join entry is appended only for survivors
+/// whose *both* sides carry downstream repeaters; otherwise the merged
+/// label simply inherits the non-empty side's arena index.
+void merge_junction(Workspace& ws, ChainFrontier& a, ChainFrontier& b,
+                    bool power_mode, DpStats& stats) {
+  const bool a_rows = a.size() <= b.size();
+  const ChainFrontier& ra = a_rows ? a : b;  // row side (heap of |ra| rows)
+  const ChainFrontier& rb = a_rows ? b : a;  // column side, walked per row
+  const std::size_t n = ra.size();
+  const std::size_t m = rb.size();
+  ws.tree_rowpos.assign(n, 0);
+  ws.tree_pair_cap.resize(n);
+  ws.tree_pair_q.resize(n);
+  ws.tree_order.resize(n);
+  const double* __restrict rac = ra.cap_ff.data();
+  const double* __restrict raq = ra.q_fs.data();
+  const double* __restrict raw = ra.width_u.data();
+  const double* __restrict rbc = rb.cap_ff.data();
+  const double* __restrict rbq = rb.q_fs.data();
+  const double* __restrict rbw = rb.width_u.data();
+  double* __restrict kc = ws.tree_pair_cap.data();
+  double* __restrict kq = ws.tree_pair_q.data();
+  std::int32_t* __restrict pos = ws.tree_rowpos.data();
+  std::int32_t* heap = ws.tree_order.data();
+  RIP_SIMD_LOOP
+  for (std::size_t i = 0; i < n; ++i) {
+    kc[i] = rac[i] + rbc[0];
+    kq[i] = std::min(raq[i], rbq[0]);
   }
-  prune_dominated(ws.tree_flat, use_width, ws.frontier);
-  ws.tree_kept.clear();
-  ws.tree_kept.reserve(ws.tree_flat.size());
-  for (const Label& f : ws.tree_flat)
-    ws.tree_kept.push_back(labels[static_cast<std::size_t>(f.parent)]);
-  labels.swap(ws.tree_kept);
-  return before - labels.size();
+  for (std::size_t i = 0; i < n; ++i)
+    heap[i] = static_cast<std::int32_t>(i);
+
+  // Min-heap on each row's cached current key, frontier order (C asc,
+  // q desc); the row index breaks exact ties deterministically (the
+  // pending-cluster buffer below resolves them value-wise).
+  const auto row_before = [&](std::int32_t x, std::int32_t y) {
+    const auto xi = static_cast<std::size_t>(x);
+    const auto yi = static_cast<std::size_t>(y);
+    if (kc[xi] != kc[yi]) return kc[xi] < kc[yi];
+    if (kq[xi] != kq[yi]) return kq[xi] > kq[yi];
+    return x < y;
+  };
+  const auto sift_down = [&](std::size_t hn, std::size_t at) {
+    const std::int32_t v = heap[at];
+    while (true) {
+      std::size_t kid = 2 * at + 1;
+      if (kid >= hn) break;
+      if (kid + 1 < hn && row_before(heap[kid + 1], heap[kid])) ++kid;
+      if (!row_before(heap[kid], v)) break;
+      heap[at] = heap[kid];
+      at = kid;
+    }
+    heap[at] = v;
+  };
+  for (std::size_t at = n / 2; at-- > 0;) sift_down(n, at);
+
+  ChainFrontier& out = ws.tree_scratch;
+  out.clear();
+  out.reserve(std::max(n, m));
+  ws.frontier.clear();
+  double best_q = -std::numeric_limits<double>::infinity();
+
+  // Pending (C, q) cluster: its min-width representative, with row/col
+  // provenance. Flushed to the staircase when the next distinct key
+  // pops (all pairs of an exact key pop consecutively).
+  bool have_pend = false;
+  double pend_c = 0;
+  double pend_q = 0;
+  double pend_w = 0;
+  std::int64_t pend_k = 0;
+  std::size_t pend_i = 0;
+  std::size_t pend_j = 0;
+  const auto flush = [&] {
+    const bool survives =
+        power_mode ? ws.frontier.try_insert(pend_q, pend_w) : pend_q > best_q;
+    if (!survives) return;
+    best_q = pend_q;
+    const std::size_t ia = a_rows ? pend_i : pend_j;
+    const std::size_t ib = a_rows ? pend_j : pend_i;
+    const std::int32_t la = a.node[ia];
+    const std::int32_t lb = b.node[ib];
+    const std::int32_t idx = la < 0   ? lb
+                             : lb < 0 ? la
+                                      : arena_push(ws, la, lb, -1, -1);
+    out.push(pend_c, pend_q, pend_w,
+             static_cast<std::int16_t>(a.count[ia] + b.count[ib]), idx);
+  };
+
+  std::size_t hn = n;
+  while (hn > 0) {
+    const std::int32_t i = heap[0];
+    const auto ii = static_cast<std::size_t>(i);
+    const auto j = static_cast<std::size_t>(pos[ii]);
+    const double c = kc[ii];
+    const double q = kq[ii];
+    const double w = raw[ii] + rbw[j];
+    const auto k = static_cast<std::int64_t>(ii) *
+                       static_cast<std::int64_t>(m) +
+                   static_cast<std::int64_t>(j);
+    if (have_pend && c == pend_c && q == pend_q) {
+      if (w < pend_w || (w == pend_w && k < pend_k)) {
+        pend_w = w;
+        pend_k = k;
+        pend_i = ii;
+        pend_j = j;
+      }
+    } else {
+      if (have_pend) flush();
+      pend_c = c;
+      pend_q = q;
+      pend_w = w;
+      pend_k = k;
+      pend_i = ii;
+      pend_j = j;
+      have_pend = true;
+    }
+    const std::size_t jn = j + 1;
+    if (jn < m) {
+      pos[ii] = static_cast<std::int32_t>(jn);
+      kc[ii] = rac[ii] + rbc[jn];
+      kq[ii] = std::min(raq[ii], rbq[jn]);
+      sift_down(hn, 0);
+    } else {
+      heap[0] = heap[--hn];
+      if (hn > 0) sift_down(hn, 0);
+    }
+  }
+  if (have_pend) flush();
+
+  stats.labels_created += n * m;
+  stats.labels_pruned += n * m - out.size();
+  copy_frontier(a, out);
+  b.clear();
 }
 
-void collect_buffers(const std::vector<TreeLabel>& arena, std::int32_t idx,
+/// The candidate step's merge: sweep the pass-through run (the frontier
+/// itself) and the expansion run (ws.expanded, built by
+/// kernel::expand_candidate) in their combined sorted order through the
+/// dominance staircase, materializing survivors into the scratch
+/// frontier which is then swapped into `front`. Identical arithmetic
+/// and tie rules to the chain kernel's merge (exact ties take the
+/// pass-through); only the arena shape differs.
+void merge_expanded(Workspace& ws, ChainFrontier& front, std::int32_t ni,
+                    bool power_mode) {
+  ChainFrontier& back = ws.tree_scratch;
+  const std::size_t fn = front.size();
+  const std::size_t gn = ws.expanded.size();
+  back.clear();
+  back.reserve(fn + gn);
+  ws.frontier.clear();
+  double best_q = -std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < fn || j < gn) {
+    bool from_front;
+    if (j >= gn) {
+      from_front = true;
+    } else if (i >= fn) {
+      from_front = false;
+    } else {
+      // (C asc, q desc, w asc); exact ties take the pass-through.
+      const ExpandLabel& g = ws.expanded[j];
+      if (front.cap_ff[i] != g.cap_ff) {
+        from_front = front.cap_ff[i] < g.cap_ff;
+      } else if (front.q_fs[i] != g.q_fs) {
+        from_front = front.q_fs[i] > g.q_fs;
+      } else {
+        from_front = front.width_u[i] <= g.width_u;
+      }
+    }
+    if (from_front) {
+      const double q = front.q_fs[i];
+      const double w = front.width_u[i];
+      const bool survives =
+          power_mode ? ws.frontier.try_insert(q, w) : q > best_q;
+      if (survives) {
+        best_q = q;
+        back.push(front.cap_ff[i], q, w, front.count[i], front.node[i]);
+      }
+      ++i;
+    } else {
+      const ExpandLabel& g = ws.expanded[j];
+      const bool survives =
+          power_mode ? ws.frontier.try_insert(g.q_fs, g.width_u)
+                     : g.q_fs > best_q;
+      if (survives) {
+        best_q = g.q_fs;
+        const auto origin = static_cast<std::size_t>(g.origin);
+        const std::int32_t idx =
+            arena_push(ws, front.node[origin], -1, ni, g.buffer);
+        back.push(g.cap_ff, g.q_fs, g.width_u,
+                  static_cast<std::int16_t>(front.count[origin] + 1), idx);
+      }
+      ++j;
+    }
+  }
+  copy_frontier(front, back);
+}
+
+/// Iterative DFS over the survivor arena DAG: record each buffer
+/// entry's width at its node.
+void collect_buffers(const Workspace& ws, std::int32_t idx,
                      TreeSolution& solution, const RepeaterLibrary& library,
                      std::vector<std::int32_t>& stack) {
-  // Iterative DFS over the label DAG.
   stack.clear();
-  stack.push_back(idx);
+  if (idx >= 0) stack.push_back(idx);
   while (!stack.empty()) {
-    const std::int32_t cur = stack.back();
+    const auto cur = static_cast<std::size_t>(stack.back());
     stack.pop_back();
-    if (cur < 0) continue;
-    const TreeLabel& l = arena[static_cast<std::size_t>(cur)];
-    if (l.buffer >= 0) {
-      solution.width_u[static_cast<std::size_t>(l.node)] =
-          library.widths_u()[static_cast<std::size_t>(l.buffer)];
+    if (ws.tree_a_buffer[cur] >= 0) {
+      solution.width_u[static_cast<std::size_t>(ws.tree_a_node[cur])] =
+          library.widths_u()[static_cast<std::size_t>(ws.tree_a_buffer[cur])];
     }
-    stack.push_back(l.left);
-    stack.push_back(l.right);
+    if (ws.tree_a_right[cur] >= 0) stack.push_back(ws.tree_a_right[cur]);
+    if (ws.tree_a_left[cur] >= 0) stack.push_back(ws.tree_a_left[cur]);
   }
+}
+
+/// Physical total width of a label, re-summed from its arena DAG in
+/// upstream-before-downstream order — on a path-shaped tree this is the
+/// exact summation order of the chain kernel's arena walk, so the two
+/// kernels agree bit for bit. Only the non-identity objectives use
+/// this: on the identity path the label's accumulated value IS the
+/// total width.
+double arena_total_width(Workspace& ws, std::int32_t idx,
+                         const RepeaterLibrary& library) {
+  double w = 0;
+  auto& stack = ws.tree_stack;
+  stack.clear();
+  if (idx >= 0) stack.push_back(idx);
+  while (!stack.empty()) {
+    const auto cur = static_cast<std::size_t>(stack.back());
+    stack.pop_back();
+    if (ws.tree_a_buffer[cur] >= 0) {
+      w += library.widths_u()[static_cast<std::size_t>(
+          ws.tree_a_buffer[cur])];
+    }
+    if (ws.tree_a_right[cur] >= 0) stack.push_back(ws.tree_a_right[cur]);
+    if (ws.tree_a_left[cur] >= 0) stack.push_back(ws.tree_a_left[cur]);
+  }
+  return w;
 }
 
 }  // namespace
@@ -130,6 +373,8 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
     RIP_REQUIRE(options.allowed_buffers->size() == nodes.size(),
                 "allowed_buffers must parallel the tree nodes");
     for (const auto& allowed : *options.allowed_buffers) {
+      RIP_REQUIRE(std::is_sorted(allowed.begin(), allowed.end()),
+                  "allowed_buffers lists must be sorted ascending");
       for (const auto b : allowed) {
         RIP_REQUIRE(b >= 0 && static_cast<std::size_t>(b) < library.size(),
                     "allowed buffer index out of library range");
@@ -147,14 +392,9 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
       profile.wire_cap_ff += node.edge_c_ff;
       if (node.is_sink) profile.wire_cap_ff += node.sink_cap_ff;
     }
-    cost = options.backend->chain_cost(profile);
-    RIP_REQUIRE(cost.width_weight >= 0 && cost.per_repeater >= 0,
-                "objective backend produced negative cost coefficients");
-    RIP_REQUIRE(cost.receiver_penalty_fs >= 0,
-                "objective backend produced a negative receiver penalty");
+    cost = kernel::checked_chain_cost(options.backend, profile);
   }
-  const bool identity =
-      cost.width_weight == 1.0 && cost.per_repeater == 0.0;
+  const bool identity = kernel::identity_cost_table(cost);
 
   // Per-solve precompute, shared with the chain kernel: input loads,
   // driving resistances, and objective costs per library width, plus the
@@ -170,195 +410,176 @@ TreeDpResult run_tree_dp(const BufferTree& tree,
   result.stats.positions = nodes.size();
   result.stats.workspace_reuses = ws.stats_.solves();
 
-  ws.tree_arena.clear();
-  // The per-node label pool: vectors keep their capacity across solves
-  // and circulate between slots by swap, so a steady-state solve of the
-  // same topology reuses every buffer.
-  ws.tree_node_labels.resize(nodes.size());
-  auto& arena = ws.tree_arena;
-  auto& node_labels = ws.tree_node_labels;
+  // Grow-only frontier pool (a shrinking resize would destroy pooled
+  // capacity), the node -> slot map, and a fresh reconstruction arena.
+  if (ws.tree_frontiers.size() < nodes.size())
+    ws.tree_frontiers.resize(nodes.size());
+  ws.tree_slot.resize(nodes.size());
+  ws.tree_a_left.clear();
+  ws.tree_a_right.clear();
+  ws.tree_a_node.clear();
+  ws.tree_a_buffer.clear();
+
+  const double seed_q = kernel::seed_q_fs(cost);
 
   // Children have larger indices than parents (enforced by add_node), so
-  // a reverse index sweep is a bottom-up traversal.
+  // a reverse index sweep is a bottom-up traversal. Each node's alive
+  // set lives in its pool slot, sorted by (C asc, q desc, w asc)
+  // throughout — junction merges, candidate expansion, and wire
+  // propagation all preserve the invariant, exactly like the chain
+  // sweep.
   for (std::size_t ni = nodes.size(); ni-- > 0;) {
     const auto& node = nodes[ni];
     const auto& kids = tree.children()[ni];
-    std::vector<TreeLabel>& labels = node_labels[ni];
-    labels.clear();
+    // The subtree frontier lives in the slot of its leftmost descendant
+    // leaf — it follows the first child up without ever moving, and the
+    // physical buffer serving each node is a pure function of the
+    // topology (no capacity migration between solves).
+    const std::int32_t slot =
+        kids.empty() ? static_cast<std::int32_t>(ni)
+                     : ws.tree_slot[static_cast<std::size_t>(kids[0])];
+    ws.tree_slot[ni] = slot;
+    ChainFrontier& front = ws.tree_frontiers[static_cast<std::size_t>(slot)];
 
     if (kids.empty()) {
       RIP_REQUIRE(node.is_sink, "leaf node is not a sink");
-      TreeLabel seed;
-      seed.cap_ff = node.sink_cap_ff;
-      seed.q_fs = power_mode ? options.timing_target_fs : 0.0;
-      // Backend receiver penalty, charged once per sink (e.g. a sense
-      // amp at every leaf). Guarded so the default path keeps +0.0.
-      if (cost.receiver_penalty_fs != 0.0) {
-        seed.q_fs -= cost.receiver_penalty_fs;
-      }
-      labels.push_back(seed);
+      // Seed at the sink, target-relative like the chain's receiver
+      // seed: q = 0 minus any backend receiver penalty, charged once
+      // per sink (e.g. a sense amp at every leaf).
+      front.clear();
+      front.push(node.sink_cap_ff, seed_q, 0.0, 0, -1);
       ++result.stats.labels_created;
     } else {
       // Merge children branch sets: C adds, q takes the min, p adds.
-      labels.swap(node_labels[static_cast<std::size_t>(kids[0])]);
+      // The first child's frontier is already in place (same slot);
+      // every further child staircase-merges into it.
       for (std::size_t k = 1; k < kids.size(); ++k) {
-        auto& other = node_labels[static_cast<std::size_t>(kids[k])];
-        // Materialize the operands in the arena once, so merged labels
-        // can reference them for reconstruction.
-        ws.tree_aidx.clear();
-        ws.tree_bidx.clear();
-        ws.tree_aidx.reserve(labels.size());
-        ws.tree_bidx.reserve(other.size());
-        for (const TreeLabel& a : labels) {
-          arena.push_back(a);
-          ws.tree_aidx.push_back(static_cast<std::int32_t>(arena.size() - 1));
-        }
-        for (const TreeLabel& b : other) {
-          arena.push_back(b);
-          ws.tree_bidx.push_back(static_cast<std::int32_t>(arena.size() - 1));
-        }
-        ws.tree_build.clear();
-        ws.tree_build.reserve(labels.size() * other.size());
-        for (std::size_t i = 0; i < labels.size(); ++i) {
-          for (std::size_t j = 0; j < other.size(); ++j) {
-            const TreeLabel& a = labels[i];
-            const TreeLabel& b = other[j];
-            TreeLabel m;
-            m.cap_ff = a.cap_ff + b.cap_ff;
-            m.q_fs = std::min(a.q_fs, b.q_fs);
-            m.width_u = a.width_u + b.width_u;
-            m.count = static_cast<std::int16_t>(a.count + b.count);
-            m.left = ws.tree_aidx[i];
-            m.right = ws.tree_bidx[j];
-            ws.tree_build.push_back(m);
-          }
-        }
-        result.stats.labels_created += ws.tree_build.size();
-        result.stats.labels_pruned +=
-            prune_tree_labels(ws.tree_build, power_mode, ws);
-        labels.swap(ws.tree_build);
-        other.clear();
+        merge_junction(
+            ws, front,
+            ws.tree_frontiers[static_cast<std::size_t>(
+                ws.tree_slot[static_cast<std::size_t>(kids[k])])],
+            power_mode, result.stats);
       }
-      // A sink can also be an internal tap: add its pin cap.
+      // A sink can also be an internal tap: add its pin cap (a constant
+      // shift keeps the sort order).
       if (node.is_sink) {
-        for (TreeLabel& l : labels) l.cap_ff += node.sink_cap_ff;
+        double* __restrict cap = front.cap_ff.data();
+        const double pin = node.sink_cap_ff;
+        const std::size_t fn = front.size();
+        RIP_SIMD_LOOP
+        for (std::size_t i = 0; i < fn; ++i) cap[i] += pin;
       }
     }
 
-    // Optional repeater at this node.
+    // Optional repeater at this node: per-group expansion + staircase
+    // merge, shared with the chain kernel's candidate step.
     const std::vector<std::int16_t>& allowed =
-        options.allowed_buffers != nullptr ? (*options.allowed_buffers)[ni]
-                                           : ws.all_buffers;
-    if (node.candidate && cost.allow_repeaters && !allowed.empty()) {
-      const std::size_t base = labels.size();
-      labels.reserve(base * (1 + allowed.size()));
-      for (std::size_t i = 0; i < base; ++i) {
-        const TreeLabel down = labels[i];
-        arena.push_back(down);
-        const auto down_idx = static_cast<std::int32_t>(arena.size() - 1);
-        for (const std::int16_t b : allowed) {
-          const auto bi = static_cast<std::size_t>(b);
-          TreeLabel up;
-          up.cap_ff = ws.lib_load_ff[bi];
-          up.q_fs =
-              down.q_fs - (intrinsic_fs + ws.lib_rs_over_w[bi] * down.cap_ff);
-          up.width_u = down.width_u + ws.lib_cost[bi];
-          up.left = down_idx;
-          up.node = static_cast<std::int32_t>(ni);
-          up.buffer = b;
-          up.count = static_cast<std::int16_t>(down.count + 1);
-          labels.push_back(up);
-        }
-      }
-      result.stats.labels_created += allowed.size() * base;
-      result.stats.labels_pruned += prune_tree_labels(labels, power_mode, ws);
+        !cost.allow_repeaters              ? kernel::kNoBuffers
+        : options.allowed_buffers != nullptr ? (*options.allowed_buffers)[ni]
+                                             : ws.all_buffers;
+    if (node.candidate && !allowed.empty()) {
+      const std::size_t fn = front.size();
+      kernel::expand_candidate(ws, front, allowed, ws.lib_cost, intrinsic_fs,
+                               power_mode);
+      merge_expanded(ws, front, static_cast<std::int32_t>(ni), power_mode);
+      result.stats.labels_created += allowed.size() * fn;
+      result.stats.labels_pruned +=
+          fn * (1 + allowed.size()) - front.size();
     }
 
-    // Traverse the edge to the parent (lumped pi: half the edge cap on
-    // each side contributes r * (C + c/2) to the Elmore delay).
-    if (node.parent >= 0 && (node.edge_r_ohm > 0 || node.edge_c_ff > 0)) {
-      for (TreeLabel& l : labels) {
-        l.q_fs -= node.edge_r_ohm * (l.cap_ff + 0.5 * node.edge_c_ff);
-        l.cap_ff += node.edge_c_ff;
-      }
+    // Traverse the edge to the parent: the same affine interval map as
+    // the chain's wire propagation, over one lumped RC piece.
+    if (node.parent >= 0) {
+      kernel::propagate_frontier(
+          front, kernel::edge_affine(node.edge_r_ohm, node.edge_c_ff));
     }
     result.stats.labels_peak =
-        std::max(result.stats.labels_peak, labels.size());
+        std::max(result.stats.labels_peak, front.size());
   }
 
-  // Driver at the root.
-  auto& root_labels = node_labels[0];
-  RIP_ASSERT(!root_labels.empty(), "tree DP lost all labels");
+  // Driver gate at the root, applied in place: afterwards q_fs[i] holds
+  // the label's target-relative final slack (feasibility at a target is
+  // q_rel + target >= -tol and the realized worst-sink delay is -q_rel).
+  ChainFrontier& root =
+      ws.tree_frontiers[static_cast<std::size_t>(ws.tree_slot[0])];
+  RIP_ASSERT(root.size() > 0, "tree DP lost all labels");
+  {
+    const double driver_rs_over_w = device.rs_ohm / driver_width_u;
+    double* __restrict q = root.q_fs.data();
+    const double* __restrict cap = root.cap_ff.data();
+    const std::size_t rn = root.size();
+    RIP_SIMD_LOOP
+    for (std::size_t i = 0; i < rn; ++i) {
+      q[i] = q[i] - (intrinsic_fs + driver_rs_over_w * cap[i]);
+    }
+  }
+
+  // Selection: feasibility scan, min-cost (power) / max-slack (delay),
+  // with the chain's exact tie order (width, then count, then slack).
   const double target = power_mode ? options.timing_target_fs : 0.0;
-  const TreeLabel* best = nullptr;
-  const TreeLabel* best_delay = nullptr;
+  std::int32_t best = -1;
+  std::int32_t best_delay = -1;
   double best_width = std::numeric_limits<double>::infinity();
   int best_count = 0;
   double best_q = -std::numeric_limits<double>::infinity();
   double best_delay_q = -std::numeric_limits<double>::infinity();
-  const double driver_rs_over_w = device.rs_ohm / driver_width_u;
-  for (const TreeLabel& l : root_labels) {
-    const double q_final =
-        l.q_fs - (intrinsic_fs + driver_rs_over_w * l.cap_ff);
+  for (std::size_t i = 0; i < root.size(); ++i) {
+    const double q_final = root.q_fs[i];
     if (q_final > best_delay_q) {
       best_delay_q = q_final;
-      best_delay = &l;
+      best_delay = static_cast<std::int32_t>(i);
     }
-    if (power_mode && q_final >= -options.slack_tolerance_fs) {
+    if (power_mode && q_final + target >= -options.slack_tolerance_fs) {
       const bool better =
-          l.width_u < best_width ||
-          (l.width_u == best_width &&
-           (l.count < best_count ||
-            (l.count == best_count && q_final > best_q)));
+          root.width_u[i] < best_width ||
+          (root.width_u[i] == best_width &&
+           (root.count[i] < best_count ||
+            (root.count[i] == best_count && q_final > best_q)));
       if (better) {
-        best_width = l.width_u;
-        best_count = l.count;
+        best_width = root.width_u[i];
+        best_count = root.count[i];
         best_q = q_final;
-        best = &l;
+        best = static_cast<std::int32_t>(i);
       }
     }
   }
 
-  result.stats.arena_peak = arena.size();
+  result.stats.arena_peak = ws.tree_a_left.size();
 
-  auto reconstruct = [&](const TreeLabel& l) {
+  auto reconstruct = [&](std::size_t label) {
     TreeSolution s;
     s.width_u.assign(nodes.size(), 0.0);
-    if (l.buffer >= 0) {
-      s.width_u[static_cast<std::size_t>(l.node)] =
-          library.widths_u()[static_cast<std::size_t>(l.buffer)];
-    }
-    collect_buffers(arena, l.left, s, library, ws.tree_stack);
-    collect_buffers(arena, l.right, s, library, ws.tree_stack);
+    collect_buffers(ws, root.node[label], s, library, ws.tree_stack);
     return s;
   };
 
-  result.min_delay_fs = target - best_delay_q;
+  const auto delay_i = static_cast<std::size_t>(best_delay);
+  result.min_delay_fs = -best_delay_q;
   if (options.reconstruct_solutions) {
-    result.min_delay_solution = reconstruct(*best_delay);
+    result.min_delay_solution = reconstruct(delay_i);
   }
   if (power_mode) {
-    if (best != nullptr) {
+    if (best >= 0) {
+      const auto best_i = static_cast<std::size_t>(best);
       result.status = Status::kOptimal;
-      if (options.reconstruct_solutions) result.solution = reconstruct(*best);
-      // Identity objective: the label's accumulated value is the total
-      // width, bit-for-bit. Otherwise re-sum the physical widths from a
-      // reconstruction (summation order differs, which is fine off the
-      // identity path).
+      if (options.reconstruct_solutions) result.solution = reconstruct(best_i);
       result.total_width_u =
-          identity ? best->width_u : reconstruct(*best).total_width_u();
-      result.objective_cost = best->width_u;
-      result.delay_fs = target - best_q;
+          identity ? root.width_u[best_i]
+                   : arena_total_width(ws, root.node[best_i], library);
+      result.objective_cost = root.width_u[best_i];
+      result.delay_fs = -best_q;
     } else {
       result.status = Status::kInfeasible;
       result.delay_fs = result.min_delay_fs;
     }
   } else {
     result.status = Status::kOptimal;
-    if (options.reconstruct_solutions) result.solution = result.min_delay_solution;
-    result.total_width_u = identity ? best_delay->width_u
-                                    : reconstruct(*best_delay).total_width_u();
-    result.objective_cost = best_delay->width_u;
+    if (options.reconstruct_solutions)
+      result.solution = result.min_delay_solution;
+    result.total_width_u =
+        identity ? root.width_u[delay_i]
+                 : arena_total_width(ws, root.node[delay_i], library);
+    result.objective_cost = root.width_u[delay_i];
     result.delay_fs = result.min_delay_fs;
   }
 

@@ -8,6 +8,16 @@
 /// branch points (C adds, q takes the min, p adds) with the same 3-D
 /// Pareto pruning.
 ///
+/// The kernel is built from the same SoA primitives as the chain DP
+/// (dp/kernel_ops.hpp): per-subtree frontiers live in role-stable
+/// dp::Workspace pool slots (zero steady-state allocations per solve),
+/// straight-line passes vectorize over the contiguous frontier arrays,
+/// junction merges stream the child cross product through a heap of
+/// sorted rows, and objective backends flow through the shared lib_cost
+/// table. A root-to-sink path tree therefore reproduces run_chain_dp
+/// bit for bit; tests/tree_oracle_property_test.cpp pins that and the
+/// kernel's optimality against an exhaustive tree oracle.
+///
 /// Because REFINE's closed-form width equations are chain-specific, the
 /// tree hybrid here ("tree-RIP-lite", see rip::core) refines widths by
 /// greedy discrete descent instead; DESIGN.md records this as our

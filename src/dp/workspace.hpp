@@ -32,25 +32,13 @@
 
 namespace rip::dp {
 
-/// Tree labels form a DAG: merged labels have two parents. Owned by the
-/// tree-DP kernel (tree_dp.cpp); declared here so the workspace can pool
-/// its arenas.
-struct TreeLabel {
-  double cap_ff = 0;
-  double q_fs = 0;
-  double width_u = 0;
-  std::int32_t left = -1;    ///< arena index (child branch / downstream)
-  std::int32_t right = -1;   ///< arena index (second branch on a merge)
-  std::int32_t node = -1;    ///< node where a repeater was inserted
-  std::int16_t buffer = -1;  ///< library index of that repeater
-  std::int16_t count = 0;    ///< downstream repeater count (tie-breaks)
-};
-
-/// The chain DP's alive label set, structure-of-arrays. The value
+/// The DP kernels' alive label set, structure-of-arrays. The value
 /// fields (cap/q/width) are contiguous so affine wire propagation is a
 /// straight vectorizable loop; count rides along for the final
-/// tie-break; node points into the reconstruction arena. The kernel
-/// keeps two of these and ping-pongs between them each candidate step.
+/// tie-break; node points into the reconstruction arena. The chain
+/// kernel keeps two of these and ping-pongs between them each candidate
+/// step; the tree kernel pools one per tree node (plus a scratch
+/// double-buffer) and swaps child frontiers upward through junctions.
 struct ChainFrontier {
   std::vector<double> cap_ff;
   std::vector<double> q_fs;
@@ -172,16 +160,42 @@ class Workspace {
   // ---- repeater scratch (brute_force assignment expansion).
   std::vector<net::Repeater> repeaters;
 
-  // ---- tree DP: label arena, per-node label pool (vectors keep their
-  // capacity across solves and circulate by swap), merge/prune scratch,
-  // and the flat mirror handed to prune_dominated.
-  std::vector<TreeLabel> tree_arena;
-  std::vector<std::vector<TreeLabel>> tree_node_labels;
-  std::vector<TreeLabel> tree_build;
-  std::vector<TreeLabel> tree_kept;
-  std::vector<Label> tree_flat;
-  std::vector<std::int32_t> tree_aidx;
-  std::vector<std::int32_t> tree_bidx;
+  // ---- tree DP: SoA frontier pool plus a scratch frontier. A subtree's
+  // frontier lives in the pool slot of its leftmost descendant leaf
+  // (tree_slot maps node -> slot), so walking up a unary path segment
+  // never moves it, and the slot serving each role is a pure function of
+  // the topology. Merges materialize into the scratch and are copied —
+  // not swapped — back into the role's slot: capacities never migrate
+  // between slots, which is what makes a single warm-up solve enough for
+  // the zero-steady-state-allocation guarantee bench_dp gates on. The
+  // pool only ever grows — a shrinking resize would destroy the pooled
+  // vectors' capacity.
+  std::vector<ChainFrontier> tree_frontiers;
+  ChainFrontier tree_scratch;
+  std::vector<std::int32_t> tree_slot;
+
+  // ---- tree DP: junction-merge scratch. The cross product of the two
+  // child frontiers is enumerated as an n-way merge of sorted row
+  // streams (row i = smaller-side label i crossed with every label of
+  // the larger side, which is C-ascending): tree_order is the binary
+  // heap of row indices, tree_rowpos each row's cursor into the larger
+  // side, tree_pair_cap/q the cached (C, q) key of each row's current
+  // element. Pairs pop in frontier order and are dominance-tested on
+  // the spot — nothing is materialized or sorted.
+  std::vector<std::int32_t> tree_order;
+  std::vector<std::int32_t> tree_rowpos;
+  std::vector<double> tree_pair_cap;
+  std::vector<double> tree_pair_q;
+
+  // ---- tree DP: survivor-only reconstruction arena (SoA). Buffer
+  // entries carry (left = downstream label, node, buffer); junction
+  // entries carry (left, right) with node/buffer -1. Labels whose
+  // subtree holds no repeater carry arena index -1 and never
+  // materialize an entry.
+  std::vector<std::int32_t> tree_a_left;
+  std::vector<std::int32_t> tree_a_right;
+  std::vector<std::int32_t> tree_a_node;
+  std::vector<std::int16_t> tree_a_buffer;
   std::vector<std::int32_t> tree_stack;
   std::vector<double> tree_cap;    ///< tree_delay_fs bottom-up caps
   std::vector<double> tree_delay;  ///< tree_delay_fs bottom-up delays

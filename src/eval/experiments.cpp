@@ -46,17 +46,6 @@ CaseResult run_case(const net::Net& net, const tech::Technology& tech,
   return out;
 }
 
-CaseResult run_case(const net::Net& net, const tech::Technology& tech,
-                    double tau_t_fs, const core::RipOptions& rip_options,
-                    const core::BaselineOptions& baseline_options,
-                    dp::Workspace* workspace, CacheRef cache) {
-  SolveContext context;
-  context.workspace = workspace;
-  context.cache = cache.cache;
-  return run_case(net, tech, tau_t_fs, rip_options, baseline_options,
-                  context);
-}
-
 // ------------------------------------------------------------------ Table 1
 
 // All three experiments are thin adapters over the generic sharded

@@ -53,13 +53,6 @@ CaseResult run_case(const net::Net& net, const tech::Technology& tech,
                     const core::BaselineOptions& baseline_options,
                     const SolveContext& context = {});
 
-/// Deprecated (one-PR shim): the pre-SolveContext signature. Forwards
-/// to the context overload with {workspace, cache.cache, nullptr}.
-CaseResult run_case(const net::Net& net, const tech::Technology& tech,
-                    double tau_t_fs, const core::RipOptions& rip_options,
-                    const core::BaselineOptions& baseline_options,
-                    dp::Workspace* workspace, CacheRef cache = {});
-
 // ---------------------------------------------------------------- Table 1
 
 /// Configuration for Table 1 (power reduction for two-pin nets).

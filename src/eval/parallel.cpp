@@ -51,9 +51,6 @@ std::vector<CaseResult> run_cases(const tech::Technology& tech,
   service_options.jobs = options.jobs;
   service_options.chunk = options.chunk;
   service_options.context = options.context;
-  if (service_options.context.cache == nullptr) {
-    service_options.context.cache = options.cache;  // deprecated knob
-  }
   EvalService service(tech, service_options);
   std::vector<Case> shard_cases;
   shard_cases.reserve(mine.size());

@@ -75,9 +75,6 @@ struct BatchOptions {
   /// dp::Workspace::local(). Everything pointed at must outlive the
   /// run_cases call.
   SolveContext context;
-  /// Deprecated (one-PR shim): the pre-SolveContext cache knob. Used
-  /// only when context.cache is nullptr; prefer context.cache.
-  SolveCache* cache = nullptr;
 };
 
 /// Deterministic case→shard assignment: case i belongs to shard

@@ -252,9 +252,6 @@ EvalService::EvalService(const tech::Technology& tech,
   RIP_REQUIRE(options_.context.workspace == nullptr,
               "EvalService evaluates on service-thread-local workspaces; "
               "ServiceOptions::context.workspace must stay nullptr");
-  if (options_.context.cache == nullptr) {
-    options_.context.cache = options_.cache;  // deprecated knob
-  }
   state_->paused = options.start_paused;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }

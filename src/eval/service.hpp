@@ -82,9 +82,6 @@ struct ServiceOptions {
   /// thread evaluates on its own dp::Workspace::local(). Everything
   /// pointed at must outlive the service.
   SolveContext context;
-  /// Deprecated (one-PR shim): the pre-SolveContext cache knob. Used
-  /// only when context.cache is nullptr; prefer context.cache.
-  SolveCache* cache = nullptr;
 };
 
 /// Observability snapshot of a service (EvalService::stats()).

@@ -108,13 +108,4 @@ class SolveCache final : public dp::ChainSolveCache {
   std::vector<Shard> shards_;
 };
 
-/// Cheap nullable handle threaded through run_case / run_cases /
-/// EvalService options. Default-constructed = caching disabled.
-struct CacheRef {
-  SolveCache* cache = nullptr;
-
-  explicit operator bool() const { return cache != nullptr; }
-  dp::ChainSolveCache* get() const { return cache; }
-};
-
 }  // namespace rip::eval

@@ -1,0 +1,20 @@
+#pragma once
+
+/// @file simd.hpp
+/// Portable vectorization hint for the straight-line SoA kernel loops.
+///
+/// RIP_SIMD_LOOP asserts that the loop that follows carries no
+/// cross-iteration dependence, so the compiler may vectorize it without
+/// emitting a runtime alias check. It is a pure hint: no flag here (and
+/// no -ffast-math anywhere in the build) permits reassociation or any
+/// other value change, so a vectorized loop produces bit-identical
+/// results to its scalar form — which the golden and bit-identity tests
+/// pin. Pair it with __restrict-qualified pointers so scalar fallbacks
+/// are equally unencumbered.
+#if defined(__clang__)
+#define RIP_SIMD_LOOP _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define RIP_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define RIP_SIMD_LOOP
+#endif

@@ -214,42 +214,33 @@ TEST(BackendEquivalence, RunCasesBackendCachedAsyncAllBitIdentical) {
   }
 }
 
-TEST(SolveContextPlumbing, DeprecatedCacheKnobsStillReachTheSolver) {
+TEST(SolveContextPlumbing, ContextCacheReachesBothBatchEngines) {
   const tech::Technology tech = tech::make_tech180();
   const auto workload = make_paper_workload(tech, 1);
   const auto cases = small_batch(workload);
 
-  // BatchOptions::cache (pre-SolveContext) still attaches the cache.
+  // BatchOptions::context.cache attaches the cache to run_cases.
   SolveCache batch_cache({64, 4});
   BatchOptions options;
-  options.cache = &batch_cache;
+  options.context.cache = &batch_cache;
   const auto via_batch = run_cases(tech, cases, options);
   EXPECT_GT(batch_cache.stats().hits, 0u);
 
-  // ServiceOptions::cache likewise, visible through stats().
+  // ServiceOptions::context.cache likewise, visible through stats().
   SolveCache service_cache({64, 4});
   ServiceOptions service_options;
-  service_options.cache = &service_cache;
+  service_options.context.cache = &service_cache;
   EvalService service(tech, service_options);
   EXPECT_TRUE(service.stats().cache_attached);
   service.submit_batch(cases).wait_all();
   EXPECT_GT(service.stats().cache.hits, 0u);
 
-  // context.cache wins over the deprecated knob when both are set.
-  SolveCache preferred({64, 4});
-  SolveCache ignored({64, 4});
-  BatchOptions both;
-  both.context.cache = &preferred;
-  both.cache = &ignored;
-  run_cases(tech, cases, both);
-  EXPECT_GT(preferred.stats().lookups(), 0u);
-  EXPECT_EQ(ignored.stats().lookups(), 0u);
-
-  // The deprecated run_case shim answers like the context overload.
-  const auto via_shim =
-      run_case(*cases[0].net, tech, cases[0].tau_t_fs, cases[0].rip,
-               cases[0].baseline, nullptr, CacheRef{});
-  expect_same_case(via_shim, via_batch[0]);
+  // Cached answers match the context-overload run_case exactly.
+  SolveContext context;
+  context.cache = &batch_cache;
+  const auto direct = run_case(*cases[0].net, tech, cases[0].tau_t_fs,
+                               cases[0].rip, cases[0].baseline, context);
+  expect_same_case(direct, via_batch[0]);
 }
 
 TEST(SolveContextPlumbing, BatchEnginesRejectAnExplicitWorkspace) {

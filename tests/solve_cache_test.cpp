@@ -367,7 +367,7 @@ TEST(SolveCacheProperty, RunCasesBitIdenticalWithCacheAttached) {
     SolveCache cache({64, 4});
     BatchOptions options;
     options.jobs = jobs;
-    options.cache = &cache;
+    options.context.cache = &cache;
     const auto cached = run_cases(tech, cases, options);
     ASSERT_EQ(cached.size(), reference.size());
     for (std::size_t i = 0; i < cached.size(); ++i) {
@@ -393,7 +393,7 @@ TEST(ServiceStats, CountersAreVisibleThroughEvalService) {
   SolveCache cache({64, 4});
   ServiceOptions options;
   options.jobs = 2;
-  options.cache = &cache;
+  options.context.cache = &cache;
   std::vector<Case> cases;
   for (const double f : {1.2, 1.4, 1.6, 1.8}) {
     cases.push_back(
