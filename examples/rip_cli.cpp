@@ -13,6 +13,17 @@
 //   rip_cli check    --net my.net --sol out.sol [--target-ns 2.5]
 //   rip_cli merge    --in s0.csv,s1.csv --out merged.csv
 //
+// Streaming (net/netlist_io.hpp + eval/stream.hpp): multi-net netlist
+// files in the text or binary rnl format, converted losslessly in both
+// directions and swept with bounded memory and checkpoint/resume:
+//
+//   rip_cli gen     --nets 1000 --netlist big.rnlb --format binary
+//   rip_cli netlist-convert --in big.rnlb --out big.rnl
+//   rip_cli stream  --in big.rnlb --out rows.csv --jobs 8
+//                   --max-pending 64 --checkpoint big.ckpt --every 200
+//   rip_cli stream  --in big.rnlb --out rows.csv --resume
+//                   --checkpoint big.ckpt --every 200   # after a kill
+//
 // `sweep` and `compare` also run through the asynchronous evaluation
 // service (eval/service.hpp) with `--async`: points are submitted
 // individually and collected from futures, with `--max-pending N`
@@ -44,9 +55,11 @@
 #include "eval/parallel.hpp"
 #include "eval/service.hpp"
 #include "eval/solve_cache.hpp"
+#include "eval/stream.hpp"
 #include "eval/workload.hpp"
 #include "net/generator.hpp"
 #include "net/net_io.hpp"
+#include "net/netlist_io.hpp"
 #include "net/solution_io.hpp"
 #include "rc/buffered_chain.hpp"
 #include "sim/spice.hpp"
@@ -70,6 +83,8 @@ int usage(int rc = 2) {
   std::cout <<
       "usage: rip_cli <command> [options]\n"
       "  gen      --seed N [--out file.net] [--nets K]\n"
+      "           [--netlist file.rnl [--format text|binary]\n"
+      "            [--store-target-x F]]   (multi-net netlist output)\n"
       "  info     --net file.net\n"
       "  solve    --net file.net (--target-ns T | --target-x F)\n"
       "           [--sol out.sol] [--spice out.sp] [--zone-hop]\n"
@@ -87,6 +102,12 @@ int usage(int rc = 2) {
       "           [--backend NAME[|NAME...]]\n"
       "  check    --net file.net --sol file.sol [--target-ns T]\n"
       "  merge    --in shard0.csv,shard1.csv[,...] --out merged.csv\n"
+      "  netlist-convert --in file.rnl[b] --out file.rnl[b]\n"
+      "           [--format text|binary]   (default: the other format)\n"
+      "  stream   --in file.rnl[b] --out rows.csv [--jobs N]\n"
+      "           [--max-pending N] [--checkpoint file --every N]\n"
+      "           [--resume] [--stop-after N] [--target-x F]\n"
+      "           [--cache] [--cache-capacity N] [--backend NAME]\n"
       "common:    [--tech kit.tech]   (--jobs 0 = all hardware threads;\n"
       "           --shard I/N = solve shard I of an N-way split;\n"
       "           --cache = share one Pareto-frontier solve cache across\n"
@@ -174,12 +195,51 @@ double resolve_target_fs(const CliArgs& args, const net::Net& n,
   return factor * md.tau_min_fs;
 }
 
+/// --format text|binary -> NetlistFormat, with a caller-chosen default
+/// when the flag is absent.
+net::NetlistFormat format_option(const CliArgs& args,
+                                 net::NetlistFormat fallback) {
+  const auto name = args.get("format");
+  if (!name) return fallback;
+  if (*name == "text") return net::NetlistFormat::kText;
+  if (*name == "binary") return net::NetlistFormat::kBinary;
+  throw Error("--format must be 'text' or 'binary', got '" + *name + "'");
+}
+
 int cmd_gen(const CliArgs& args) {
   const tech::Technology tech = load_tech(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int count = args.get_int_or("nets", 1);
   Rng rng(seed);
   net::RandomNetConfig config;
+  if (const auto netlist = args.get("netlist")) {
+    // Multi-net netlist output: all --nets records into ONE streamable
+    // file. --store-target-x F bakes tau_t = F * tau_min into each
+    // record (one tau_min DP per net — meant for test-scale files);
+    // without it records carry no target and `stream` resolves its
+    // --target-x default per net at evaluation time.
+    const double target_x = args.get_double_or("store-target-x", 0.0);
+    RIP_REQUIRE(target_x >= 0, "--store-target-x must be > 0 when given");
+    net::NetlistWriter writer(
+        *netlist, format_option(args, net::NetlistFormat::kText));
+    for (int i = 0; i < count; ++i) {
+      const std::string name = "net_" + std::to_string(i + 1);
+      const net::Net n = net::random_net(tech, config, rng, name);
+      double tau_t_fs = 0.0;
+      if (target_x > 0) {
+        const auto md = dp::min_delay(n, tech.device(),
+                                      {10.0, 400.0, 10.0, 200.0});
+        tau_t_fs = target_x * md.tau_min_fs;
+      }
+      writer.add(n, tau_t_fs);
+    }
+    writer.close();
+    std::cout << "wrote " << *netlist << " (" << count << " nets, "
+              << (writer.format() == net::NetlistFormat::kText ? "text"
+                                                               : "binary")
+              << ")\n";
+    return 0;
+  }
   for (int i = 0; i < count; ++i) {
     const std::string name = "net_" + std::to_string(i + 1);
     const net::Net n = net::random_net(tech, config, rng, name);
@@ -548,6 +608,80 @@ int cmd_merge(const CliArgs& args) {
   return 0;
 }
 
+// Lossless text <-> binary netlist conversion, streamed record by
+// record (constant memory at any file size). The default output format
+// is whichever one the input is not; either direction round-trips to
+// the byte-identical original (netlist_io_test pins that property).
+int cmd_netlist_convert(const CliArgs& args) {
+  const std::string in_path = args.require("in");
+  const std::string out_path = args.require("out");
+  net::NetlistReader reader(in_path);
+  const net::NetlistFormat out_format =
+      format_option(args, reader.format() == net::NetlistFormat::kText
+                              ? net::NetlistFormat::kBinary
+                              : net::NetlistFormat::kText);
+  net::NetlistWriter writer(out_path, out_format);
+  while (auto record = reader.next()) {
+    writer.add(record->net, record->tau_t_fs);
+  }
+  writer.close();
+  std::cout << "converted " << writer.count() << " nets: " << in_path
+            << " ("
+            << (reader.format() == net::NetlistFormat::kText ? "text"
+                                                             : "binary")
+            << ") -> " << out_path << " ("
+            << (out_format == net::NetlistFormat::kText ? "text" : "binary")
+            << ")\n";
+  return 0;
+}
+
+// The bounded-memory streaming sweep (eval/stream.hpp): every record of
+// --in becomes one CSV row of --out, evaluated through the async
+// service with --max-pending backpressure; peak RSS is set by the
+// window, not the file. --checkpoint/--every make the run resumable
+// after a kill; --stop-after simulates the kill for tests.
+int cmd_stream(const CliArgs& args) {
+  const tech::Technology tech = load_tech(args);
+  eval::StreamOptions options;
+  options.jobs = parallel_jobs(args);
+  const int max_pending = args.get_int_or("max-pending", 64);
+  RIP_REQUIRE(max_pending >= 0, "--max-pending must be >= 0 (0 = unbounded)");
+  options.max_pending = static_cast<std::size_t>(max_pending);
+  const int every = args.get_int_or("every", 0);
+  RIP_REQUIRE(every >= 0, "--every must be >= 0 (0 = no checkpoints)");
+  options.checkpoint_every = static_cast<std::uint64_t>(every);
+  if (const auto ckpt = args.get("checkpoint")) options.checkpoint_path = *ckpt;
+  RIP_REQUIRE(options.checkpoint_path.empty() || every > 0,
+              "--checkpoint requires --every N");
+  options.resume = args.has("resume");
+  const int stop_after = args.get_int_or("stop-after", 0);
+  RIP_REQUIRE(stop_after >= 0, "--stop-after must be >= 0");
+  options.stop_after = static_cast<std::uint64_t>(stop_after);
+  options.default_target_x = args.get_double_or("target-x", 1.5);
+  const std::unique_ptr<eval::SolveCache> cache = make_cache(args);
+  const std::unique_ptr<tech::ObjectiveBackend> backend =
+      backend_option(args, tech);
+  options.context.cache = cache.get();
+  options.context.backend = backend.get();
+
+  const auto result =
+      eval::run_stream(tech, args.require("in"), args.require("out"), options);
+  print_cache_stats(cache.get());
+  std::cerr << "stream: " << result.rows_written << " rows this run ("
+            << result.rows_total << " total, resumed from "
+            << result.resumed_from << "), " << result.checkpoints_written
+            << " checkpoints, "
+            << (result.finished ? "finished" : "stopped early") << ", "
+            << fmt_f(result.elapsed_s, 2) << " s";
+  if (result.elapsed_s > 0) {
+    std::cerr << ", "
+              << fmt_f(result.rows_written / result.elapsed_s, 1)
+              << " nets/s";
+  }
+  std::cerr << "\n";
+  return result.finished ? 0 : 3;
+}
+
 int cmd_check(const CliArgs& args) {
   const tech::Technology tech = load_tech(args);
   const net::Net n = load_net(args);
@@ -580,7 +714,8 @@ int cmd_check(const CliArgs& args) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args =
-        CliArgs::parse(argc, argv, {"zone-hop", "help", "async", "cache"});
+        CliArgs::parse(argc, argv,
+                       {"zone-hop", "help", "async", "cache", "resume"});
     if (args.has("help")) return usage(0);
     int rc;
     if (args.command() == "gen") rc = cmd_gen(args);
@@ -591,6 +726,8 @@ int main(int argc, char** argv) {
     else if (args.command() == "compare") rc = cmd_compare(args);
     else if (args.command() == "check") rc = cmd_check(args);
     else if (args.command() == "merge") rc = cmd_merge(args);
+    else if (args.command() == "netlist-convert") rc = cmd_netlist_convert(args);
+    else if (args.command() == "stream") rc = cmd_stream(args);
     else return usage();
     for (const auto& name : args.unused()) {
       std::cerr << "warning: unused option --" << name << "\n";

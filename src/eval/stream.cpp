@@ -1,0 +1,319 @@
+#include "eval/stream.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "dp/min_delay.hpp"
+#include "eval/experiments.hpp"
+#include "eval/service.hpp"
+#include "net/netlist_io.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+#include "util/units.hpp"
+
+namespace rip::eval {
+
+namespace {
+
+constexpr const char* kCheckpointMagic = "ripckpt 1";
+
+/// The resume cut: everything a killed run needs to continue
+/// byte-identically. All quantities refer to a written-row boundary.
+struct Checkpoint {
+  std::uint64_t input_bytes = 0;   ///< input file size (identity check)
+  std::uint64_t input_offset = 0;  ///< byte offset of first unwritten record
+  std::uint64_t next_index = 0;    ///< index of first unwritten record
+  std::uint64_t output_bytes = 0;  ///< output size covering rows < next_index
+};
+
+std::uint64_t parse_u64(const std::string& s, const std::string& context) {
+  std::uint64_t v = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  RIP_REQUIRE(res.ec == std::errc() && res.ptr == s.data() + s.size(),
+              context + ": malformed unsigned integer '" + s + "'");
+  return v;
+}
+
+Checkpoint read_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  RIP_REQUIRE(in.good(), "cannot open checkpoint file: " + path);
+  std::string line;
+  RIP_REQUIRE(std::getline(in, line) && trim(line) == kCheckpointMagic,
+              path + ": not a ripckpt 1 checkpoint file");
+  Checkpoint ck;
+  bool have_input_bytes = false, have_offset = false, have_index = false,
+       have_output = false;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const auto tokens = split_ws(t);
+    RIP_REQUIRE(tokens.size() == 2,
+                path + ": malformed checkpoint line '" + t + "'");
+    const std::string context = path + " " + tokens[0];
+    if (tokens[0] == "input_bytes") {
+      ck.input_bytes = parse_u64(tokens[1], context);
+      have_input_bytes = true;
+    } else if (tokens[0] == "input_offset") {
+      ck.input_offset = parse_u64(tokens[1], context);
+      have_offset = true;
+    } else if (tokens[0] == "next_index") {
+      ck.next_index = parse_u64(tokens[1], context);
+      have_index = true;
+    } else if (tokens[0] == "output_bytes") {
+      ck.output_bytes = parse_u64(tokens[1], context);
+      have_output = true;
+    } else {
+      throw Error(path + ": unknown checkpoint key '" + tokens[0] + "'");
+    }
+  }
+  RIP_REQUIRE(have_input_bytes && have_offset && have_index && have_output,
+              path + ": checkpoint is missing required keys");
+  return ck;
+}
+
+/// Atomic replace: write the sibling temp file, fsync-by-close, rename
+/// over the target. A kill between any two steps leaves either the old
+/// checkpoint or the new one, never a torn file.
+void write_checkpoint(const std::string& path, const Checkpoint& ck) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    RIP_REQUIRE(out.good(), "cannot write checkpoint temp file: " + tmp);
+    out << kCheckpointMagic << "\n"
+        << "input_bytes " << ck.input_bytes << "\n"
+        << "input_offset " << ck.input_offset << "\n"
+        << "next_index " << ck.next_index << "\n"
+        << "output_bytes " << ck.output_bytes << "\n";
+    out.flush();
+    RIP_REQUIRE(out.good(), "checkpoint write failed: " + tmp);
+  }
+  RIP_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot rename checkpoint " + tmp + " -> " + path);
+}
+
+std::uint64_t file_size_of(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  RIP_REQUIRE(!ec, "cannot stat " + path + ": " + ec.message());
+  return static_cast<std::uint64_t>(size);
+}
+
+/// One deterministic CSV row. No wall-clock fields, so an interrupted
+/// and a straight-through run produce identical bytes.
+std::string format_row(std::uint64_t index, const std::string& name,
+                       const CaseResult& r) {
+  std::string row = std::to_string(index);
+  row += ',';
+  row += name;
+  row += ',';
+  row += fmt_f(units::fs_to_ns(r.tau_t_fs), 3);
+  row += ',';
+  row += r.rip_feasible ? fmt_f(r.rip_width_u, 0) : "VIOL";
+  row += ',';
+  row += r.dp_feasible ? fmt_f(r.dp_width_u, 0) : "VIOL";
+  row += ',';
+  row += (r.rip_feasible && r.dp_feasible) ? fmt_f(r.improvement_pct, 2)
+                                           : "-";
+  row += '\n';
+  return row;
+}
+
+constexpr const char* kHeader = "idx,name,tau_t_ns,rip_u,dp_u,impr_pct\n";
+
+/// A record in flight: its identity plus the future of its result. The
+/// Net itself is owned by the evaluation thunk (shared_ptr), so it dies
+/// as soon as the case has run and the round is retired — the window
+/// never pins more than window_cap nets.
+struct InFlight {
+  std::uint64_t index = 0;
+  std::uint64_t start_offset = 0;  ///< where this record begins on disk
+  std::string name;
+  std::future<CaseResult> future;
+};
+
+}  // namespace
+
+StreamResult run_stream(const tech::Technology& tech,
+                        const std::string& input_path,
+                        const std::string& output_path,
+                        const StreamOptions& options) {
+  RIP_REQUIRE(options.context.workspace == nullptr,
+              "run_stream evaluates on service threads; context.workspace "
+              "must be nullptr");
+  RIP_REQUIRE(options.checkpoint_every == 0 || !options.checkpoint_path.empty(),
+              "checkpoint_every > 0 requires checkpoint_path");
+  RIP_REQUIRE(!options.resume || !options.checkpoint_path.empty(),
+              "resume requires checkpoint_path");
+  RIP_REQUIRE(options.default_target_x > 0,
+              "default_target_x must be positive");
+
+  WallTimer timer;
+  net::NetlistReader reader(input_path);
+  const std::uint64_t input_bytes = file_size_of(input_path);
+
+  StreamResult result;
+  std::uint64_t output_bytes = 0;
+
+  // Resume: seek the reader to the checkpointed record boundary and cut
+  // the output back to the matching byte count, discarding any rows a
+  // killed run wrote past its last checkpoint. A missing checkpoint
+  // file under --resume means "nothing saved yet": start fresh.
+  bool fresh = true;
+  if (options.resume && std::filesystem::exists(options.checkpoint_path)) {
+    const Checkpoint ck = read_checkpoint(options.checkpoint_path);
+    RIP_REQUIRE(ck.input_bytes == input_bytes,
+                "checkpoint " + options.checkpoint_path + " was taken on a " +
+                    std::to_string(ck.input_bytes) + "-byte input, but " +
+                    input_path + " is " + std::to_string(input_bytes) +
+                    " bytes");
+    RIP_REQUIRE(std::filesystem::exists(output_path),
+                "resume: output file " + output_path + " does not exist");
+    const std::uint64_t have = file_size_of(output_path);
+    RIP_REQUIRE(have >= ck.output_bytes,
+                "resume: output file " + output_path + " (" +
+                    std::to_string(have) + " bytes) is shorter than the "
+                    "checkpoint's " + std::to_string(ck.output_bytes) +
+                    " bytes — wrong file?");
+    std::error_code ec;
+    std::filesystem::resize_file(output_path, ck.output_bytes, ec);
+    RIP_REQUIRE(!ec, "resume: cannot truncate " + output_path + ": " +
+                         ec.message());
+    reader.seek(ck.input_offset, ck.next_index);
+    result.resumed_from = ck.next_index;
+    output_bytes = ck.output_bytes;
+    fresh = false;
+  }
+
+  std::ofstream out(output_path, fresh
+                                     ? std::ios::binary | std::ios::trunc
+                                     : std::ios::binary | std::ios::app);
+  RIP_REQUIRE(out.good(), "cannot open output file: " + output_path);
+  if (fresh) {
+    out << kHeader;
+    output_bytes = std::string(kHeader).size();
+  }
+
+  ServiceOptions service_options;
+  service_options.jobs = options.jobs;
+  service_options.max_pending = options.max_pending;
+  service_options.context = options.context;
+  EvalService service(tech, service_options);
+
+  // The reorder window: big enough to keep the service fed past the
+  // head-of-line wait, small enough to bound resident records.
+  const std::size_t window_cap =
+      options.max_pending == 0
+          ? 256
+          : std::max<std::size_t>(2 * options.max_pending, 16);
+
+  std::deque<InFlight> window;
+  std::uint64_t rows_total = result.resumed_from;
+  bool eof = false;
+  bool stopped = false;
+
+  const auto submit_record = [&](net::NetlistRecord&& record,
+                                 std::uint64_t index,
+                                 std::uint64_t start_offset) {
+    InFlight f;
+    f.index = index;
+    f.start_offset = start_offset;
+    f.name = record.net.name();
+    const auto net = std::make_shared<const net::Net>(std::move(record.net));
+    const double stored_target = record.tau_t_fs;
+    // The thunk owns the net; target resolution (possibly a tau_min
+    // solve) happens on the worker so the read loop stays cheap.
+    f.future = service.submit_fn([&tech, &options, net, stored_target] {
+      double tau_t_fs = stored_target;
+      if (tau_t_fs <= 0) {
+        const auto md = dp::min_delay(*net, tech.device());
+        tau_t_fs = options.default_target_x * md.tau_min_fs;
+      }
+      return run_case(*net, tech, tau_t_fs, options.rip, options.baseline,
+                      options.context);
+    });
+    window.push_back(std::move(f));
+  };
+
+  while (true) {
+    // Fill: read and submit until the window is full or the input ends.
+    while (!eof && window.size() < window_cap) {
+      const std::uint64_t start_offset = reader.offset();
+      const std::uint64_t index = reader.index();
+      auto record = reader.next();
+      if (!record.has_value()) {
+        eof = true;
+        break;
+      }
+      submit_record(std::move(*record), index, start_offset);
+    }
+    if (window.empty()) break;  // input drained and every row written
+
+    // Drain: block on the oldest case, write its row, free its slot.
+    InFlight front = std::move(window.front());
+    window.pop_front();
+    const CaseResult case_result = front.future.get();
+    const std::string row = format_row(front.index, front.name, case_result);
+    out.write(row.data(), static_cast<std::streamsize>(row.size()));
+    RIP_REQUIRE(out.good(), "write failed on " + output_path);
+    output_bytes += row.size();
+    ++result.rows_written;
+    rows_total = result.resumed_from + result.rows_written;
+
+    if (options.checkpoint_every > 0 &&
+        rows_total % options.checkpoint_every == 0) {
+      out.flush();
+      RIP_REQUIRE(out.good(), "flush failed on " + output_path);
+      Checkpoint ck;
+      ck.input_bytes = input_bytes;
+      ck.input_offset =
+          window.empty() ? reader.offset() : window.front().start_offset;
+      ck.next_index = rows_total;
+      ck.output_bytes = output_bytes;
+      write_checkpoint(options.checkpoint_path, ck);
+      ++result.checkpoints_written;
+    }
+
+    if (options.stop_after > 0 &&
+        result.rows_written >= options.stop_after && (!eof || !window.empty())) {
+      // Simulated kill: abandon the in-flight tail (the service drains
+      // it on destruction; the rows are simply never written) and do
+      // NOT write a parting checkpoint — resume must recover from the
+      // last periodic one, exactly as after a real crash.
+      stopped = true;
+      service.cancel_pending();
+      break;
+    }
+  }
+
+  result.finished = !stopped;
+  result.rows_total = rows_total;
+
+  if (result.finished && options.checkpoint_every > 0) {
+    // Final checkpoint: marks the whole input as written, so a resume
+    // of a completed run is a no-op with byte-identical output.
+    out.flush();
+    RIP_REQUIRE(out.good(), "flush failed on " + output_path);
+    Checkpoint ck;
+    ck.input_bytes = input_bytes;
+    ck.input_offset = reader.offset();
+    ck.next_index = rows_total;
+    ck.output_bytes = output_bytes;
+    write_checkpoint(options.checkpoint_path, ck);
+    ++result.checkpoints_written;
+  }
+
+  out.flush();
+  RIP_REQUIRE(out.good(), "flush failed on " + output_path);
+  result.elapsed_s = timer.seconds();
+  return result;
+}
+
+}  // namespace rip::eval

@@ -1,0 +1,118 @@
+#pragma once
+
+/// @file stream.hpp
+/// The bounded-memory streaming sweep driver: pull (net, target) cases
+/// incrementally from an on-disk netlist (net/netlist_io.hpp), feed
+/// them through the asynchronous EvalService, and emit one CSV row per
+/// case in input order — with peak memory independent of how many
+/// records the file holds.
+///
+/// Memory model: at most `window()` records are alive at once — each
+/// in-flight record owns its Net; the driver stops reading whenever the
+/// window is full, blocks on the OLDEST in-flight case, writes its row,
+/// and frees it before reading another record. Backpressure composes:
+/// the service's own bounded queue (ServiceOptions::max_pending, from
+/// StreamOptions::max_pending) throttles submission, and the reorder
+/// window (sized from max_pending) bounds retained results. A
+/// million-net file therefore streams at the same peak RSS as a
+/// ten-thousand-net file (bench/bench_stream.cpp measures exactly
+/// that ratio and fails if it drifts).
+///
+/// Checkpoint/resume protocol: every `checkpoint_every` written rows
+/// the driver flushes the output and atomically replaces the
+/// checkpoint file (write temp + rename) with
+///
+///     ripckpt 1
+///     input_bytes  <input file size, sanity check on resume>
+///     input_offset <byte offset of the first unwritten record>
+///     next_index   <index of the first unwritten record>
+///     output_bytes <output size covering exactly that many rows>
+///
+/// A checkpoint cut is always a written-row boundary: rows < next_index
+/// are fully on disk, records >= next_index will be (re-)read and
+/// (re-)solved after a resume. Resuming seeks the reader to
+/// input_offset, truncates the output back to output_bytes (discarding
+/// rows a killed run may have written past the last checkpoint), and
+/// continues; because every solve is deterministic and rows are written
+/// in input order, a resumed run's final output is byte-identical to an
+/// uninterrupted run's. Solves after a crash are repeated, never
+/// skipped — the protocol re-does work, it never invents or loses rows.
+///
+/// Rows carry only deterministic fields (no wall clock):
+///     idx,name,tau_t_ns,rip_u,dp_u,impr_pct
+/// Infeasible solves render as VIOL, like the sweep tables.
+
+#include <cstdint>
+#include <string>
+
+#include "core/baseline.hpp"
+#include "core/rip.hpp"
+#include "eval/context.hpp"
+#include "tech/technology.hpp"
+
+namespace rip::eval {
+
+/// Knobs of the streaming driver.
+struct StreamOptions {
+  /// Worker threads of the underlying EvalService (1 = serial on the
+  /// dispatcher, 0 = all hardware threads).
+  int jobs = 1;
+  /// Bounded-queue backpressure of the service AND the sizing input of
+  /// the reorder window (window = max(2 * max_pending, 16); 0 =
+  /// unbounded queue with the default 256-record window).
+  std::size_t max_pending = 64;
+  /// Write a checkpoint every this many completed rows (0 = never).
+  /// Requires checkpoint_path when non-zero.
+  std::uint64_t checkpoint_every = 0;
+  /// Checkpoint file location; the temp file is `checkpoint_path +
+  /// ".tmp"` in the same directory so the rename is atomic.
+  std::string checkpoint_path;
+  /// Resume from checkpoint_path instead of starting over. The
+  /// checkpoint must match the input file (size check); the output file
+  /// is truncated back to the checkpointed byte count.
+  bool resume = false;
+  /// Test/fault-injection hook: stop cleanly after this many rows have
+  /// been written THIS run (0 = run to EOF) — without writing a final
+  /// checkpoint, exactly like a kill would. The checkpoint on disk then
+  /// trails the output, which is what resume must cope with.
+  std::uint64_t stop_after = 0;
+  /// Target for records that carry none (tau_t_fs == 0 in the file):
+  /// default_target_x * tau_min, with tau_min solved per net inside the
+  /// worker (expensive — prefer stored targets for big files).
+  double default_target_x = 1.5;
+  /// Solver options applied to every case.
+  core::RipOptions rip;
+  core::BaselineOptions baseline =
+      core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  /// Ambient solve state (cache/backend); `context.workspace` must stay
+  /// nullptr — cases evaluate on service workers' thread-local
+  /// workspaces.
+  SolveContext context;
+};
+
+/// Outcome of one run_stream call.
+struct StreamResult {
+  /// Rows written by THIS run (excludes rows restored via resume).
+  std::uint64_t rows_written = 0;
+  /// Index the run started at (0, or the checkpoint's next_index).
+  std::uint64_t resumed_from = 0;
+  /// Total rows now on disk (resumed_from + rows_written).
+  std::uint64_t rows_total = 0;
+  /// True if the input was drained to EOF (false = stop_after fired).
+  bool finished = false;
+  /// Checkpoints written by this run.
+  std::uint64_t checkpoints_written = 0;
+  double elapsed_s = 0;
+};
+
+/// Stream every record of `input_path` (text or binary netlist) through
+/// the evaluation service and write one CSV row per record to
+/// `output_path`. See the file comment for the memory and checkpoint
+/// contracts. Throws rip::Error (netlist failures arrive as
+/// net::NetlistError with file + record context).
+StreamResult run_stream(const tech::Technology& tech,
+                        const std::string& input_path,
+                        const std::string& output_path,
+                        const StreamOptions& options = {});
+
+}  // namespace rip::eval

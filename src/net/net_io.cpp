@@ -22,7 +22,8 @@ std::map<std::string, std::string> kv_pairs(
 }
 }  // namespace
 
-Net read_net(std::istream& is) {
+namespace {
+Net read_net_impl(std::istream& is) {
   std::string line;
   int line_no = 0;
   bool got_magic = false;
@@ -83,11 +84,26 @@ Net read_net(std::istream& is) {
   RIP_REQUIRE(got_magic, "missing 'ripnet 1' header");
   return Net(name, driver, receiver, std::move(segments), std::move(zones));
 }
+}  // namespace
+
+Net read_net(std::istream& is, const std::string& source) {
+  if (source.empty()) return read_net_impl(is);
+  // Every failure of the parse (and of Net's own invariant checks)
+  // carries the source name, so a bad file in a long scripted flow is
+  // identifiable from the message alone.
+  try {
+    return read_net_impl(is);
+  } catch (const Error& e) {
+    throw Error(source + ": " + e.what());
+  }
+}
 
 Net read_net_file(const std::string& path) {
   std::ifstream in(path);
-  RIP_REQUIRE(in.good(), "cannot open net file: " + path);
-  return read_net(in);
+  // Plain Error, not RIP_REQUIRE: a missing file is an input mistake,
+  // not a programming error, and the message is user-facing.
+  if (!in.good()) throw Error("cannot open net file: " + path);
+  return read_net(in, path);
 }
 
 void write_net(std::ostream& os, const Net& net) {

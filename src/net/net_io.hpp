@@ -23,9 +23,12 @@
 namespace rip::net {
 
 /// Parse a net; throws rip::Error with a line number on malformed input.
-Net read_net(std::istream& is);
+/// A non-empty `source` (file name, stream label) prefixes every error
+/// message as "<source>: ...", so failures deep in a scripted flow still
+/// say which file was bad.
+Net read_net(std::istream& is, const std::string& source = "");
 
-/// Parse from a file path.
+/// Parse from a file path; errors are prefixed with the path.
 Net read_net_file(const std::string& path);
 
 /// Serialize; `read_net` round-trips the output.

@@ -1,0 +1,556 @@
+#include "net/netlist_io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace rip::net {
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'R', 'N', 'L', 'B'};
+constexpr std::uint32_t kBinaryVersion = 1;
+constexpr const char* kTextMagic = "ripnetlist";
+
+std::string render(const std::string& path, std::int64_t record_index,
+                   const std::string& detail) {
+  std::string msg = path + ": ";
+  if (record_index >= 0) msg += "record " + std::to_string(record_index) + ": ";
+  return msg + detail;
+}
+
+struct RawSegment {
+  double length_um = 0;
+  double r_ohm_per_um = 0;
+  double c_ff_per_um = 0;
+  std::string layer;
+};
+
+struct RawRecord {
+  std::string name;
+  double driver_width_u = 0;
+  double receiver_width_u = 0;
+  double tau_t_fs = 0;
+  std::vector<RawSegment> segments;
+  std::vector<ForbiddenZone> zones;
+};
+
+/// Validate a fully parsed record and construct the immutable Net.
+/// Every rejection — NaN/negative RC, bad widths, zone violations the
+/// Net constructor raises — becomes a typed NetlistError carrying the
+/// source name and record index, so hostile bytes can never surface as
+/// a context-free precondition message or a partial record.
+NetlistRecord finish_record(RawRecord&& raw, const std::string& label,
+                            std::uint64_t index) {
+  const auto fail = [&](const std::string& detail) -> void {
+    throw NetlistError(label, static_cast<std::int64_t>(index), detail);
+  };
+  const auto check = [&](double v, const std::string& what) {
+    if (!std::isfinite(v) || v <= 0) {
+      fail(what + " must be finite and positive, got " +
+           format_double_exact(v));
+    }
+  };
+  if (raw.name.empty()) fail("record has an empty net name");
+  check(raw.driver_width_u, "driver width");
+  check(raw.receiver_width_u, "receiver width");
+  if (!std::isfinite(raw.tau_t_fs) || raw.tau_t_fs < 0) {
+    fail("timing target must be finite and >= 0 (0 = unset), got " +
+         format_double_exact(raw.tau_t_fs));
+  }
+  if (raw.segments.empty()) fail("record has no segments");
+  std::vector<Segment> segments;
+  segments.reserve(raw.segments.size());
+  for (std::size_t i = 0; i < raw.segments.size(); ++i) {
+    const RawSegment& s = raw.segments[i];
+    const std::string at = "segment " + std::to_string(i) + " ";
+    check(s.length_um, at + "length (len_um)");
+    check(s.r_ohm_per_um, at + "resistance (r_ohm_per_um)");
+    check(s.c_ff_per_um, at + "capacitance (c_ff_per_um)");
+    segments.push_back(
+        Segment{s.length_um, s.r_ohm_per_um, s.c_ff_per_um, s.layer});
+  }
+  for (const ForbiddenZone& z : raw.zones) {
+    if (!std::isfinite(z.start_um) || !std::isfinite(z.end_um)) {
+      fail("zone bounds must be finite");
+    }
+  }
+  try {
+    return NetlistRecord{Net(std::move(raw.name), raw.driver_width_u,
+                             raw.receiver_width_u, std::move(segments),
+                             std::move(raw.zones)),
+                         raw.tau_t_fs};
+  } catch (const Error& e) {
+    fail(std::string("invalid net: ") + e.what());
+  }
+  throw Error("unreachable");  // fail() always throws
+}
+
+/// Little-endian scalar encoders. The implementation assumes a
+/// little-endian IEEE-754 host (every platform this repo targets); the
+/// memcpy form keeps it alignment-safe and strict-aliasing-clean.
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  char bytes[sizeof(double)];
+  std::memcpy(bytes, &v, sizeof(double));
+  out.append(bytes, sizeof(double));
+}
+
+/// Bounds-checked cursor over one binary record payload. Any overrun
+/// throws a typed "truncated record payload" NetlistError, so a short
+/// or lying length prefix can never read out of bounds.
+class PayloadCursor {
+ public:
+  PayloadCursor(const std::string& bytes, const std::string& label,
+                std::uint64_t index)
+      : bytes_(bytes), label_(label), index_(index) {}
+
+  std::uint16_t u16(const char* what) {
+    need(2, what);
+    const auto b0 = static_cast<unsigned char>(bytes_[pos_]);
+    const auto b1 = static_cast<unsigned char>(bytes_[pos_ + 1]);
+    pos_ += 2;
+    return static_cast<std::uint16_t>(b0 | (b1 << 8));
+  }
+
+  std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  double f64(const char* what) {
+    need(sizeof(double), what);
+    double v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(double));
+    pos_ += sizeof(double);
+    return v;
+  }
+
+  std::string str(std::size_t len, const char* what) {
+    need(len, what);
+    std::string s = bytes_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void need(std::size_t n, const char* what) {
+    if (bytes_.size() - pos_ < n) {
+      throw NetlistError(
+          label_, static_cast<std::int64_t>(index_),
+          std::string("truncated record payload while reading ") + what);
+    }
+  }
+
+  const std::string& bytes_;
+  const std::string& label_;
+  std::uint64_t index_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+NetlistError::NetlistError(const std::string& path, std::int64_t record_index,
+                           const std::string& detail)
+    : Error(render(path, record_index, detail)),
+      path_(path),
+      record_index_(record_index) {}
+
+std::string format_double_exact(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+// ------------------------------------------------------------- reader
+
+NetlistReader::NetlistReader(const std::string& path)
+    : file_(path, std::ios::binary), label_(path) {
+  if (!file_.good()) {
+    throw NetlistError(path, -1, "cannot open netlist file");
+  }
+  is_ = &file_;
+  read_header();
+}
+
+NetlistReader::NetlistReader(std::istream& is, std::string label)
+    : is_(&is), label_(std::move(label)) {
+  read_header();
+}
+
+void NetlistReader::fail(const std::string& detail) const {
+  throw NetlistError(label_, static_cast<std::int64_t>(index_), detail);
+}
+
+void NetlistReader::read_header() {
+  // Sniff: the binary magic is exactly 4 bytes; anything else is
+  // treated as text, whose first line must be the text magic.
+  char magic[4] = {0, 0, 0, 0};
+  is_->read(magic, 4);
+  if (is_->gcount() == 4 && std::memcmp(magic, kBinaryMagic, 4) == 0) {
+    format_ = NetlistFormat::kBinary;
+    char vbytes[4];
+    is_->read(vbytes, 4);
+    if (is_->gcount() != 4) {
+      throw NetlistError(label_, -1, "truncated binary netlist header");
+    }
+    std::uint32_t version = 0;
+    for (int i = 0; i < 4; ++i) {
+      version |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(vbytes[i]))
+                 << (8 * i);
+    }
+    if (version != kBinaryVersion) {
+      throw NetlistError(label_, -1,
+                         "unsupported binary netlist version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kBinaryVersion) + ")");
+    }
+    offset_ = 8;
+    return;
+  }
+  // Text path: rewind and take the header line whole.
+  is_->clear();
+  is_->seekg(0);
+  std::string line;
+  if (!std::getline(*is_, line)) {
+    throw NetlistError(label_, -1, "empty netlist file (missing header)");
+  }
+  const auto tokens = split_ws(trim(line));
+  if (tokens.empty() || tokens[0] != kTextMagic) {
+    throw NetlistError(label_, -1,
+                       "bad netlist magic (expected 'ripnetlist 1' or "
+                       "binary 'RNLB')");
+  }
+  if (tokens.size() != 2 || tokens[1] != "1") {
+    throw NetlistError(label_, -1, "unsupported ripnetlist version");
+  }
+  format_ = NetlistFormat::kText;
+  offset_ = static_cast<std::uint64_t>(is_->tellg());
+}
+
+void NetlistReader::seek(std::uint64_t offset, std::uint64_t record_index) {
+  is_->clear();
+  is_->seekg(static_cast<std::streamoff>(offset));
+  if (!is_->good()) {
+    throw NetlistError(label_, static_cast<std::int64_t>(record_index),
+                       "cannot seek to checkpoint offset " +
+                           std::to_string(offset));
+  }
+  offset_ = offset;
+  index_ = record_index;
+}
+
+std::optional<NetlistRecord> NetlistReader::next() {
+  auto record = format_ == NetlistFormat::kBinary ? next_binary()
+                                                  : next_text();
+  if (record.has_value()) {
+    ++index_;
+    const auto pos = is_->tellg();
+    // tellg legitimately fails once EOF has been hit (the last record
+    // may end exactly at EOF); keep the last good boundary then.
+    if (pos != std::streampos(-1)) {
+      offset_ = static_cast<std::uint64_t>(pos);
+    }
+  }
+  return record;
+}
+
+std::optional<NetlistRecord> NetlistReader::next_text() {
+  RawRecord raw;
+  bool in_record = false;
+  bool done = false;
+  bool have_driver = false;
+  bool have_receiver = false;
+  std::string line;
+  while (!done && std::getline(*is_, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const auto tokens = split_ws(t);
+    const std::string& kind = tokens[0];
+    if (!in_record) {
+      if (kind != "net") {
+        fail("expected 'net <name>' at a record boundary, got '" + kind +
+             "'");
+      }
+      if (tokens.size() != 2) fail("'net' takes exactly one name token");
+      raw.name = tokens[1];
+      in_record = true;
+      continue;
+    }
+    const auto one_value = [&](const char* what) {
+      if (tokens.size() != 2) {
+        fail(std::string("'") + what + "' takes exactly one value");
+      }
+      return parse_double(tokens[1], what);
+    };
+    if (kind == "end") {
+      if (tokens.size() != 1) fail("'end' takes no tokens");
+      done = true;
+    } else if (kind == "target_fs") {
+      raw.tau_t_fs = one_value("target_fs");
+    } else if (kind == "driver") {
+      raw.driver_width_u = one_value("driver");
+      have_driver = true;
+    } else if (kind == "receiver") {
+      raw.receiver_width_u = one_value("receiver");
+      have_receiver = true;
+    } else if (kind == "segment") {
+      if ((tokens.size() - 1) % 2 != 0) fail("odd segment key/value list");
+      RawSegment s;
+      bool have_len = false, have_r = false, have_c = false;
+      for (std::size_t i = 1; i + 1 < tokens.size(); i += 2) {
+        const std::string& key = tokens[i];
+        if (key == "len_um") {
+          s.length_um = parse_double(tokens[i + 1], key);
+          have_len = true;
+        } else if (key == "r_ohm_per_um") {
+          s.r_ohm_per_um = parse_double(tokens[i + 1], key);
+          have_r = true;
+        } else if (key == "c_ff_per_um") {
+          s.c_ff_per_um = parse_double(tokens[i + 1], key);
+          have_c = true;
+        } else if (key == "layer") {
+          s.layer = tokens[i + 1];
+        } else {
+          fail("unknown segment key '" + key + "'");
+        }
+      }
+      if (!have_len || !have_r || !have_c) {
+        fail("segment needs len_um, r_ohm_per_um and c_ff_per_um");
+      }
+      raw.segments.push_back(std::move(s));
+    } else if (kind == "zone") {
+      if (tokens.size() != 3) fail("'zone' takes start and end");
+      raw.zones.push_back(ForbiddenZone{parse_double(tokens[1], "zone start"),
+                                        parse_double(tokens[2], "zone end")});
+    } else {
+      fail("unknown directive '" + kind + "'");
+    }
+  }
+  if (!in_record) {
+    if (is_->bad()) fail("I/O error while reading");
+    return std::nullopt;  // clean EOF at a record boundary
+  }
+  if (!done) fail("unexpected EOF inside record (missing 'end')");
+  if (!have_driver) fail("record is missing a 'driver' line");
+  if (!have_receiver) fail("record is missing a 'receiver' line");
+  return finish_record(std::move(raw), label_, index_);
+}
+
+std::optional<NetlistRecord> NetlistReader::next_binary() {
+  char prefix[4];
+  is_->read(prefix, 4);
+  if (is_->gcount() == 0 && is_->eof()) return std::nullopt;  // boundary EOF
+  if (is_->gcount() != 4) fail("truncated record length prefix");
+  std::uint32_t payload_bytes = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_bytes |= static_cast<std::uint32_t>(
+                         static_cast<unsigned char>(prefix[i]))
+                     << (8 * i);
+  }
+  if (payload_bytes > kMaxNetlistRecordBytes) {
+    fail("oversized record length prefix " + std::to_string(payload_bytes) +
+         " (limit " + std::to_string(kMaxNetlistRecordBytes) + " bytes)");
+  }
+  if (payload_bytes == 0) fail("empty record payload");
+  std::string payload(payload_bytes, '\0');
+  is_->read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (is_->gcount() != static_cast<std::streamsize>(payload_bytes)) {
+    fail("unexpected EOF inside record payload (got " +
+         std::to_string(is_->gcount()) + " of " +
+         std::to_string(payload_bytes) + " bytes)");
+  }
+
+  PayloadCursor cur(payload, label_, index_);
+  RawRecord raw;
+  raw.name = cur.str(cur.u16("name length"), "record name");
+  raw.driver_width_u = cur.f64("driver width");
+  raw.receiver_width_u = cur.f64("receiver width");
+  raw.tau_t_fs = cur.f64("timing target");
+  const std::uint32_t segment_count = cur.u32("segment count");
+  // A segment encodes to at least 26 bytes; a count the payload cannot
+  // possibly hold is rejected up front instead of cursor-tripping later.
+  if (segment_count > payload_bytes / 26) {
+    fail("segment count " + std::to_string(segment_count) +
+         " exceeds record payload");
+  }
+  raw.segments.reserve(segment_count);
+  for (std::uint32_t i = 0; i < segment_count; ++i) {
+    RawSegment s;
+    s.length_um = cur.f64("segment length");
+    s.r_ohm_per_um = cur.f64("segment resistance");
+    s.c_ff_per_um = cur.f64("segment capacitance");
+    s.layer = cur.str(cur.u16("layer length"), "segment layer");
+    raw.segments.push_back(std::move(s));
+  }
+  const std::uint32_t zone_count = cur.u32("zone count");
+  if (zone_count > payload_bytes / 16) {
+    fail("zone count " + std::to_string(zone_count) +
+         " exceeds record payload");
+  }
+  raw.zones.reserve(zone_count);
+  for (std::uint32_t i = 0; i < zone_count; ++i) {
+    const double start = cur.f64("zone start");
+    const double end = cur.f64("zone end");
+    raw.zones.push_back(ForbiddenZone{start, end});
+  }
+  if (cur.remaining() != 0) {
+    fail("record payload has " + std::to_string(cur.remaining()) +
+         " trailing bytes");
+  }
+  return finish_record(std::move(raw), label_, index_);
+}
+
+// ------------------------------------------------------------- writer
+
+NetlistWriter::NetlistWriter(const std::string& path, NetlistFormat format)
+    : file_(path, std::ios::binary), label_(path), format_(format) {
+  if (!file_.good()) {
+    throw NetlistError(path, -1, "cannot open netlist file for writing");
+  }
+  os_ = &file_;
+  if (format_ == NetlistFormat::kBinary) {
+    os_->write(kBinaryMagic, 4);
+    std::string v;
+    put_u32(v, kBinaryVersion);
+    os_->write(v.data(), static_cast<std::streamsize>(v.size()));
+  } else {
+    *os_ << kTextMagic << " 1\n";
+  }
+}
+
+NetlistWriter::NetlistWriter(std::ostream& os, NetlistFormat format,
+                             std::string label)
+    : os_(&os), label_(std::move(label)), format_(format) {
+  if (format_ == NetlistFormat::kBinary) {
+    os_->write(kBinaryMagic, 4);
+    std::string v;
+    put_u32(v, kBinaryVersion);
+    os_->write(v.data(), static_cast<std::streamsize>(v.size()));
+  } else {
+    *os_ << kTextMagic << " 1\n";
+  }
+}
+
+NetlistWriter::~NetlistWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; call close() directly for the error.
+  }
+}
+
+void NetlistWriter::add(const Net& net, double tau_t_fs) {
+  if (closed_) {
+    throw NetlistError(label_, static_cast<std::int64_t>(count_),
+                       "add() after close()");
+  }
+  if (!std::isfinite(tau_t_fs) || tau_t_fs < 0) {
+    throw NetlistError(label_, static_cast<std::int64_t>(count_),
+                       "timing target must be finite and >= 0 (0 = unset)");
+  }
+  if (format_ == NetlistFormat::kText) {
+    *os_ << "net " << net.name() << "\n";
+    if (tau_t_fs > 0) {
+      *os_ << "target_fs " << format_double_exact(tau_t_fs) << "\n";
+    }
+    *os_ << "driver " << format_double_exact(net.driver_width_u()) << "\n";
+    *os_ << "receiver " << format_double_exact(net.receiver_width_u())
+         << "\n";
+    for (const auto& s : net.segments()) {
+      *os_ << "segment len_um " << format_double_exact(s.length_um)
+           << " r_ohm_per_um " << format_double_exact(s.r_ohm_per_um)
+           << " c_ff_per_um " << format_double_exact(s.c_ff_per_um);
+      if (!s.layer.empty()) *os_ << " layer " << s.layer;
+      *os_ << "\n";
+    }
+    for (const auto& z : net.zones()) {
+      *os_ << "zone " << format_double_exact(z.start_um) << " "
+           << format_double_exact(z.end_um) << "\n";
+    }
+    *os_ << "end\n";
+  } else {
+    std::string payload;
+    payload.reserve(128 + net.segments().size() * 40);
+    if (net.name().size() > 0xffff) {
+      throw NetlistError(label_, static_cast<std::int64_t>(count_),
+                         "net name longer than 65535 bytes");
+    }
+    put_u16(payload, static_cast<std::uint16_t>(net.name().size()));
+    payload += net.name();
+    put_f64(payload, net.driver_width_u());
+    put_f64(payload, net.receiver_width_u());
+    put_f64(payload, tau_t_fs);
+    put_u32(payload, static_cast<std::uint32_t>(net.segments().size()));
+    for (const auto& s : net.segments()) {
+      put_f64(payload, s.length_um);
+      put_f64(payload, s.r_ohm_per_um);
+      put_f64(payload, s.c_ff_per_um);
+      if (s.layer.size() > 0xffff) {
+        throw NetlistError(label_, static_cast<std::int64_t>(count_),
+                           "layer name longer than 65535 bytes");
+      }
+      put_u16(payload, static_cast<std::uint16_t>(s.layer.size()));
+      payload += s.layer;
+    }
+    put_u32(payload, static_cast<std::uint32_t>(net.zones().size()));
+    for (const auto& z : net.zones()) {
+      put_f64(payload, z.start_um);
+      put_f64(payload, z.end_um);
+    }
+    if (payload.size() > kMaxNetlistRecordBytes) {
+      throw NetlistError(label_, static_cast<std::int64_t>(count_),
+                         "record payload exceeds " +
+                             std::to_string(kMaxNetlistRecordBytes) +
+                             " bytes");
+    }
+    std::string prefix;
+    put_u32(prefix, static_cast<std::uint32_t>(payload.size()));
+    os_->write(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+    os_->write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+  if (!os_->good()) {
+    throw NetlistError(label_, static_cast<std::int64_t>(count_),
+                       "write failed");
+  }
+  ++count_;
+}
+
+void NetlistWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  os_->flush();
+  if (!os_->good()) {
+    throw NetlistError(label_, static_cast<std::int64_t>(count_),
+                       "flush failed on close");
+  }
+  if (os_ == &file_) file_.close();
+}
+
+}  // namespace rip::net

@@ -1,0 +1,357 @@
+// Integration battery for the streaming sweep driver (eval/stream.hpp):
+//
+//   - Round-trip property: random workloads written to disk (text AND
+//     binary) and streamed through run_stream produce rows bit-identical
+//     to the in-memory eval::run_case path — across all three objective
+//     backends and jobs {1, 8}.
+//   - Checkpoint/resume determinism: runs killed at randomized points
+//     (stop_after, which skips the parting checkpoint exactly like a
+//     real kill) and resumed — possibly killed again — must end with
+//     output byte-for-byte identical to an uninterrupted run, including
+//     with a shared (and sharded) solve cache attached.
+//   - Backpressure: a tiny max_pending still completes and keeps the
+//     row order.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dp/min_delay.hpp"
+#include "eval/experiments.hpp"
+#include "eval/solve_cache.hpp"
+#include "eval/stream.hpp"
+#include "net/generator.hpp"
+#include "net/netlist_io.hpp"
+#include "tech/objective.hpp"
+#include "tech/technology.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rip;
+
+const tech::Technology& tech180() {
+  static const tech::Technology tech = tech::make_tech180();
+  return tech;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "stream_test_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// A deterministic workload of paper-shaped nets with stored targets
+/// (factor * tau_min), so the stream's worker never has to derive one.
+struct Workload {
+  std::vector<net::Net> nets;
+  std::vector<double> targets_fs;
+};
+
+Workload make_workload(int count, std::uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  net::RandomNetConfig config;
+  for (int i = 0; i < count; ++i) {
+    net::Net n = net::random_net(tech180(), config, rng,
+                                 "net_" + std::to_string(i));
+    const auto md = dp::min_delay(n, tech180().device(),
+                                  {10.0, 400.0, 10.0, 200.0});
+    w.targets_fs.push_back(rng.uniform(1.1, 1.9) * md.tau_min_fs);
+    w.nets.push_back(std::move(n));
+  }
+  return w;
+}
+
+void write_workload(const Workload& w, const std::string& path,
+                    net::NetlistFormat format) {
+  net::NetlistWriter writer(path, format);
+  for (std::size_t i = 0; i < w.nets.size(); ++i) {
+    writer.add(w.nets[i], w.targets_fs[i]);
+  }
+  writer.close();
+}
+
+/// The documented row format of eval/stream.hpp, reproduced from the
+/// in-memory CaseResult — the oracle the streamed CSV must match.
+std::string expected_csv(const Workload& w,
+                         const std::vector<eval::CaseResult>& results) {
+  std::string csv = "idx,name,tau_t_ns,rip_u,dp_u,impr_pct\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    csv += std::to_string(i) + "," + w.nets[i].name() + "," +
+           fmt_f(units::fs_to_ns(r.tau_t_fs), 3) + "," +
+           (r.rip_feasible ? fmt_f(r.rip_width_u, 0) : "VIOL") + "," +
+           (r.dp_feasible ? fmt_f(r.dp_width_u, 0) : "VIOL") + "," +
+           (r.rip_feasible && r.dp_feasible ? fmt_f(r.improvement_pct, 2)
+                                            : "-") +
+           "\n";
+  }
+  return csv;
+}
+
+std::vector<eval::CaseResult> in_memory_results(
+    const Workload& w, const tech::ObjectiveBackend* backend) {
+  eval::SolveContext context;
+  context.backend = backend;
+  std::vector<eval::CaseResult> results;
+  const auto baseline = core::BaselineOptions::uniform_library(10.0, 10.0, 10);
+  for (std::size_t i = 0; i < w.nets.size(); ++i) {
+    results.push_back(eval::run_case(w.nets[i], tech180(), w.targets_fs[i],
+                                     core::RipOptions{}, baseline, context));
+  }
+  return results;
+}
+
+// ------------------------------------------- round-trip vs in-memory
+
+struct RoundTripCase {
+  const char* backend;  ///< "" = the paper objective (nullptr backend)
+  int jobs;
+  net::NetlistFormat format;
+};
+
+class StreamRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(StreamRoundTripTest, MatchesInMemorySolvesBitIdentically) {
+  const RoundTripCase param = GetParam();
+  const Workload w = make_workload(6, 2005);
+  const std::string tag =
+      std::string(param.backend[0] ? param.backend : "paper") + "_j" +
+      std::to_string(param.jobs) +
+      (param.format == net::NetlistFormat::kText ? "_t" : "_b");
+  const std::string input = temp_path(tag + ".rnl");
+  const std::string output = temp_path(tag + ".csv");
+  write_workload(w, input, param.format);
+
+  std::unique_ptr<tech::ObjectiveBackend> backend;
+  if (param.backend[0] != '\0') {
+    backend = tech::make_backend(param.backend, tech180());
+  }
+
+  eval::StreamOptions options;
+  options.jobs = param.jobs;
+  options.max_pending = 4;
+  options.context.backend = backend.get();
+  const auto result = eval::run_stream(tech180(), input, output, options);
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.rows_written, w.nets.size());
+  EXPECT_EQ(result.rows_total, w.nets.size());
+
+  EXPECT_EQ(slurp(output), expected_csv(w, in_memory_results(w, backend.get())));
+  std::filesystem::remove(input);
+  std::filesystem::remove(output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsJobsFormats, StreamRoundTripTest,
+    ::testing::Values(
+        RoundTripCase{"", 1, net::NetlistFormat::kText},
+        RoundTripCase{"", 8, net::NetlistFormat::kBinary},
+        RoundTripCase{"activity", 1, net::NetlistFormat::kBinary},
+        RoundTripCase{"activity", 8, net::NetlistFormat::kText},
+        RoundTripCase{"lowswing", 1, net::NetlistFormat::kBinary},
+        RoundTripCase{"lowswing", 8, net::NetlistFormat::kText}),
+    [](const auto& info) {
+      return std::string(info.param.backend[0] ? info.param.backend
+                                               : "paper") +
+             "_jobs" + std::to_string(info.param.jobs) +
+             (info.param.format == net::NetlistFormat::kText ? "_text"
+                                                             : "_binary");
+    });
+
+// --------------------------------------- checkpoint/resume determinism
+
+struct ResumeVariant {
+  const char* name;
+  int jobs;
+  std::size_t max_pending;
+  bool cache;
+  std::size_t cache_shards;
+};
+
+class StreamResumeTest : public ::testing::TestWithParam<ResumeVariant> {};
+
+TEST_P(StreamResumeTest, KilledAndResumedOutputIsByteIdentical) {
+  const ResumeVariant variant = GetParam();
+  const int kNetCount = 18;
+  const Workload w = make_workload(kNetCount, 99);
+  const std::string input = temp_path(std::string(variant.name) + ".rnlb");
+  write_workload(w, input, net::NetlistFormat::kBinary);
+
+  const auto make_options = [&](std::unique_ptr<eval::SolveCache>& cache) {
+    eval::StreamOptions options;
+    options.jobs = variant.jobs;
+    options.max_pending = variant.max_pending;
+    if (variant.cache) {
+      eval::SolveCacheOptions cache_options;
+      cache_options.capacity = 256;
+      cache_options.shard_count = variant.cache_shards;
+      cache = std::make_unique<eval::SolveCache>(cache_options);
+      options.context.cache = cache.get();
+    }
+    return options;
+  };
+
+  // The golden: one uninterrupted run (checkpoints on — they must not
+  // perturb the rows).
+  const std::string golden_csv = temp_path(std::string(variant.name) + "_g.csv");
+  const std::string golden_ckpt =
+      temp_path(std::string(variant.name) + "_g.ckpt");
+  {
+    std::unique_ptr<eval::SolveCache> cache;
+    auto options = make_options(cache);
+    options.checkpoint_every = 5;
+    options.checkpoint_path = golden_ckpt;
+    const auto result = eval::run_stream(tech180(), input, golden_csv, options);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.rows_total, static_cast<std::uint64_t>(kNetCount));
+  }
+  const std::string golden = slurp(golden_csv);
+
+  // Kill/resume chains at randomized cut points: each chain runs with
+  // stop_after until a run reports finished, then the bytes must match.
+  Rng rng(1234);
+  for (int chain = 0; chain < 3; ++chain) {
+    const std::string csv = temp_path(std::string(variant.name) + "_c" +
+                                      std::to_string(chain) + ".csv");
+    const std::string ckpt = temp_path(std::string(variant.name) + "_c" +
+                                       std::to_string(chain) + ".ckpt");
+    std::filesystem::remove(ckpt);
+    bool finished = false;
+    bool resume = false;
+    int runs = 0;
+    std::uint64_t total = 0;
+    while (!finished) {
+      ASSERT_LT(runs, 32) << "resume chain did not converge";
+      std::unique_ptr<eval::SolveCache> cache;
+      auto options = make_options(cache);
+      options.checkpoint_every = 4;
+      options.checkpoint_path = ckpt;
+      options.resume = resume;
+      // A kill point anywhere in the remaining work (often NOT on a
+      // checkpoint boundary, so resume must truncate written rows).
+      if (rng.bernoulli(0.8) && total < kNetCount) {
+        options.stop_after = static_cast<std::uint64_t>(
+            rng.uniform_int(1, kNetCount - static_cast<int>(total)));
+      }
+      const auto result = eval::run_stream(tech180(), input, csv, options);
+      EXPECT_EQ(result.resumed_from, resume ? total : 0u);
+      // resumed_from reflects the last CHECKPOINT, not rows written, so
+      // recompute the durable row count from the result.
+      total = result.finished
+                  ? result.rows_total
+                  : (result.rows_total / 4) * 4;  // last checkpoint cut
+      finished = result.finished;
+      resume = true;
+      ++runs;
+    }
+    EXPECT_EQ(slurp(csv), golden)
+        << variant.name << " chain " << chain << " diverged after " << runs
+        << " runs";
+    std::filesystem::remove(csv);
+    std::filesystem::remove(ckpt);
+  }
+  std::filesystem::remove(input);
+  std::filesystem::remove(golden_csv);
+  std::filesystem::remove(golden_ckpt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, StreamResumeTest,
+    ::testing::Values(ResumeVariant{"serial", 1, 4, false, 1},
+                      ResumeVariant{"parallel", 8, 4, false, 1},
+                      ResumeVariant{"cached", 8, 4, true, 1},
+                      ResumeVariant{"cached_sharded", 8, 4, true, 8},
+                      ResumeVariant{"tight_window", 8, 1, false, 1}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ------------------------------------------------------- guard rails
+
+TEST(StreamGuards, BackpressureWindowStillCompletesInOrder) {
+  const Workload w = make_workload(10, 7);
+  const std::string input = temp_path("backpressure.rnlb");
+  const std::string output = temp_path("backpressure.csv");
+  write_workload(w, input, net::NetlistFormat::kBinary);
+
+  eval::StreamOptions options;
+  options.jobs = 4;
+  options.max_pending = 1;  // window of 16, queue of 1: maximal stalls
+  const auto result = eval::run_stream(tech180(), input, output, options);
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.rows_written, 10u);
+  EXPECT_EQ(slurp(output), expected_csv(w, in_memory_results(w, nullptr)));
+  std::filesystem::remove(input);
+  std::filesystem::remove(output);
+}
+
+TEST(StreamGuards, ResumeRejectsMismatchedInput) {
+  const Workload w = make_workload(6, 11);
+  const std::string input = temp_path("mismatch.rnlb");
+  const std::string output = temp_path("mismatch.csv");
+  const std::string ckpt = temp_path("mismatch.ckpt");
+  write_workload(w, input, net::NetlistFormat::kBinary);
+
+  eval::StreamOptions options;
+  options.checkpoint_every = 2;
+  options.checkpoint_path = ckpt;
+  options.stop_after = 3;
+  const auto partial = eval::run_stream(tech180(), input, output, options);
+  EXPECT_FALSE(partial.finished);
+
+  // Grow the input behind the checkpoint's back: resume must refuse.
+  const Workload wider = make_workload(7, 11);
+  write_workload(wider, input, net::NetlistFormat::kBinary);
+  options.stop_after = 0;
+  options.resume = true;
+  EXPECT_THROW(eval::run_stream(tech180(), input, output, options), Error);
+
+  std::filesystem::remove(input);
+  std::filesystem::remove(output);
+  std::filesystem::remove(ckpt);
+}
+
+TEST(StreamGuards, CheckpointEveryRequiresPath) {
+  eval::StreamOptions options;
+  options.checkpoint_every = 5;
+  EXPECT_THROW(eval::run_stream(tech180(), "in.rnl", "out.csv", options),
+               Error);
+}
+
+TEST(StreamGuards, MissingTargetIsDerivedInWorker) {
+  // One record with tau == 0: the worker derives default_target_x *
+  // tau_min; the row must match an in-memory solve at that target.
+  Workload w = make_workload(1, 3);
+  const std::string input = temp_path("derived.rnl");
+  const std::string output = temp_path("derived.csv");
+  {
+    net::NetlistWriter writer(input, net::NetlistFormat::kText);
+    writer.add(w.nets[0], 0.0);
+    writer.close();
+  }
+  eval::StreamOptions options;
+  options.default_target_x = 1.4;
+  const auto result = eval::run_stream(tech180(), input, output, options);
+  EXPECT_TRUE(result.finished);
+  const auto md = dp::min_delay(w.nets[0], tech180().device());
+  w.targets_fs[0] = 1.4 * md.tau_min_fs;
+  EXPECT_EQ(slurp(output), expected_csv(w, in_memory_results(w, nullptr)));
+  std::filesystem::remove(input);
+  std::filesystem::remove(output);
+}
+
+}  // namespace
