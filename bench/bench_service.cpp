@@ -196,6 +196,24 @@ int main(int argc, char** argv) try {
     table.print(std::cout);
     std::cout << "(submits beyond the bound block until the dispatcher "
                  "drains the queue — that blocking IS the backpressure)\n";
+
+    // Service-side latency histograms (ServiceStats): how long cases
+    // sat queued vs how long they ran. Quantiles are upper bounds of
+    // power-of-two buckets; mean/max are exact.
+    const eval::ServiceStats stats = service.stats();
+    std::cout << "\n--- service histograms (" << stats.cases_evaluated
+              << " cases, " << stats.retries << " retries) ---\n";
+    Table hist({"metric", "mean_ms", "p50_ms", "p90_ms", "p99_ms",
+                "max_ms"});
+    const auto add_snapshot = [&hist](const char* name,
+                                      const LatencySnapshot& s) {
+      hist.add_row({name, fmt_f(s.mean_ms, 3), fmt_f(s.p50_ms, 3),
+                    fmt_f(s.p90_ms, 3), fmt_f(s.p99_ms, 3),
+                    fmt_f(s.max_ms, 3)});
+    };
+    add_snapshot("queue time", stats.queue_time);
+    add_snapshot("run time", stats.run_time);
+    hist.print(std::cout);
   }
 
   // ------------------------------------------------------- identity

@@ -69,6 +69,7 @@
 #include "tech/technology.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -107,8 +108,17 @@ int usage(int rc = 2) {
       "  stream   --in file.rnl[b] --out rows.csv [--jobs N]\n"
       "           [--max-pending N] [--checkpoint file --every N]\n"
       "           [--resume] [--stop-after N] [--target-x F]\n"
-      "           [--cache] [--cache-capacity N] [--backend NAME]\n"
-      "common:    [--tech kit.tech]   (--jobs 0 = all hardware threads;\n"
+      "           [--errors quarantine.csv] [--deadline-ms F]\n"
+      "           [--retry N] [--retry-base-ms N]\n"
+      "           [--cache] [--cache-capacity N] [--cache-bytes N]\n"
+      "           [--cache-ttl-ms N] [--backend NAME]\n"
+      "           exit codes: 0 ok, 2 error, 3 stopped early,\n"
+      "           4 finished with quarantined records, 5 crashed\n"
+      "common:    [--tech kit.tech] [--faults SPEC [--fault-seed N]]\n"
+      "           (--faults = deterministic fault injection, e.g.\n"
+      "           'netlist.read:err@17;solve.delay:50ms@p=0.01';\n"
+      "           see util/fault.hpp for the grammar;\n"
+      "           --jobs 0 = all hardware threads;\n"
       "           --shard I/N = solve shard I of an N-way split;\n"
       "           --cache = share one Pareto-frontier solve cache across\n"
       "           the sweep's points — identical output, hit/miss stats\n"
@@ -132,13 +142,13 @@ net::Net load_net(const CliArgs& args) {
 }
 
 /// Service options for `--async`: worker threads from --jobs and the
-/// bounded pending queue from --max-pending (0 = unbounded).
+/// bounded pending queue from --max-pending (absent = unbounded; an
+/// explicit --max-pending 0 is rejected — say what you mean).
 eval::ServiceOptions async_service_options(const CliArgs& args, int jobs) {
-  const int max_pending = args.get_int_or("max-pending", 0);
-  RIP_REQUIRE(max_pending >= 0, "--max-pending must be >= 0 (0 = unbounded)");
   eval::ServiceOptions options;
   options.jobs = jobs;
-  options.max_pending = static_cast<std::size_t>(max_pending);
+  options.max_pending =
+      static_cast<std::size_t>(count_option(args, "max-pending", 0, 1));
   return options;
 }
 
@@ -149,12 +159,17 @@ std::unique_ptr<eval::SolveCache> make_cache(const CliArgs& args) {
   if (!args.has("cache")) {
     RIP_REQUIRE(!args.has("cache-capacity"),
                 "--cache-capacity requires --cache");
+    RIP_REQUIRE(!args.has("cache-bytes"), "--cache-bytes requires --cache");
+    RIP_REQUIRE(!args.has("cache-ttl-ms"),
+                "--cache-ttl-ms requires --cache");
     return nullptr;
   }
-  const int capacity = args.get_int_or("cache-capacity", 1024);
-  RIP_REQUIRE(capacity >= 1, "--cache-capacity must be >= 1");
   eval::SolveCacheOptions options;
-  options.capacity = static_cast<std::size_t>(capacity);
+  options.capacity =
+      static_cast<std::size_t>(count_option(args, "cache-capacity", 1024, 1));
+  options.max_bytes = count_option(args, "cache-bytes", 0, 1);
+  options.ttl = std::chrono::milliseconds(
+      count_option(args, "cache-ttl-ms", 0, 1));
   return std::make_unique<eval::SolveCache>(options);
 }
 
@@ -644,20 +659,26 @@ int cmd_stream(const CliArgs& args) {
   const tech::Technology tech = load_tech(args);
   eval::StreamOptions options;
   options.jobs = parallel_jobs(args);
-  const int max_pending = args.get_int_or("max-pending", 64);
-  RIP_REQUIRE(max_pending >= 0, "--max-pending must be >= 0 (0 = unbounded)");
-  options.max_pending = static_cast<std::size_t>(max_pending);
-  const int every = args.get_int_or("every", 0);
-  RIP_REQUIRE(every >= 0, "--every must be >= 0 (0 = no checkpoints)");
-  options.checkpoint_every = static_cast<std::uint64_t>(every);
+  // Strict counts: absent flags keep their defaults, but an explicit
+  // nonsensical value (--max-pending 0, --every 0, --stop-after 0,
+  // anything negative or non-numeric) is rejected up front with a
+  // uniform message instead of surfacing as a confusing hang or no-op.
+  options.max_pending =
+      static_cast<std::size_t>(count_option(args, "max-pending", 64, 1));
+  options.checkpoint_every = count_option(args, "every", 0, 1);
   if (const auto ckpt = args.get("checkpoint")) options.checkpoint_path = *ckpt;
-  RIP_REQUIRE(options.checkpoint_path.empty() || every > 0,
+  RIP_REQUIRE(options.checkpoint_path.empty() || options.checkpoint_every > 0,
               "--checkpoint requires --every N");
   options.resume = args.has("resume");
-  const int stop_after = args.get_int_or("stop-after", 0);
-  RIP_REQUIRE(stop_after >= 0, "--stop-after must be >= 0");
-  options.stop_after = static_cast<std::uint64_t>(stop_after);
+  options.stop_after = count_option(args, "stop-after", 0, 1);
   options.default_target_x = args.get_double_or("target-x", 1.5);
+  if (const auto errors = args.get("errors")) options.errors_path = *errors;
+  options.deadline_ms = args.get_double_or("deadline-ms", 0.0);
+  RIP_REQUIRE(options.deadline_ms >= 0, "--deadline-ms must be >= 0");
+  options.retry.max_attempts =
+      static_cast<int>(count_option(args, "retry", 1, 1));
+  options.retry.base = std::chrono::milliseconds(
+      count_option(args, "retry-base-ms", 1, 1));
   const std::unique_ptr<eval::SolveCache> cache = make_cache(args);
   const std::unique_ptr<tech::ObjectiveBackend> backend =
       backend_option(args, tech);
@@ -669,8 +690,9 @@ int cmd_stream(const CliArgs& args) {
   print_cache_stats(cache.get());
   std::cerr << "stream: " << result.rows_written << " rows this run ("
             << result.rows_total << " total, resumed from "
-            << result.resumed_from << "), " << result.checkpoints_written
-            << " checkpoints, "
+            << result.resumed_from << "), " << result.rows_quarantined
+            << " quarantined (" << result.quarantined_total << " total), "
+            << result.checkpoints_written << " checkpoints, "
             << (result.finished ? "finished" : "stopped early") << ", "
             << fmt_f(result.elapsed_s, 2) << " s";
   if (result.elapsed_s > 0) {
@@ -679,7 +701,11 @@ int cmd_stream(const CliArgs& args) {
               << " nets/s";
   }
   std::cerr << "\n";
-  return result.finished ? 0 : 3;
+  // Exit codes: 0 = clean, 3 = stopped early (stop_after), 4 = finished
+  // but with quarantined records (partial success — the sidecar has the
+  // casualty list). Crashes and hard errors exit from main (5 and 2).
+  if (!result.finished) return 3;
+  return result.quarantined_total > 0 ? 4 : 0;
 }
 
 int cmd_check(const CliArgs& args) {
@@ -717,6 +743,14 @@ int main(int argc, char** argv) {
         CliArgs::parse(argc, argv,
                        {"zone-hop", "help", "async", "cache", "resume"});
     if (args.has("help")) return usage(0);
+    // --faults overrides any RIP_FAULTS env configuration; --fault-seed
+    // feeds the deterministic p= triggers.
+    if (const auto faults = args.get("faults")) {
+      rip::FaultInjector::configure(*faults,
+                                    count_option(args, "fault-seed", 0));
+    } else {
+      RIP_REQUIRE(!args.has("fault-seed"), "--fault-seed requires --faults");
+    }
     int rc;
     if (args.command() == "gen") rc = cmd_gen(args);
     else if (args.command() == "info") rc = cmd_info(args);
@@ -733,6 +767,12 @@ int main(int argc, char** argv) {
       std::cerr << "warning: unused option --" << name << "\n";
     }
     return rc;
+  } catch (const rip::InjectedCrash& e) {
+    // The simulated process kill: no recovery layer may swallow it, so
+    // it surfaces here with its own exit code — resume tests treat a
+    // 5 exactly like a SIGKILL.
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 5;
   } catch (const rip::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

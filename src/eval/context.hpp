@@ -19,7 +19,11 @@
 /// workspace — they reject a non-null `workspace`, which would be a
 /// data race. Pass a workspace only to the single-threaded run_case.
 
+#include <cstdint>
+
 #include "eval/solve_cache.hpp"
+#include "util/deadline.hpp"
+#include "util/fault.hpp"
 
 namespace rip::dp {
 class Workspace;
@@ -45,6 +49,15 @@ struct SolveContext {
   /// Objective backend (tech/objective.hpp) minimized by every DP solve
   /// and by RIP's stage arbitration; nullptr = the paper's objective.
   const tech::ObjectiveBackend* backend = nullptr;
+  /// Cooperative per-case deadline checked between solve stages;
+  /// nullptr = no deadline. A blown deadline throws DeadlineExceeded
+  /// from run_case (never a partial result).
+  const Deadline* deadline = nullptr;
+  /// Stable identity for this case at the solve.* fault points (record
+  /// index in a stream, case index in a batch), so injected faults hit
+  /// the same cases at any job count. kFaultAutoKey = per-point arrival
+  /// order (schedule-dependent).
+  std::uint64_t fault_key = kFaultAutoKey;
 };
 
 }  // namespace rip::eval

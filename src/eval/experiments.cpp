@@ -23,6 +23,14 @@ CaseResult run_case(const net::Net& net, const tech::Technology& tech,
   CaseResult out;
   out.tau_t_fs = tau_t_fs;
 
+  // Injected worker faults, keyed by the case's stable identity so the
+  // same cases fault at any job count: a latency spike first (so a
+  // spike can push a deadlined case over its budget), then an error.
+  fire_fault("solve.delay", context.fault_key);
+  fire_fault("solve.err", context.fault_key);
+  const Deadline* deadline = context.deadline;
+  if (deadline != nullptr) deadline->check("case start");
+
   WallTimer timer;
   const core::RipResult rip =
       core::rip_insert(net, tech.device(), tau_t_fs, rip_options, ws,
@@ -30,6 +38,8 @@ CaseResult run_case(const net::Net& net, const tech::Technology& tech,
   out.rip_runtime_s = timer.seconds();
   out.rip_feasible = rip.status == dp::Status::kOptimal;
   out.rip_width_u = rip.total_width_u;
+
+  if (deadline != nullptr) deadline->check("between RIP and baseline");
 
   timer.reset();
   const dp::ChainDpResult dp =

@@ -53,6 +53,12 @@ struct Case {
   double tau_t_fs;
   core::RipOptions rip;
   core::BaselineOptions baseline;
+  /// Cooperative per-case deadline in milliseconds (<= 0 = none). The
+  /// evaluating thread checks it between solve stages; a blown budget
+  /// fails this case's future with util::DeadlineExceeded without
+  /// touching its batch neighbours. Each retry attempt (see
+  /// ServiceOptions::retry) gets a fresh budget.
+  double deadline_ms = 0;
 };
 
 /// Knobs of the batch engine.

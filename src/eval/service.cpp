@@ -4,10 +4,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <iterator>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 namespace rip::eval {
@@ -53,6 +55,8 @@ struct QueueEntry {
   std::shared_ptr<BatchState> batch;
   std::size_t slot = 0;
   Priority priority = Priority::kNormal;
+  /// When the entry was accepted — settle() turns it into queue time.
+  std::chrono::steady_clock::time_point enqueued;
 };
 
 /// The queue and dispatch flags shared by the service, its dispatcher
@@ -65,7 +69,11 @@ struct ServiceState {
   bool paused = false;
   bool stopping = false;
   bool round_in_flight = false;
+  RetryPolicy retry;                 ///< immutable after construction
   std::atomic<std::uint64_t> evaluated{0};  ///< cases actually run
+  std::atomic<std::uint64_t> retries{0};    ///< transient re-runs
+  LatencyHistogram queue_time;  ///< accepted -> picked up by a worker
+  LatencyHistogram run_time;    ///< evaluation wall time (all attempts)
 };
 
 namespace {
@@ -96,6 +104,26 @@ void finish_slot(BatchState& batch) {
   }
 }
 
+/// Run an entry's thunk under the service's retry policy: transient
+/// errors (util::TransientError — flaky I/O, injected 'err' faults)
+/// are retried with deterministic exponential backoff, everything else
+/// propagates on the first throw.
+CaseResult solve_with_retry(ServiceState& service, QueueEntry& entry) {
+  const RetryPolicy& retry = service.retry;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return entry.solve();
+    } catch (const TransientError&) {
+      if (attempt >= retry.max_attempts) throw;
+      service.retries.fetch_add(1, std::memory_order_relaxed);
+      if (retry.base.count() > 0) {
+        std::this_thread::sleep_for(retry.base * (std::int64_t{1}
+                                                  << (attempt - 1)));
+      }
+    }
+  }
+}
+
 /// Evaluate one queue entry and settle its promise. Never throws: the
 /// thunk's exception becomes the future's exception and nothing else —
 /// which is what keeps one failing case from touching its neighbours.
@@ -123,14 +151,32 @@ void settle(ServiceState& service, QueueEntry& entry) {
     // out before rethrowing).
     std::promise<CaseResult> promise =
         std::move(batch.promises[entry.slot]);
+    const auto started = std::chrono::steady_clock::now();
+    service.queue_time.record_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            started - entry.enqueued)
+            .count()));
+    // Record run_time and count the evaluation BEFORE settling the
+    // promise: the instant set_value/set_exception runs, a consumer
+    // blocked in future.get() may wake and read stats(), and the
+    // counters must already reflect this case.
+    const auto book_evaluation = [&] {
+      service.run_time.record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count()));
+      service.evaluated.fetch_add(1, std::memory_order_relaxed);
+    };
     try {
-      promise.set_value(entry.solve());
+      CaseResult result = solve_with_retry(service, entry);
+      book_evaluation();
+      promise.set_value(std::move(result));
       batch.completed.fetch_add(1);
     } catch (...) {
+      book_evaluation();
       promise.set_exception(std::current_exception());
       batch.failed.fetch_add(1);
     }
-    service.evaluated.fetch_add(1, std::memory_order_relaxed);
   }
   finish_slot(batch);
 }
@@ -252,7 +298,10 @@ EvalService::EvalService(const tech::Technology& tech,
   RIP_REQUIRE(options_.context.workspace == nullptr,
               "EvalService evaluates on service-thread-local workspaces; "
               "ServiceOptions::context.workspace must stay nullptr");
+  RIP_REQUIRE(options_.retry.max_attempts >= 1,
+              "ServiceOptions::retry.max_attempts must be >= 1");
   state_->paused = options.start_paused;
+  state_->retry = options_.retry;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -291,6 +340,7 @@ void EvalService::enqueue(std::function<CaseResult()> solve,
     entry.batch = batch;
     entry.slot = slot;
     entry.priority = priority;
+    entry.enqueued = std::chrono::steady_clock::now();
     state->queue.push_back(std::move(entry));
   }
   state->work_cv.notify_all();
@@ -318,9 +368,12 @@ std::future<CaseResult> EvalService::submit(const Case& c,
         // own DP workspace, so each scheduler participant reuses its
         // arenas across every case it runs or steals; the service-wide
         // frontier cache and objective backend (if any) are shared by
-        // all of them.
+        // all of them. The deadline lives on this thread's stack for
+        // exactly one attempt — a retry starts a fresh budget.
         SolveContext ctx = context;
         ctx.workspace = &dp::Workspace::local();
+        const Deadline deadline(c.deadline_ms);
+        if (deadline.active()) ctx.deadline = &deadline;
         return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline, ctx);
       },
       priority);
@@ -347,10 +400,16 @@ BatchHandle EvalService::submit_batch(const std::vector<Case>& cases,
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const Case c = cases[i];
     enqueue(
-        [c, &tech, context] {
-          // Same per-participant workspace/context hand-off as submit().
+        [c, i, &tech, context] {
+          // Same per-participant workspace/context/deadline hand-off as
+          // submit(). The batch slot is the case's stable fault-point
+          // key (unless the caller pinned one), so keyed solve.* faults
+          // hit the same cases at any job count.
           SolveContext ctx = context;
           ctx.workspace = &dp::Workspace::local();
+          if (ctx.fault_key == kFaultAutoKey) ctx.fault_key = i;
+          const Deadline deadline(c.deadline_ms);
+          if (deadline.active()) ctx.deadline = &deadline;
           return run_case(*c.net, tech, c.tau_t_fs, c.rip, c.baseline, ctx);
         },
         batch, i, priority);
@@ -388,6 +447,9 @@ std::size_t EvalService::cancel_pending() {
 ServiceStats EvalService::stats() const {
   ServiceStats out;
   out.cases_evaluated = state_->evaluated.load();
+  out.retries = state_->retries.load();
+  out.queue_time = state_->queue_time.snapshot();
+  out.run_time = state_->run_time.snapshot();
   if (options_.context.cache != nullptr) {
     out.cache_attached = true;
     out.cache = options_.context.cache->stats();

@@ -38,6 +38,7 @@
 /// splits that build workloads happen before cases are submitted, so
 /// the seed-2005 golden pins hold through the service.
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <future>
@@ -50,6 +51,7 @@
 #include "eval/parallel.hpp"
 #include "tech/technology.hpp"
 #include "util/error.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rip::eval {
@@ -58,6 +60,19 @@ namespace rip::eval {
 /// between dispatch rounds; within one priority, submission (FIFO)
 /// order is kept.
 enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+/// Transient-failure retry policy. An evaluation that throws a
+/// util::TransientError (flaky I/O, an injected 'err' fault) is re-run
+/// up to max_attempts times total, sleeping base * 2^(attempt-1)
+/// between attempts — deterministic backoff, no jitter, so test runs
+/// are reproducible. Non-transient errors (including DeadlineExceeded
+/// and injected 'fail' faults) are never retried.
+struct RetryPolicy {
+  /// Total attempts per case, including the first (>= 1; 1 = no retry).
+  int max_attempts = 1;
+  /// Backoff unit: sleep base * 2^(attempt-1) after failed attempt N.
+  std::chrono::milliseconds base{1};
+};
 
 /// Knobs of the async service.
 struct ServiceOptions {
@@ -74,6 +89,8 @@ struct ServiceOptions {
   /// Construct with dispatch paused (submissions queue up but nothing
   /// runs until resume()) — for tests and staged startup.
   bool start_paused = false;
+  /// Transient-failure retry policy applied to every evaluation.
+  RetryPolicy retry;
   /// Ambient solve state (eval/context.hpp): the shared frontier cache
   /// consulted by every case's target-independent DP solves (results
   /// are bit-identical with or without it; EvalService::stats()
@@ -89,6 +106,15 @@ struct ServiceStats {
   /// Cases this service has evaluated to completion or failure
   /// (cancelled cases are not evaluations and are not counted).
   std::uint64_t cases_evaluated = 0;
+  /// Transient-failure re-runs performed under ServiceOptions::retry
+  /// (an evaluation that succeeds on attempt 3 counts 2 retries).
+  std::uint64_t retries = 0;
+  /// Latency distributions: time a case sat queued before a worker
+  /// picked it up, and time the evaluation itself ran (all attempts of
+  /// a retried case count as one run). Quantiles are upper bounds of
+  /// power-of-two buckets; count/mean/max are exact.
+  LatencySnapshot queue_time;
+  LatencySnapshot run_time;
   /// Whether a SolveCache is attached; `cache` is all zeros otherwise.
   bool cache_attached = false;
   SolveCacheStats cache;

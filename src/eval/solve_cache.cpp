@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/fault.hpp"
 #include "util/hash.hpp"
 
 namespace rip::eval {
@@ -15,6 +16,10 @@ SolveCache::SolveCache(const SolveCacheOptions& options) {
   const std::size_t shards =
       std::clamp<std::size_t>(options.shard_count, 1, capacity_);
   shard_capacity_ = (capacity_ + shards - 1) / shards;
+  if (options.max_bytes > 0) {
+    shard_byte_budget_ = std::max<std::uint64_t>(1, options.max_bytes / shards);
+  }
+  ttl_ = options.ttl;
   shards_ = std::vector<Shard>(shards);
 }
 
@@ -34,13 +39,42 @@ std::shared_ptr<const dp::ChainFrontierSolve> SolveCache::lookup(
     ++shard.misses;
     return nullptr;
   }
+  // Lazy TTL expiry: an over-age entry answers nothing and is dropped on
+  // the spot (the caller re-solves and re-inserts a fresh frontier).
+  if (ttl_.count() > 0 &&
+      std::chrono::steady_clock::now() - it->second.stored_at >= ttl_) {
+    shard.bytes -= it->second.solve->bytes();
+    shard.lru.erase(it->second.lru_it);
+    shard.map.erase(it);
+    ++shard.ttl_evictions;
+    ++shard.misses;
+    return nullptr;
+  }
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   return it->second.solve;
 }
 
+void SolveCache::evict_lru(Shard& shard) {
+  const std::uint64_t victim = shard.lru.back();
+  const auto vit = shard.map.find(victim);
+  shard.bytes -= vit->second.solve->bytes();
+  shard.map.erase(vit);
+  shard.lru.pop_back();
+  ++shard.evictions;
+}
+
 std::shared_ptr<const dp::ChainFrontierSolve> SolveCache::insert(
     std::uint64_t key, dp::ChainFrontierSolve solve) {
+  // Injected insert failure: the solve is still handed back to the
+  // caller (results stay correct); it just is not retained, so the
+  // cache degrades to extra misses — never to wrong answers.
+  if (fire_fault_soft("cache.insert", key)) {
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.insert_failures;
+    return std::make_shared<const dp::ChainFrontierSolve>(std::move(solve));
+  }
   Shard& shard = shard_of(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.map.find(key);
@@ -53,19 +87,22 @@ std::shared_ptr<const dp::ChainFrontierSolve> SolveCache::insert(
     return it->second.solve;
   }
   while (shard.map.size() >= shard_capacity_) {
-    const std::uint64_t victim = shard.lru.back();
-    const auto vit = shard.map.find(victim);
-    shard.bytes -= vit->second.solve->bytes();
-    shard.map.erase(vit);
-    shard.lru.pop_back();
-    ++shard.evictions;
+    evict_lru(shard);
   }
   auto stored =
       std::make_shared<const dp::ChainFrontierSolve>(std::move(solve));
   shard.lru.push_front(key);
   shard.bytes += stored->bytes();
-  shard.map.emplace(key, Entry{stored, shard.lru.begin()});
+  shard.map.emplace(key, Entry{stored, shard.lru.begin(),
+                               std::chrono::steady_clock::now()});
   ++shard.insertions;
+  // Byte budget: evict LRU tails until under budget, but never the entry
+  // just stored — a single oversized frontier must pass through, not
+  // pin the insert path in a livelock.
+  while (shard_byte_budget_ > 0 && shard.bytes > shard_byte_budget_ &&
+         shard.map.size() > 1) {
+    evict_lru(shard);
+  }
   return stored;
 }
 
@@ -86,6 +123,8 @@ SolveCacheStats SolveCache::stats() const {
     out.misses += shard.misses;
     out.insertions += shard.insertions;
     out.evictions += shard.evictions;
+    out.ttl_evictions += shard.ttl_evictions;
+    out.insert_failures += shard.insert_failures;
     out.entries += shard.map.size();
     out.bytes += shard.bytes;
   }

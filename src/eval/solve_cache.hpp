@@ -27,6 +27,7 @@
 ///    (ceil(capacity/shards) each). With capacity <= shards the shard
 ///    count collapses to 1 so eviction pressure behaves as a strict
 ///    global LRU (the capacity-1 property tests rely on this).
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -45,6 +46,17 @@ struct SolveCacheOptions {
   /// Requested shard count; clamped to [1, capacity]. More shards =
   /// less lock contention, slightly sloppier per-shard LRU capacity.
   std::size_t shard_count = 16;
+  /// Byte budget across all shards (0 = unbounded). Enforced per shard
+  /// (budget/shards each) by LRU eviction on insert, so a long-lived
+  /// service under an adversarial key stream degrades hit rate instead
+  /// of growing without bound. A shard always keeps at least its newest
+  /// entry, so one oversized frontier cannot wedge the cache.
+  std::uint64_t max_bytes = 0;
+  /// Entry time-to-live (0 = entries never expire). Expiry is lazy: a
+  /// lookup that finds an entry older than the TTL drops it and counts
+  /// a miss plus a ttl_eviction. Keeps long-lived services from
+  /// answering from arbitrarily stale frontiers after re-tuning.
+  std::chrono::nanoseconds ttl{0};
 };
 
 /// Counter snapshot, summed over shards. Monotonic except entries/bytes.
@@ -52,7 +64,9 @@ struct SolveCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;  ///< entries stored (racing dups excluded)
-  std::uint64_t evictions = 0;
+  std::uint64_t evictions = 0;   ///< LRU evictions (capacity or byte budget)
+  std::uint64_t ttl_evictions = 0;   ///< entries dropped as expired
+  std::uint64_t insert_failures = 0; ///< inserts dropped (injected faults)
   std::uint64_t entries = 0;     ///< currently resident entries
   std::uint64_t bytes = 0;       ///< approximate resident footprint
 
@@ -88,6 +102,7 @@ class SolveCache final : public dp::ChainSolveCache {
   struct Entry {
     std::shared_ptr<const dp::ChainFrontierSolve> solve;
     std::list<std::uint64_t>::iterator lru_it;
+    std::chrono::steady_clock::time_point stored_at;
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -98,13 +113,18 @@ class SolveCache final : public dp::ChainSolveCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t ttl_evictions = 0;
+    std::uint64_t insert_failures = 0;
     std::uint64_t bytes = 0;
   };
 
   Shard& shard_of(std::uint64_t key);
+  void evict_lru(Shard& shard);
 
   std::size_t capacity_ = 1;
   std::size_t shard_capacity_ = 1;
+  std::uint64_t shard_byte_budget_ = 0;  ///< 0 = unbounded
+  std::chrono::nanoseconds ttl_{0};
   std::vector<Shard> shards_;
 };
 

@@ -18,25 +18,50 @@
 /// ten-thousand-net file (bench/bench_stream.cpp measures exactly
 /// that ratio and fails if it drifts).
 ///
-/// Checkpoint/resume protocol: every `checkpoint_every` written rows
-/// the driver flushes the output and atomically replaces the
-/// checkpoint file (write temp + rename) with
+/// Checkpoint/resume protocol: every `checkpoint_every` processed
+/// records the driver flushes the output (and the quarantine sidecar)
+/// and atomically replaces the checkpoint file with
 ///
-///     ripckpt 1
+///     ripckpt 2
 ///     input_bytes  <input file size, sanity check on resume>
-///     input_offset <byte offset of the first unwritten record>
-///     next_index   <index of the first unwritten record>
-///     output_bytes <output size covering exactly that many rows>
+///     input_offset <byte offset of the first unprocessed record>
+///     next_index   <index of the first unprocessed record>
+///     output_bytes <output size covering exactly the processed rows>
+///     errors_bytes <sidecar size covering the processed quarantines>
+///     quarantined  <records quarantined so far>
+///     crc32 <hex>  <CRC-32 of every preceding byte>
 ///
-/// A checkpoint cut is always a written-row boundary: rows < next_index
-/// are fully on disk, records >= next_index will be (re-)read and
-/// (re-)solved after a resume. Resuming seeks the reader to
-/// input_offset, truncates the output back to output_bytes (discarding
-/// rows a killed run may have written past the last checkpoint), and
-/// continues; because every solve is deterministic and rows are written
-/// in input order, a resumed run's final output is byte-identical to an
-/// uninterrupted run's. Solves after a crash are repeated, never
-/// skipped — the protocol re-does work, it never invents or loses rows.
+/// Durability: the temp file is fsynced before the atomic rename, and
+/// the previous checkpoint is rotated to `<path>.prev` first — so a
+/// kill at ANY instant (mid-temp-write, between the rotation and the
+/// rename, after the rename) leaves at least one checkpoint whose CRC
+/// verifies. Resume validates the CRC and degrades: a corrupt or torn
+/// checkpoint falls back to `.prev`; if neither verifies, the run
+/// restarts cleanly with a warning rather than trusting torn state.
+/// v1 checkpoints (no CRC, no sidecar fields) are still readable.
+///
+/// A checkpoint cut is always a processed-record boundary: records <
+/// next_index are fully accounted (a CSV row, or a quarantine row),
+/// records >= next_index will be (re-)read and (re-)solved after a
+/// resume. Resuming seeks the reader to input_offset, truncates the
+/// output and sidecar back to their checkpointed byte counts
+/// (discarding rows a killed run may have written past the last
+/// checkpoint), and continues; because every solve is deterministic and
+/// rows are written in input order, a resumed run's final output is
+/// byte-identical to an uninterrupted run's. Solves after a crash are
+/// repeated, never skipped — the protocol re-does work, it never
+/// invents or loses rows.
+///
+/// Fault tolerance: with `errors_path` set, a record that fails —
+/// malformed on disk, I/O error while reading, a solve that throws, or
+/// a blown `deadline_ms` budget — is quarantined instead of aborting
+/// the sweep: one row `idx,name,class,detail` goes to the sidecar
+/// (class in {io, malformed, solve, deadline}) and the surviving rows
+/// of the main CSV are byte-identical to an unfaulted run minus the
+/// quarantined indices. Without `errors_path`, the first failure
+/// propagates (the pre-quarantine behavior). InjectedCrash always
+/// propagates — it simulates a process kill, which no recovery layer
+/// may swallow. Transient failures are retried first per `retry`.
 ///
 /// Rows carry only deterministic fields (no wall clock):
 ///     idx,name,tau_t_ns,rip_u,dp_u,impr_pct
@@ -48,6 +73,7 @@
 #include "core/baseline.hpp"
 #include "core/rip.hpp"
 #include "eval/context.hpp"
+#include "eval/service.hpp"
 #include "tech/technology.hpp"
 
 namespace rip::eval {
@@ -80,6 +106,18 @@ struct StreamOptions {
   /// default_target_x * tau_min, with tau_min solved per net inside the
   /// worker (expensive — prefer stored targets for big files).
   double default_target_x = 1.5;
+  /// Quarantine sidecar CSV (`idx,name,class,detail`). Non-empty
+  /// enables quarantine: failed records become sidecar rows and the
+  /// sweep continues. Empty (default) keeps fail-fast behavior.
+  std::string errors_path;
+  /// Cooperative per-case deadline in milliseconds (0 = none), checked
+  /// between solve stages on the worker. With quarantine enabled a
+  /// blown budget quarantines the record with class "deadline".
+  double deadline_ms = 0;
+  /// Transient-failure retry policy of the underlying EvalService:
+  /// util::TransientError (flaky I/O, injected 'err' faults) re-runs
+  /// the case with deterministic backoff before it counts as failed.
+  RetryPolicy retry;
   /// Solver options applied to every case.
   core::RipOptions rip;
   core::BaselineOptions baseline =
@@ -92,12 +130,20 @@ struct StreamOptions {
 
 /// Outcome of one run_stream call.
 struct StreamResult {
-  /// Rows written by THIS run (excludes rows restored via resume).
+  /// Rows written by THIS run (excludes rows restored via resume and
+  /// quarantined records).
   std::uint64_t rows_written = 0;
-  /// Index the run started at (0, or the checkpoint's next_index).
+  /// Records quarantined to the errors sidecar by THIS run.
+  std::uint64_t rows_quarantined = 0;
+  /// Record index the run started at (0, or the checkpoint's
+  /// next_index — rows written plus records quarantined before it).
   std::uint64_t resumed_from = 0;
-  /// Total rows now on disk (resumed_from + rows_written).
+  /// Total records now accounted for: resumed_from + rows_written +
+  /// rows_quarantined. With no quarantined records this is exactly the
+  /// CSV row count on disk.
   std::uint64_t rows_total = 0;
+  /// Records quarantined in total, including runs before a resume.
+  std::uint64_t quarantined_total = 0;
   /// True if the input was drained to EOF (false = stop_after fired).
   bool finished = false;
   /// Checkpoints written by this run.

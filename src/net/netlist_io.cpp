@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 
 namespace rip::net {
@@ -48,8 +49,13 @@ struct RawRecord {
 /// a context-free precondition message or a partial record.
 NetlistRecord finish_record(RawRecord&& raw, const std::string& label,
                             std::uint64_t index) {
+  // By the time finish_record runs, the whole record was consumed from
+  // the stream, so every rejection here is recoverable: the reader sits
+  // at the next boundary and the caller may quarantine just this record.
   const auto fail = [&](const std::string& detail) -> void {
-    throw NetlistError(label, static_cast<std::int64_t>(index), detail);
+    throw NetlistError(label, static_cast<std::int64_t>(index), detail,
+                       NetlistErrorKind::kMalformed, /*recoverable=*/true,
+                       raw.name);
   };
   const auto check = [&](double v, const std::string& what) {
     if (!std::isfinite(v) || v <= 0) {
@@ -81,15 +87,20 @@ NetlistRecord finish_record(RawRecord&& raw, const std::string& label,
       fail("zone bounds must be finite");
     }
   }
+  std::string name = raw.name;  // keep for errors after the move below
   try {
     return NetlistRecord{Net(std::move(raw.name), raw.driver_width_u,
                              raw.receiver_width_u, std::move(segments),
                              std::move(raw.zones)),
                          raw.tau_t_fs};
+  } catch (const NetlistError&) {
+    throw;
   } catch (const Error& e) {
-    fail(std::string("invalid net: ") + e.what());
+    throw NetlistError(label, static_cast<std::int64_t>(index),
+                       std::string("invalid net: ") + e.what(),
+                       NetlistErrorKind::kMalformed, /*recoverable=*/true,
+                       std::move(name));
   }
-  throw Error("unreachable");  // fail() always throws
 }
 
 /// Little-endian scalar encoders. The implementation assumes a
@@ -160,10 +171,14 @@ class PayloadCursor {
 
  private:
   void need(std::size_t n, const char* what) {
+    // The full payload is in memory, so a cursor overrun means the
+    // payload lies about its own contents — recoverable: the stream is
+    // already past this record.
     if (bytes_.size() - pos_ < n) {
       throw NetlistError(
           label_, static_cast<std::int64_t>(index_),
-          std::string("truncated record payload while reading ") + what);
+          std::string("truncated record payload while reading ") + what,
+          NetlistErrorKind::kMalformed, /*recoverable=*/true);
     }
   }
 
@@ -176,10 +191,26 @@ class PayloadCursor {
 }  // namespace
 
 NetlistError::NetlistError(const std::string& path, std::int64_t record_index,
-                           const std::string& detail)
+                           const std::string& detail, NetlistErrorKind kind,
+                           bool recoverable, std::string net_name)
     : Error(render(path, record_index, detail)),
       path_(path),
-      record_index_(record_index) {}
+      record_index_(record_index),
+      kind_(kind),
+      recoverable_(recoverable),
+      net_name_(std::move(net_name)) {}
+
+const char* NetlistError::error_class() const {
+  switch (kind_) {
+    case NetlistErrorKind::kFraming:
+      return "framing";
+    case NetlistErrorKind::kMalformed:
+      return "malformed";
+    case NetlistErrorKind::kIo:
+      return "io";
+  }
+  return "framing";
+}
 
 std::string format_double_exact(double v) {
   char buf[64];
@@ -232,6 +263,7 @@ void NetlistReader::read_header() {
                              std::to_string(kBinaryVersion) + ")");
     }
     offset_ = 8;
+    header_end_ = 8;
     return;
   }
   // Text path: rewind and take the header line whole.
@@ -252,115 +284,241 @@ void NetlistReader::read_header() {
   }
   format_ = NetlistFormat::kText;
   offset_ = static_cast<std::uint64_t>(is_->tellg());
+  header_end_ = offset_;
 }
 
 void NetlistReader::seek(std::uint64_t offset, std::uint64_t record_index) {
+  const auto reject = [&](const std::string& why) {
+    throw NetlistError(label_, static_cast<std::int64_t>(record_index),
+                       "invalid resume offset " + std::to_string(offset) +
+                           ": " + why);
+  };
+  // A stale or hand-edited checkpoint must fail here, typed, not as a
+  // baffling parse error records later. Three checks: within the file,
+  // past the header, and actually on a record boundary.
+  is_->clear();
+  is_->seekg(0, std::ios::end);
+  const auto end_pos = is_->tellg();
+  if (end_pos == std::streampos(-1)) reject("cannot determine file size");
+  const std::uint64_t file_size = static_cast<std::uint64_t>(end_pos);
+  if (offset > file_size) {
+    reject("past end of file (" + std::to_string(file_size) + " bytes)");
+  }
+  if (offset < header_end_) reject("inside the file header");
   is_->clear();
   is_->seekg(static_cast<std::streamoff>(offset));
   if (!is_->good()) {
-    throw NetlistError(label_, static_cast<std::int64_t>(record_index),
-                       "cannot seek to checkpoint offset " +
-                           std::to_string(offset));
+    reject("cannot seek to checkpoint offset");
+  }
+  if (offset < file_size) {
+    // Boundary probe (position restored below). Binary: the next four
+    // bytes must be a plausible length prefix whose payload fits the
+    // file. Text: the next non-blank, non-comment line must open a
+    // record.
+    if (format_ == NetlistFormat::kBinary) {
+      char prefix[4];
+      is_->read(prefix, 4);
+      bool plausible = is_->gcount() == 4;
+      if (plausible) {
+        std::uint32_t payload_bytes = 0;
+        for (int i = 0; i < 4; ++i) {
+          payload_bytes |= static_cast<std::uint32_t>(
+                               static_cast<unsigned char>(prefix[i]))
+                           << (8 * i);
+        }
+        plausible = payload_bytes > 0 &&
+                    payload_bytes <= kMaxNetlistRecordBytes &&
+                    offset + 4 + payload_bytes <= file_size;
+      }
+      if (!plausible) reject("does not address a record boundary");
+    } else {
+      std::string line;
+      bool at_boundary = true;
+      while (std::getline(*is_, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '#') continue;
+        const auto tokens = split_ws(t);
+        at_boundary = tokens[0] == "net";
+        break;
+      }
+      if (!at_boundary) reject("does not address a record boundary");
+    }
+    is_->clear();
+    is_->seekg(static_cast<std::streamoff>(offset));
+    if (!is_->good()) reject("cannot seek to checkpoint offset");
   }
   offset_ = offset;
   index_ = record_index;
 }
 
 std::optional<NetlistRecord> NetlistReader::next() {
+  const std::uint64_t record_index = index_;
   auto record = format_ == NetlistFormat::kBinary ? next_binary()
                                                   : next_text();
   if (record.has_value()) {
-    ++index_;
-    const auto pos = is_->tellg();
-    // tellg legitimately fails once EOF has been hit (the last record
-    // may end exactly at EOF); keep the last good boundary then.
-    if (pos != std::streampos(-1)) {
-      offset_ = static_cast<std::uint64_t>(pos);
+    advance_boundary();
+    // The injected I/O fault fires after the parse advanced the reader,
+    // so an 'err' here is recoverable by construction: the record is
+    // lost but the stream is intact. A 'fail' or 'crash' propagates raw.
+    try {
+      fire_fault("netlist.read", record_index);
+    } catch (const TransientError& e) {
+      throw NetlistError(label_, static_cast<std::int64_t>(record_index),
+                         e.what(), NetlistErrorKind::kIo,
+                         /*recoverable=*/true, record->net.name());
     }
   }
   return record;
 }
 
+/// One record was fully consumed (successfully or not): move index_ and
+/// offset_ to the boundary the stream now sits on.
+void NetlistReader::advance_boundary() {
+  ++index_;
+  const auto pos = is_->tellg();
+  // tellg legitimately fails once EOF has been hit (the last record
+  // may end exactly at EOF); keep the last good boundary then.
+  if (pos != std::streampos(-1)) {
+    offset_ = static_cast<std::uint64_t>(pos);
+  }
+}
+
 std::optional<NetlistRecord> NetlistReader::next_text() {
+  const std::uint64_t record_index = index_;
   RawRecord raw;
   bool in_record = false;
   bool done = false;
+  bool skipping = false;  // body abandoned after a parse error
   bool have_driver = false;
   bool have_receiver = false;
+  // First error of the record. The text format resyncs to the next lone
+  // 'end' line (records always close with one) and throws AFTER
+  // reaching the boundary, so the error is recoverable and only this
+  // record is lost.
+  std::string deferred;
+  const auto soft_fail = [&](const std::string& detail) {
+    if (deferred.empty()) deferred = detail;
+    skipping = true;
+  };
+
   std::string line;
   while (!done && std::getline(*is_, line)) {
     const std::string t = trim(line);
     if (t.empty() || t[0] == '#') continue;
     const auto tokens = split_ws(t);
     const std::string& kind = tokens[0];
+    if (kind == "end") {
+      if (!in_record && !skipping) {
+        soft_fail("expected 'net <name>' at a record boundary, got 'end'");
+      } else if (!skipping && tokens.size() != 1) {
+        soft_fail("'end' takes no tokens");
+      }
+      done = true;
+      continue;
+    }
+    if (skipping) continue;
     if (!in_record) {
       if (kind != "net") {
-        fail("expected 'net <name>' at a record boundary, got '" + kind +
-             "'");
+        soft_fail("expected 'net <name>' at a record boundary, got '" + kind +
+                  "'");
+        continue;
       }
-      if (tokens.size() != 2) fail("'net' takes exactly one name token");
+      if (tokens.size() != 2) {
+        soft_fail("'net' takes exactly one name token");
+        continue;
+      }
       raw.name = tokens[1];
       in_record = true;
       continue;
     }
-    const auto one_value = [&](const char* what) {
-      if (tokens.size() != 2) {
-        fail(std::string("'") + what + "' takes exactly one value");
-      }
-      return parse_double(tokens[1], what);
+    // Body directives throw plain Error (from parse_double or the local
+    // body_fail); each becomes the record's deferred error.
+    const auto body_fail = [](const std::string& detail) -> void {
+      throw Error(detail);
     };
-    if (kind == "end") {
-      if (tokens.size() != 1) fail("'end' takes no tokens");
-      done = true;
-    } else if (kind == "target_fs") {
-      raw.tau_t_fs = one_value("target_fs");
-    } else if (kind == "driver") {
-      raw.driver_width_u = one_value("driver");
-      have_driver = true;
-    } else if (kind == "receiver") {
-      raw.receiver_width_u = one_value("receiver");
-      have_receiver = true;
-    } else if (kind == "segment") {
-      if ((tokens.size() - 1) % 2 != 0) fail("odd segment key/value list");
-      RawSegment s;
-      bool have_len = false, have_r = false, have_c = false;
-      for (std::size_t i = 1; i + 1 < tokens.size(); i += 2) {
-        const std::string& key = tokens[i];
-        if (key == "len_um") {
-          s.length_um = parse_double(tokens[i + 1], key);
-          have_len = true;
-        } else if (key == "r_ohm_per_um") {
-          s.r_ohm_per_um = parse_double(tokens[i + 1], key);
-          have_r = true;
-        } else if (key == "c_ff_per_um") {
-          s.c_ff_per_um = parse_double(tokens[i + 1], key);
-          have_c = true;
-        } else if (key == "layer") {
-          s.layer = tokens[i + 1];
-        } else {
-          fail("unknown segment key '" + key + "'");
+    try {
+      const auto one_value = [&](const char* what) {
+        if (tokens.size() != 2) {
+          body_fail(std::string("'") + what + "' takes exactly one value");
         }
+        return parse_double(tokens[1], what);
+      };
+      if (kind == "target_fs") {
+        raw.tau_t_fs = one_value("target_fs");
+      } else if (kind == "driver") {
+        raw.driver_width_u = one_value("driver");
+        have_driver = true;
+      } else if (kind == "receiver") {
+        raw.receiver_width_u = one_value("receiver");
+        have_receiver = true;
+      } else if (kind == "segment") {
+        if ((tokens.size() - 1) % 2 != 0) {
+          body_fail("odd segment key/value list");
+        }
+        RawSegment s;
+        bool have_len = false, have_r = false, have_c = false;
+        for (std::size_t i = 1; i + 1 < tokens.size(); i += 2) {
+          const std::string& key = tokens[i];
+          if (key == "len_um") {
+            s.length_um = parse_double(tokens[i + 1], key);
+            have_len = true;
+          } else if (key == "r_ohm_per_um") {
+            s.r_ohm_per_um = parse_double(tokens[i + 1], key);
+            have_r = true;
+          } else if (key == "c_ff_per_um") {
+            s.c_ff_per_um = parse_double(tokens[i + 1], key);
+            have_c = true;
+          } else if (key == "layer") {
+            s.layer = tokens[i + 1];
+          } else {
+            body_fail("unknown segment key '" + key + "'");
+          }
+        }
+        if (!have_len || !have_r || !have_c) {
+          body_fail("segment needs len_um, r_ohm_per_um and c_ff_per_um");
+        }
+        raw.segments.push_back(std::move(s));
+      } else if (kind == "zone") {
+        if (tokens.size() != 3) body_fail("'zone' takes start and end");
+        raw.zones.push_back(
+            ForbiddenZone{parse_double(tokens[1], "zone start"),
+                          parse_double(tokens[2], "zone end")});
+      } else {
+        body_fail("unknown directive '" + kind + "'");
       }
-      if (!have_len || !have_r || !have_c) {
-        fail("segment needs len_um, r_ohm_per_um and c_ff_per_um");
-      }
-      raw.segments.push_back(std::move(s));
-    } else if (kind == "zone") {
-      if (tokens.size() != 3) fail("'zone' takes start and end");
-      raw.zones.push_back(ForbiddenZone{parse_double(tokens[1], "zone start"),
-                                        parse_double(tokens[2], "zone end")});
-    } else {
-      fail("unknown directive '" + kind + "'");
+    } catch (const Error& e) {
+      soft_fail(e.what());
     }
   }
-  if (!in_record) {
-    if (is_->bad()) fail("I/O error while reading");
+
+  if (!in_record && !skipping) {
+    if (is_->bad()) {
+      throw NetlistError(label_, static_cast<std::int64_t>(record_index),
+                         "I/O error while reading", NetlistErrorKind::kIo);
+    }
     return std::nullopt;  // clean EOF at a record boundary
   }
-  if (!done) fail("unexpected EOF inside record (missing 'end')");
-  if (!have_driver) fail("record is missing a 'driver' line");
-  if (!have_receiver) fail("record is missing a 'receiver' line");
-  return finish_record(std::move(raw), label_, index_);
+  if (!done && deferred.empty()) {
+    deferred = "unexpected EOF inside record (missing 'end')";
+  }
+  if (deferred.empty() && !have_driver) {
+    deferred = "record is missing a 'driver' line";
+  }
+  if (deferred.empty() && !have_receiver) {
+    deferred = "record is missing a 'receiver' line";
+  }
+  if (!deferred.empty()) {
+    advance_boundary();
+    throw NetlistError(label_, static_cast<std::int64_t>(record_index),
+                       deferred, NetlistErrorKind::kMalformed,
+                       /*recoverable=*/done, raw.name);
+  }
+  try {
+    return finish_record(std::move(raw), label_, record_index);
+  } catch (const NetlistError&) {
+    advance_boundary();  // validation failed at the boundary: skippable
+    throw;
+  }
 }
 
 std::optional<NetlistRecord> NetlistReader::next_binary() {
@@ -387,44 +545,58 @@ std::optional<NetlistRecord> NetlistReader::next_binary() {
          std::to_string(payload_bytes) + " bytes)");
   }
 
-  PayloadCursor cur(payload, label_, index_);
-  RawRecord raw;
-  raw.name = cur.str(cur.u16("name length"), "record name");
-  raw.driver_width_u = cur.f64("driver width");
-  raw.receiver_width_u = cur.f64("receiver width");
-  raw.tau_t_fs = cur.f64("timing target");
-  const std::uint32_t segment_count = cur.u32("segment count");
-  // A segment encodes to at least 26 bytes; a count the payload cannot
-  // possibly hold is rejected up front instead of cursor-tripping later.
-  if (segment_count > payload_bytes / 26) {
-    fail("segment count " + std::to_string(segment_count) +
-         " exceeds record payload");
+  // The payload is fully consumed from the stream: everything below is
+  // a content failure of THIS record and recoverable — the next length
+  // prefix is still trustworthy, so a caller may skip and read on.
+  const std::uint64_t record_index = index_;
+  try {
+    PayloadCursor cur(payload, label_, record_index);
+    RawRecord raw;
+    const auto fail_record = [&](const std::string& detail) -> void {
+      throw NetlistError(label_, static_cast<std::int64_t>(record_index),
+                         detail, NetlistErrorKind::kMalformed,
+                         /*recoverable=*/true, raw.name);
+    };
+    raw.name = cur.str(cur.u16("name length"), "record name");
+    raw.driver_width_u = cur.f64("driver width");
+    raw.receiver_width_u = cur.f64("receiver width");
+    raw.tau_t_fs = cur.f64("timing target");
+    const std::uint32_t segment_count = cur.u32("segment count");
+    // A segment encodes to at least 26 bytes; a count the payload cannot
+    // possibly hold is rejected up front instead of cursor-tripping later.
+    if (segment_count > payload_bytes / 26) {
+      fail_record("segment count " + std::to_string(segment_count) +
+                  " exceeds record payload");
+    }
+    raw.segments.reserve(segment_count);
+    for (std::uint32_t i = 0; i < segment_count; ++i) {
+      RawSegment s;
+      s.length_um = cur.f64("segment length");
+      s.r_ohm_per_um = cur.f64("segment resistance");
+      s.c_ff_per_um = cur.f64("segment capacitance");
+      s.layer = cur.str(cur.u16("layer length"), "segment layer");
+      raw.segments.push_back(std::move(s));
+    }
+    const std::uint32_t zone_count = cur.u32("zone count");
+    if (zone_count > payload_bytes / 16) {
+      fail_record("zone count " + std::to_string(zone_count) +
+                  " exceeds record payload");
+    }
+    raw.zones.reserve(zone_count);
+    for (std::uint32_t i = 0; i < zone_count; ++i) {
+      const double start = cur.f64("zone start");
+      const double end = cur.f64("zone end");
+      raw.zones.push_back(ForbiddenZone{start, end});
+    }
+    if (cur.remaining() != 0) {
+      fail_record("record payload has " + std::to_string(cur.remaining()) +
+                  " trailing bytes");
+    }
+    return finish_record(std::move(raw), label_, record_index);
+  } catch (const NetlistError&) {
+    advance_boundary();  // the stream already sits on the next prefix
+    throw;
   }
-  raw.segments.reserve(segment_count);
-  for (std::uint32_t i = 0; i < segment_count; ++i) {
-    RawSegment s;
-    s.length_um = cur.f64("segment length");
-    s.r_ohm_per_um = cur.f64("segment resistance");
-    s.c_ff_per_um = cur.f64("segment capacitance");
-    s.layer = cur.str(cur.u16("layer length"), "segment layer");
-    raw.segments.push_back(std::move(s));
-  }
-  const std::uint32_t zone_count = cur.u32("zone count");
-  if (zone_count > payload_bytes / 16) {
-    fail("zone count " + std::to_string(zone_count) +
-         " exceeds record payload");
-  }
-  raw.zones.reserve(zone_count);
-  for (std::uint32_t i = 0; i < zone_count; ++i) {
-    const double start = cur.f64("zone start");
-    const double end = cur.f64("zone end");
-    raw.zones.push_back(ForbiddenZone{start, end});
-  }
-  if (cur.remaining() != 0) {
-    fail("record payload has " + std::to_string(cur.remaining()) +
-         " trailing bytes");
-  }
-  return finish_record(std::move(raw), label_, index_);
 }
 
 // ------------------------------------------------------------- writer
@@ -470,6 +642,15 @@ void NetlistWriter::add(const Net& net, double tau_t_fs) {
   if (closed_) {
     throw NetlistError(label_, static_cast<std::int64_t>(count_),
                        "add() after close()");
+  }
+  // Injected write failure, keyed by record ordinal; fires before any
+  // bytes go out so a faulted add() leaves the stream clean.
+  try {
+    fire_fault("netlist.write", count_);
+  } catch (const TransientError& e) {
+    throw NetlistError(label_, static_cast<std::int64_t>(count_), e.what(),
+                       NetlistErrorKind::kIo, /*recoverable=*/true,
+                       net.name());
   }
   if (!std::isfinite(tau_t_fs) || tau_t_fs < 0) {
     throw NetlistError(label_, static_cast<std::int64_t>(count_),

@@ -54,6 +54,13 @@
 /// middle of a record — throws NetlistError carrying the file name and
 /// the index of the offending record; the reader never returns a
 /// partially parsed record and never crashes on hostile bytes.
+///
+/// Errors are classified (NetlistErrorKind) and, where the reader could
+/// advance the stream to the next record boundary before throwing,
+/// marked recoverable: a caller may keep calling next() and quarantine
+/// just the bad record instead of aborting a million-net sweep. Framing
+/// damage (a corrupt length prefix, EOF mid-payload) is never
+/// recoverable — past it there is no trustworthy boundary.
 
 #include <cstdint>
 #include <fstream>
@@ -76,6 +83,14 @@ enum class NetlistFormat { kText, kBinary };
 /// not OOM the reader.
 inline constexpr std::uint32_t kMaxNetlistRecordBytes = 1u << 20;
 
+/// Failure classes of the netlist layer, used by quarantine sidecars
+/// to label bad records.
+enum class NetlistErrorKind {
+  kFraming,    ///< record framing / header damage — boundaries untrustworthy
+  kMalformed,  ///< one record's content is invalid; framing held
+  kIo,         ///< the I/O layer failed (open, read, write, flush)
+};
+
 /// Error type of the netlist layer: every parse failure carries the
 /// file name (or stream label) and the 0-based index of the record
 /// being parsed (-1 = the file header). what() renders as
@@ -83,15 +98,31 @@ inline constexpr std::uint32_t kMaxNetlistRecordBytes = 1u << 20;
 class NetlistError : public Error {
  public:
   NetlistError(const std::string& path, std::int64_t record_index,
-               const std::string& detail);
+               const std::string& detail,
+               NetlistErrorKind kind = NetlistErrorKind::kFraming,
+               bool recoverable = false, std::string net_name = {});
 
   const std::string& path() const { return path_; }
   /// 0-based record index, or -1 for a header-level failure.
   std::int64_t record_index() const { return record_index_; }
 
+  NetlistErrorKind kind() const { return kind_; }
+  /// Short classification label: "framing" / "malformed" / "io".
+  const char* error_class() const;
+
+  /// True when the reader advanced to the next record boundary before
+  /// throwing: next() may be called again and only this record is lost.
+  bool recoverable() const { return recoverable_; }
+
+  /// Name of the offending net, when it parsed far enough to have one.
+  const std::string& net_name() const { return net_name_; }
+
  private:
   std::string path_;
   std::int64_t record_index_;
+  NetlistErrorKind kind_;
+  bool recoverable_;
+  std::string net_name_;
 };
 
 /// One parsed record: the net plus its optional stored timing target
@@ -115,8 +146,13 @@ class NetlistReader {
   NetlistReader(std::istream& is, std::string label);
 
   /// Parse and return the next record, or nullopt at clean EOF (a
-  /// record boundary). Throws NetlistError on any malformed input;
-  /// after a throw the reader is poisoned and must not be reused.
+  /// record boundary). Throws NetlistError on any malformed input. If
+  /// the error is recoverable() the reader has already advanced past
+  /// the bad record and next() may be called again; otherwise the
+  /// reader is poisoned and must not be reused. Hits the
+  /// "netlist.read" fault point (keyed by record index) after each
+  /// successful parse; an injected transient fault surfaces as a
+  /// recoverable kIo NetlistError.
   std::optional<NetlistRecord> next();
 
   /// Index of the next unread record == records returned so far.
@@ -126,9 +162,11 @@ class NetlistReader {
   std::uint64_t offset() const { return offset_; }
 
   /// Resume at a (offset, index) pair previously returned by offset()/
-  /// index() — the checkpoint protocol's seek. The pair must address a
-  /// record boundary of this same file; a bogus offset surfaces as a
-  /// NetlistError on the following next().
+  /// index() — the checkpoint protocol's seek. The offset must address
+  /// a record boundary of this same file: an offset past EOF, inside
+  /// the header, or landing mid-record is rejected with a typed
+  /// NetlistError up front (not as a confusing parse error on the next
+  /// read).
   void seek(std::uint64_t offset, std::uint64_t record_index);
 
   NetlistFormat format() const { return format_; }
@@ -137,6 +175,7 @@ class NetlistReader {
  private:
   [[noreturn]] void fail(const std::string& detail) const;
   void read_header();
+  void advance_boundary();
   std::optional<NetlistRecord> next_text();
   std::optional<NetlistRecord> next_binary();
 
@@ -146,6 +185,7 @@ class NetlistReader {
   NetlistFormat format_ = NetlistFormat::kText;
   std::uint64_t index_ = 0;
   std::uint64_t offset_ = 0;
+  std::uint64_t header_end_ = 0;  ///< first byte past the header
 };
 
 /// Incremental netlist writer: header on construction, one record per

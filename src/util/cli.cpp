@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cstdint>
 #include <limits>
 
 #include "util/error.hpp"
@@ -122,6 +123,36 @@ ShardSpec shard_option(const CliArgs& args, const std::string& name) {
   if (spec.count < 1) fail("count must be >= 1");
   if (spec.index >= spec.count) fail("index must be < count");
   return spec;
+}
+
+std::uint64_t count_option(const CliArgs& args, const std::string& name,
+                           std::uint64_t fallback,
+                           std::uint64_t min_value) {
+  const auto value = args.get(name);
+  if (!value) return fallback;
+  // Same strict digits-only discipline and message shape as
+  // shard_option: "--every -5", "--max-pending 0", "--stop-after 3x"
+  // all fail loudly and uniformly instead of silently truncating.
+  const auto fail = [&](const std::string& why) {
+    throw Error("--" + name + " expects an integer >= " +
+                std::to_string(min_value) + " (e.g. --" + name + " " +
+                std::to_string(min_value > 0 ? min_value : 1) + "): " + why +
+                " in '" + *value + "'");
+  };
+  if (value->empty()) fail("empty value");
+  std::uint64_t parsed = 0;
+  for (const char c : *value) {
+    if (c < '0' || c > '9') fail("non-digit character");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (parsed > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      fail("value out of range");
+    }
+    parsed = parsed * 10 + digit;
+  }
+  if (parsed < min_value) {
+    fail("value must be >= " + std::to_string(min_value));
+  }
+  return parsed;
 }
 
 }  // namespace rip

@@ -7,6 +7,7 @@
 ///
 ///     rip_cli solve --net my.net --target-ns 2.5 --spice out.sp
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -72,5 +73,14 @@ struct ShardSpec {
 /// unsharded shard 0/1. Throws rip::Error on a malformed spec.
 ShardSpec shard_option(const CliArgs& args,
                        const std::string& name = "shard");
+
+/// Strict unsigned-count option: digits only (no signs, spaces, or
+/// trailing garbage), value >= `min_value`; absent returns `fallback`
+/// unvalidated (so 0-means-unbounded defaults survive a min of 1).
+/// Rejections share one uniform message shape, in the same style as
+/// shard_option: "--NAME expects an integer >= MIN ...: <why> in '<v>'".
+std::uint64_t count_option(const CliArgs& args, const std::string& name,
+                           std::uint64_t fallback,
+                           std::uint64_t min_value = 0);
 
 }  // namespace rip

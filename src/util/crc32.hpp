@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file crc32.hpp
+/// Header-only CRC-32 (IEEE 802.3 reflected polynomial 0xEDB88320), the
+/// checksum guarding `ripckpt 2` checkpoint payloads. Matches zlib's
+/// crc32() for the same bytes, so checkpoints can be verified with
+/// standard tooling, without linking zlib here.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rip {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// CRC of `size` bytes, continuing from `crc` (pass the previous return
+/// value to checksum data in chunks; start from the default 0).
+inline std::uint32_t crc32(const void* data, std::size_t size,
+                           std::uint32_t crc = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = detail::kCrc32Table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline std::uint32_t crc32(std::string_view bytes, std::uint32_t crc = 0) {
+  return crc32(bytes.data(), bytes.size(), crc);
+}
+
+}  // namespace rip

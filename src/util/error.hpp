@@ -19,6 +19,16 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Marker base for errors a retry policy may treat as transient: the
+/// operation failed for a reason that could succeed on a clean retry
+/// (an injected transient fault, a flaky I/O layer). Permanent errors
+/// (bad input, invariant violations, deadline overruns) stay plain
+/// `Error` and are never retried.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void raise(const char* kind, const char* expr,
                                const char* file, int line,

@@ -1,0 +1,132 @@
+#pragma once
+
+/// @file fault.hpp
+/// Deterministic, seed-driven fault injection for the DP → service →
+/// stream pipeline. Production binaries pay one relaxed atomic load per
+/// fault point when injection is disabled (the default); a spec turns
+/// named points into injected errors, crashes, or latency spikes so
+/// every failure path can be driven on demand and pinned by tests.
+///
+/// Spec grammar (env `RIP_FAULTS` / CLI `--faults`):
+///
+///   spec    := entry (';' entry)*
+///   entry   := point ':' action ['@' trigger]
+///   action  := 'err'      -- throw InjectedFault (transient, retryable)
+///            | 'fail'     -- throw InjectedFailure (permanent)
+///            | 'crash'    -- throw InjectedCrash (simulated process kill;
+///                            NOT a rip::Error, so no recovery layer
+///                            swallows it)
+///            | duration   -- sleep that long (latency spike), e.g.
+///                            '50ms', '200us', '1s'
+///   trigger := N          -- fire when the point's key equals N (call
+///                            sites pass a stable identity: record index,
+///                            checkpoint ordinal; points without a key
+///                            use their per-point arrival counter)
+///            | 'p='F      -- fire with deterministic probability F in
+///                            [0,1], hashed from (seed, point, key)
+///            | (absent)   -- fire on every hit
+///
+/// Example: "netlist.read:err@17;solve.delay:50ms@p=0.01;ckpt.rename:crash@2"
+///
+/// Keyed triggers make the faulted record set independent of thread
+/// schedule: the same records fault at jobs 1 and jobs 8.
+///
+/// Registered points: netlist.read, netlist.write, solve.err,
+/// solve.delay, cache.insert, ckpt.write, ckpt.rename, ckpt.commit.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rip {
+
+/// A transient injected error: retry policies may treat it like any
+/// flaky-I/O failure and re-run the operation (spec action 'err').
+class InjectedFault : public TransientError {
+ public:
+  explicit InjectedFault(const std::string& what) : TransientError(what) {}
+};
+
+/// A permanent injected error (spec action 'fail'): recovery layers see
+/// an ordinary rip::Error that retrying cannot fix.
+class InjectedFailure : public Error {
+ public:
+  explicit InjectedFailure(const std::string& what) : Error(what) {}
+};
+
+/// A simulated process kill (spec action 'crash'). Deliberately NOT a
+/// rip::Error: quarantine/retry layers that catch rip::Error must let it
+/// propagate exactly like a real SIGKILL would end the process.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Sentinel key: use the fault point's per-point arrival counter.
+inline constexpr std::uint64_t kFaultAutoKey = ~std::uint64_t{0};
+
+struct FaultPointStats {
+  std::uint64_t hits = 0;   ///< times the point was reached while enabled
+  std::uint64_t fired = 0;  ///< times a rule matched and its action ran
+};
+
+/// Process-wide fault-point registry. All methods are thread-safe.
+class FaultInjector {
+ public:
+  /// Replace the active spec (empty spec disables injection) and reset
+  /// all per-point counters. Throws rip::Error on a malformed spec.
+  static void configure(const std::string& spec, std::uint64_t seed = 0);
+
+  /// Configure from `RIP_FAULTS` / `RIP_FAULTS_SEED`; a no-op when the
+  /// variable is unset or empty. Runs automatically at load time in any
+  /// binary that links a fault point.
+  static void configure_from_env();
+
+  /// Disable injection and clear the spec and all counters.
+  static void reset();
+
+  static bool enabled();
+
+  /// Per-point hit/fire counters (points are created on first hit).
+  static std::map<std::string, FaultPointStats> stats();
+};
+
+namespace detail {
+
+extern std::atomic<bool> g_faults_enabled;
+
+void fire_fault_slow(const char* point, std::uint64_t key, bool soft,
+                     bool* out_fired);
+
+}  // namespace detail
+
+/// Hit a fault point. Zero-cost when injection is disabled (one relaxed
+/// atomic load). May throw InjectedFault / InjectedFailure /
+/// InjectedCrash or sleep, per the active spec.
+inline void fire_fault(const char* point,
+                       std::uint64_t key = kFaultAutoKey) {
+  if (detail::g_faults_enabled.load(std::memory_order_relaxed)) {
+    detail::fire_fault_slow(point, key, /*soft=*/false, nullptr);
+  }
+}
+
+/// Like fire_fault, but 'err'/'fail' actions return true instead of
+/// throwing — for call sites where failure is a degraded result, not an
+/// exception (e.g. a cache insert that is dropped). 'crash' still
+/// throws and delays still sleep.
+inline bool fire_fault_soft(const char* point,
+                            std::uint64_t key = kFaultAutoKey) {
+  if (!detail::g_faults_enabled.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  bool fired = false;
+  detail::fire_fault_slow(point, key, /*soft=*/true, &fired);
+  return fired;
+}
+
+}  // namespace rip

@@ -1,6 +1,7 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -51,6 +52,52 @@ double percentile(std::vector<double> sample, double q) {
   const std::size_t hi = std::min(lo + 1, sample.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  // Bucket b holds latencies in [2^(b-1), 2^b) ns; bucket 0 holds 0 ns.
+  const int bucket = std::bit_width(ns);
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen && !max_ns_.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+LatencySnapshot LatencyHistogram::snapshot() const {
+  LatencySnapshot snap;
+  std::array<std::uint64_t, kBuckets> counts{};
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = counts_[b].load(std::memory_order_relaxed);
+    snap.count += counts[b];
+  }
+  if (snap.count == 0) return snap;
+  const double to_ms = 1e-6;
+  snap.mean_ms = static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+                 static_cast<double>(snap.count) * to_ms;
+  snap.max_ms =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * to_ms;
+  const auto quantile = [&](double q) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(snap.count - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > rank) {
+        // Report the bucket's upper bound: 2^b - 1 ns (bucket 0 is 0).
+        const double upper_ns =
+            b == 0 ? 0.0 : std::ldexp(1.0, b) - 1.0;
+        return upper_ns * to_ms;
+      }
+    }
+    return snap.max_ms;
+  };
+  snap.p50_ms = quantile(0.50);
+  snap.p90_ms = quantile(0.90);
+  snap.p99_ms = quantile(0.99);
+  return snap;
 }
 
 }  // namespace rip

@@ -5,7 +5,10 @@
 /// per-net / per-target metrics into the rows the paper reports
 /// (ΔMax, ΔMean, averages over the net population).
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace rip {
@@ -36,5 +39,37 @@ class RunningStats {
 /// Percentile of a sample (linear interpolation between order statistics).
 /// `q` in [0, 1]. Throws on an empty sample.
 double percentile(std::vector<double> sample, double q);
+
+/// Point-in-time view of a LatencyHistogram, in milliseconds. The
+/// percentiles are bucket-resolution estimates (each log2 bucket
+/// reports its upper bound), good to ~2x — plenty for capacity
+/// planning, free of locks on the record path.
+struct LatencySnapshot {
+  std::uint64_t count = 0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Lock-free latency histogram: log2-bucketed nanosecond counts (the
+/// buckets cover the full uint64 range) with exact count/mean/max.
+/// record() is wait-free (relaxed atomics plus one CAS loop for the
+/// max) and safe from any number of threads; snapshot() is a racy but
+/// self-consistent-enough read for metrics.
+class LatencyHistogram {
+ public:
+  void record_ns(std::uint64_t ns);
+  LatencySnapshot snapshot() const;
+
+ private:
+  // bit_width of a uint64 spans 0..64 inclusive.
+  static constexpr int kBuckets = 65;
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
 
 }  // namespace rip

@@ -171,5 +171,56 @@ TEST(ShardOption, RejectsEveryMalformedSpecUniformly) {
   expect_shard_rejected("99999999999999999999/2");  // overflow
 }
 
+// --------------------------------------------------------- count_option
+//
+// The strict-count companion of shard_option: every binary that takes
+// --max-pending / --every / --stop-after / --retry rejects every
+// malformed value with the same message shape instead of silently
+// truncating through atoi.
+
+TEST(CountOption, AbsentReturnsTheFallbackUnvalidated) {
+  // The fallback is the caller's default and is deliberately NOT pushed
+  // through min_value: --every absent means 0 (= never) even though an
+  // explicit --every 0 is rejected below.
+  EXPECT_EQ(count_option(parse({"stream"}), "every", 0, 1), 0u);
+  EXPECT_EQ(count_option(parse({"stream"}), "max-pending", 64, 1), 64u);
+}
+
+TEST(CountOption, ParsesWellFormedCounts) {
+  EXPECT_EQ(count_option(parse({"stream", "--every", "200"}), "every", 0, 1),
+            200u);
+  EXPECT_EQ(count_option(parse({"stream", "--stop-after", "1"}), "stop-after",
+                         0, 1),
+            1u);
+  EXPECT_EQ(count_option(parse({"stream", "--fault-seed", "0"}), "fault-seed",
+                         7, 0),
+            0u);  // min_value 0 accepts an explicit zero
+}
+
+/// Expect count_option to throw with the exact uniform message.
+void expect_count_rejected(const std::string& value, const std::string& why) {
+  SCOPED_TRACE("--max-pending " + value);
+  try {
+    count_option(parse({"stream", "--max-pending", value.c_str()}),
+                 "max-pending", 64, 1);
+    FAIL() << "expected rip::Error for --max-pending " << value;
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "--max-pending expects an integer >= 1 (e.g. --max-pending 1): " +
+                  why + " in '" + value + "'");
+  }
+}
+
+TEST(CountOption, RejectsEveryMalformedCountUniformly) {
+  expect_count_rejected("0", "value must be >= 1");
+  expect_count_rejected("", "empty value");
+  expect_count_rejected("-3", "non-digit character");   // sign is a non-digit
+  expect_count_rejected("+3", "non-digit character");
+  expect_count_rejected("12x", "non-digit character");  // trailing garbage
+  expect_count_rejected("1.5", "non-digit character");  // not an integer
+  expect_count_rejected(" 4", "non-digit character");   // leading space
+  expect_count_rejected("99999999999999999999999", "value out of range");
+}
+
 }  // namespace
 }  // namespace rip

@@ -467,6 +467,51 @@ TEST_P(NetlistSeekTest, SeekResumesAtRecordBoundary) {
   }
 }
 
+TEST_P(NetlistSeekTest, RejectsOffsetsOffRecordBoundaries) {
+  const auto records = random_records(10, 45);
+  const std::string bytes = write_all(records, GetParam());
+
+  // Map the true record boundaries: post-header, then one per record
+  // (the last boundary is clean EOF).
+  std::istringstream scan(bytes);
+  NetlistReader scanner(scan, "mem");
+  std::vector<std::uint64_t> boundaries{scanner.offset()};
+  while (scanner.next().has_value()) boundaries.push_back(scanner.offset());
+  ASSERT_EQ(boundaries.size(), 11u);
+  ASSERT_GT(boundaries.front(), 0u);  // both formats carry a header
+  ASSERT_EQ(boundaries.back(), bytes.size());
+
+  const auto expect_rejected = [&](std::uint64_t offset) {
+    SCOPED_TRACE("offset " + std::to_string(offset));
+    std::istringstream is(bytes);
+    NetlistReader reader(is, "mem");
+    try {
+      reader.seek(offset, 1);
+      FAIL() << "seek accepted a non-boundary offset";
+    } catch (const NetlistError& e) {
+      EXPECT_NE(std::string(e.what()).find("invalid resume offset"),
+                std::string::npos)
+          << e.what();
+      EXPECT_FALSE(e.recoverable());
+    }
+  };
+
+  expect_rejected(bytes.size() + 1);       // past EOF
+  expect_rejected(bytes.size() + 4096);    // far past EOF
+  expect_rejected(0);                      // inside the file header
+  expect_rejected(boundaries.front() - 1); // last header byte
+  expect_rejected(boundaries[1] + 2);      // inside a record
+  expect_rejected(boundaries[5] + 2);      // inside a later record
+
+  // The EOF boundary itself is a valid resume cut: a fully processed
+  // input resumes straight to "no more records".
+  std::istringstream is(bytes);
+  NetlistReader reader(is, "mem");
+  reader.seek(boundaries.back(), 10);
+  EXPECT_EQ(reader.index(), 10u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
 INSTANTIATE_TEST_SUITE_P(BothFormats, NetlistSeekTest,
                          ::testing::Values(NetlistFormat::kText,
                                            NetlistFormat::kBinary),
@@ -475,6 +520,62 @@ INSTANTIATE_TEST_SUITE_P(BothFormats, NetlistSeekTest,
                                       ? "text"
                                       : "binary";
                          });
+
+// --------------------------------------- recoverable-read regressions
+//
+// The quarantine contract the streaming driver builds on: when a
+// record's framing held but its content is invalid, the reader has
+// already advanced to the next boundary before throwing, so next() may
+// be called again and only the bad record is lost.
+
+TEST(NetlistRecoverableRead, MalformedRecordCanBeSkippedAndReadingContinues) {
+  const std::string good_a =
+      framed(forge_payload("good_a", 120.0, 60.0, 1000.0, {{}}));
+  const std::string bad = framed(forge_payload(
+      "bad", 120.0, 60.0, 1000.0,
+      {{1000.0, std::numeric_limits<double>::quiet_NaN(), 0.2, "m4"}}));
+  const std::string good_b =
+      framed(forge_payload("good_b", 120.0, 60.0, 2000.0, {{}}));
+  std::istringstream is(binary_header() + good_a + bad + good_b);
+  NetlistReader reader(is, "mem");
+
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->net.name(), "good_a");
+
+  try {
+    reader.next();
+    FAIL() << "malformed record was not rejected";
+  } catch (const NetlistError& e) {
+    EXPECT_TRUE(e.recoverable());
+    EXPECT_EQ(e.kind(), net::NetlistErrorKind::kMalformed);
+    EXPECT_STREQ(e.error_class(), "malformed");
+    EXPECT_EQ(e.record_index(), 1);
+  }
+
+  // The reader sits on the next boundary: the tail still parses.
+  const auto third = reader.next();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->net.name(), "good_b");
+  EXPECT_EQ(third->tau_t_fs, 2000.0);
+  EXPECT_EQ(reader.index(), 3u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(NetlistRecoverableRead, FramingDamageIsNeverRecoverable) {
+  // A length prefix lying beyond EOF: past it there is no trustworthy
+  // boundary, so the error must not invite another next() call.
+  std::istringstream is(binary_header() + le32(100000));
+  NetlistReader reader(is, "mem");
+  try {
+    reader.next();
+    FAIL() << "truncated record was not rejected";
+  } catch (const NetlistError& e) {
+    EXPECT_FALSE(e.recoverable());
+    EXPECT_EQ(e.kind(), net::NetlistErrorKind::kFraming);
+    EXPECT_STREQ(e.error_class(), "framing");
+  }
+}
 
 // ------------------------------------------------------------ writer API
 

@@ -30,6 +30,7 @@
 #include "net/netlist_io.hpp"
 #include "tech/objective.hpp"
 #include "tech/technology.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
@@ -279,6 +280,101 @@ INSTANTIATE_TEST_SUITE_P(
                       ResumeVariant{"cached_sharded", 8, 4, true, 8},
                       ResumeVariant{"tight_window", 8, 1, false, 1}),
     [](const auto& info) { return std::string(info.param.name); });
+
+// --------------------------------- kill DURING the checkpoint write
+//
+// The stop_after chains above kill between checkpoints; these kill
+// inside write_checkpoint itself, at each stage of the durability
+// protocol — mid-temp-file (ckpt.write), between the .prev rotation
+// and the rename (ckpt.rename), and right after the rename
+// (ckpt.commit). Whatever torn state each crash leaves behind, an
+// unfaulted resume must recover to byte-identical output.
+
+/// RAII fault spec: the injector registry is process-global, so every
+/// test that configures it must reset on the way out — including when
+/// an assertion throws.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec, std::uint64_t seed = 0) {
+    FaultInjector::configure(spec, seed);
+  }
+  ~FaultGuard() { FaultInjector::reset(); }
+};
+
+class StreamCheckpointCrashTest
+    : public ::testing::TestWithParam<net::NetlistFormat> {};
+
+TEST_P(StreamCheckpointCrashTest, CrashDuringCheckpointWriteResumesExactly) {
+  const int kNetCount = 12;
+  const Workload w = make_workload(kNetCount, 77);
+  const std::string tag =
+      GetParam() == net::NetlistFormat::kText ? "t" : "b";
+  const std::string input = temp_path("ckptcrash_" + tag + ".rnl");
+  write_workload(w, input, GetParam());
+
+  const std::string golden_csv = temp_path("ckptcrash_" + tag + "_g.csv");
+  {
+    eval::StreamOptions options;
+    options.jobs = 4;
+    const auto result =
+        eval::run_stream(tech180(), input, golden_csv, options);
+    ASSERT_TRUE(result.finished);
+  }
+  const std::string golden = slurp(golden_csv);
+
+  for (const std::string point : {"ckpt.write", "ckpt.rename", "ckpt.commit"}) {
+    SCOPED_TRACE(point);
+    const std::string csv =
+        temp_path("ckptcrash_" + tag + "_" + point + ".csv");
+    const std::string ckpt =
+        temp_path("ckptcrash_" + tag + "_" + point + ".ckpt");
+    std::filesystem::remove(ckpt);
+    std::filesystem::remove(ckpt + ".prev");
+
+    const auto make_options = [&] {
+      eval::StreamOptions options;
+      options.jobs = 4;
+      options.checkpoint_every = 4;
+      options.checkpoint_path = ckpt;
+      return options;
+    };
+
+    // Crash while writing the SECOND checkpoint of the run (keyed by
+    // the per-run checkpoint ordinal, so the cut is schedule-free).
+    {
+      FaultGuard guard(point + ":crash@2");
+      try {
+        eval::run_stream(tech180(), input, csv, make_options());
+        FAIL() << "injected crash did not propagate";
+      } catch (const InjectedCrash&) {
+        // Exactly like a kill: no recovery layer may have swallowed it.
+      }
+    }
+
+    auto options = make_options();
+    options.resume = true;
+    const auto result = eval::run_stream(tech180(), input, csv, options);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.rows_total, static_cast<std::uint64_t>(kNetCount));
+    EXPECT_EQ(slurp(csv), golden) << "resume after a crash in " << point
+                                  << " diverged from the golden run";
+
+    std::filesystem::remove(csv);
+    std::filesystem::remove(ckpt);
+    std::filesystem::remove(ckpt + ".prev");
+    std::filesystem::remove(ckpt + ".tmp");
+  }
+  std::filesystem::remove(input);
+  std::filesystem::remove(golden_csv);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFormats, StreamCheckpointCrashTest,
+                         ::testing::Values(net::NetlistFormat::kText,
+                                           net::NetlistFormat::kBinary),
+                         [](const auto& info) {
+                           return info.param == net::NetlistFormat::kText
+                                      ? "text"
+                                      : "binary";
+                         });
 
 // ------------------------------------------------------- guard rails
 
